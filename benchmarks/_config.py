@@ -1,0 +1,15 @@
+"""Scale switch shared by the benchmark modules.
+
+Benchmarks default to CI-friendly scales; set ``SABA_FULL_SCALE=1``
+to run the paper's full parameters (500 setups, 1,944 servers,
+30,000 scenarios) -- expect hours.
+"""
+
+import os
+
+FULL_SCALE = os.environ.get("SABA_FULL_SCALE", "") == "1"
+
+
+def scale(small, full):
+    """Pick a parameter based on the SABA_FULL_SCALE switch."""
+    return full if FULL_SCALE else small

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at a
+CI-friendly scale and asserts the paper's qualitative shape (who wins,
+by roughly what factor, where crossovers fall).  Set
+``SABA_FULL_SCALE=1`` to run the paper's full parameters (500 setups,
+1,944 servers, 30,000 scenarios); expect hours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import build_catalog_table
+
+
+@pytest.fixture(scope="session")
+def catalog_table():
+    """Catalog sensitivity table (k = 3, as in §8.2)."""
+    return build_catalog_table(degree=3, method="analytic")

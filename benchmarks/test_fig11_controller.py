@@ -1,0 +1,41 @@
+"""Figure 11: controller design studies.
+
+Paper shape: (a) the distributed controller is slightly below the
+centralized one (1.23x vs 1.27x); (b) more queues help, with 8 close
+to unlimited (1.12x at 2 queues, 1.27x at 8, 1.33x unlimited).
+"""
+
+from repro.experiments.fig10_fig11 import run_fig11a, run_fig11b
+
+
+def test_fig11a_centralized_vs_distributed(benchmark):
+    result = benchmark.pedantic(run_fig11a, rounds=1, iterations=1)
+
+    print("\nFigure 11a -- centralized vs distributed controller")
+    print(f"  centralized {result['centralized']:.2f}   (paper 1.27)")
+    print(f"  distributed {result['distributed']:.2f}   (paper 1.23)")
+
+    # Both designs land in the same neighbourhood (the simulated Saba
+    # average tracks the baseline here; see EXPERIMENTS.md gap G3).
+    assert result["centralized"] > 0.85
+    assert result["distributed"] > 0.85
+    # The offline database mapping costs a little accuracy (paper: 4 %),
+    # but not a collapse.
+    assert result["distributed"] <= result["centralized"] + 0.05
+    assert result["distributed"] > result["centralized"] - 0.15
+
+
+def test_fig11b_number_of_queues(benchmark):
+    result = benchmark.pedantic(run_fig11b, rounds=1, iterations=1)
+
+    print("\nFigure 11b -- average speedup vs per-port queues")
+    for label, avg in result.items():
+        print(f"  {label:>9s} queues: {avg:5.2f}")
+
+    # More queues help monotonically (within tolerance).
+    assert result["2"] <= result["8"] + 0.05
+    assert result["8"] <= result["unlimited"] + 0.07
+    # 8 queues get close to unlimited (paper: 1.27 vs 1.33).
+    assert result["unlimited"] - result["8"] < 0.2
+    # Even 2 queues stay serviceable (paper: 1.12x over its baseline).
+    assert result["2"] > 0.8

@@ -1,0 +1,47 @@
+"""Figure 1: motivation experiments.
+
+(a) Slowdown of every workload at 75 % / 25 % bandwidth.
+(b) LR + PR co-run: max-min vs the skewed (75/25) allocation.
+
+Paper shape: (a) slowdowns vary widely across workloads (1.1x .. 3.4x
+at 25 %); (b) the skewed scheme improves LR markedly while degrading
+PR only mildly.
+"""
+
+from repro.experiments.fig1 import run_fig1a, run_fig1b
+
+
+def test_fig1a_sensitivity_spread(benchmark):
+    rows = benchmark(run_fig1a)
+
+    print("\nFigure 1a -- slowdown under reduced bandwidth")
+    print(f"{'Workload':9s} {'75% BW':>8s} {'25% BW':>8s}")
+    for name, cells in rows.items():
+        print(f"{name:9s} {cells[0.75]:8.2f} {cells[0.25]:8.2f}")
+
+    d25 = {name: cells[0.25] for name, cells in rows.items()}
+    assert max(d25.values()) / min(d25.values()) > 2.0  # wide spread
+    assert d25["LR"] > 2.8
+    assert d25["Sort"] < 1.3
+    for name, cells in rows.items():
+        assert cells[0.25] >= cells[0.75] - 1e-6
+
+
+def test_fig1b_skewed_beats_maxmin_for_lr(benchmark):
+    result = benchmark(run_fig1b)
+
+    print("\nFigure 1b -- LR+PR co-run slowdowns (vs stand-alone)")
+    print(f"{'Scheme':8s} {'LR':>6s} {'PR':>6s}   paper: max-min 2.26/1.21, skewed 1.48/1.34")
+    print(f"{'max-min':8s} {result.maxmin['LR']:6.2f} {result.maxmin['PR']:6.2f}")
+    print(f"{'skewed':8s} {result.skewed['LR']:6.2f} {result.skewed['PR']:6.2f}")
+
+    # Shape: skewing helps LR and costs PR only mildly.
+    assert result.skewed["LR"] < result.maxmin["LR"] - 0.02
+    assert result.skewed["PR"] >= result.maxmin["PR"] - 1e-6
+    assert result.skewed["PR"] < result.maxmin["PR"] + 0.6
+    # Average completion time falls -- the premise of sensitivity-aware
+    # sharing ("the average completion time of applications is
+    # significantly reduced", §2.4).
+    assert result.average_completion("skewed") < result.average_completion(
+        "maxmin"
+    )

@@ -1,0 +1,52 @@
+"""Figure 2: CPU/network utilization timelines for LR and PR.
+
+Paper shape: LR alternates compute and communication phases and its
+completion stretches markedly from 75 % to 25 % bandwidth; PR is
+compute-dominated, overlaps transmission with computation, and
+stretches much less.
+"""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_utilization_timelines(benchmark):
+    panels = benchmark(run_fig2)
+
+    print("\nFigure 2 -- completion times and mean utilizations")
+    print(f"{'Panel':10s} {'T(done)':>8s} {'mean CPU':>9s} {'mean net':>9s}")
+    for (workload, fraction), panel in sorted(panels.items()):
+        print(
+            f"{workload}@{int(fraction * 100):3d}%   "
+            f"{panel.completion_time:8.1f} {panel.mean_cpu():9.2f} "
+            f"{panel.mean_network():9.2f}"
+        )
+
+    lr75 = panels[("LR", 0.75)]
+    lr25 = panels[("LR", 0.25)]
+    pr75 = panels[("PR", 0.75)]
+    pr25 = panels[("PR", 0.25)]
+
+    # LR stretches much more than PR when bandwidth drops 75% -> 25%
+    # (paper: LR 2.59x, PR 1.37x).
+    lr_stretch = lr25.completion_time / lr75.completion_time
+    pr_stretch = pr25.completion_time / pr75.completion_time
+    assert lr_stretch > 1.8
+    assert pr_stretch < 1.6
+    assert lr_stretch > pr_stretch + 0.4
+
+    # PR is compute-dominated: its CPU duty exceeds LR's.
+    assert pr75.mean_cpu() > lr75.mean_cpu()
+
+    # PR overlaps communication with computation: there are instants
+    # with both CPU and network active.
+    overlapped = sum(
+        1 for c, n in zip(pr25.cpu, pr25.network) if c > 0.5 and n > 0.3
+    )
+    assert overlapped > 0
+
+    # LR's communication phases show the complementary pattern: network
+    # active while CPU idle.
+    comm_only = sum(
+        1 for c, n in zip(lr25.cpu, lr25.network) if c < 0.5 and n > 0.5
+    )
+    assert comm_only > 0

@@ -1,0 +1,59 @@
+"""Figure 9: testbed sensitivity studies.
+
+Paper shape: (a) Saba keeps a clear win even when runtime dataset
+sizes are 10x off the profiled ones, with the matched size winning
+most; (b) the win shrinks as the runtime node count drifts to 4x the
+profiled pod; (c) higher polynomial degrees help.
+"""
+
+from repro.experiments.fig9 import (
+    average_speedups,
+    run_fig9a,
+    run_fig9b,
+    run_fig9c,
+)
+
+
+def test_fig9a_dataset_size(benchmark):
+    results = benchmark.pedantic(run_fig9a, rounds=1, iterations=1)
+
+    print("\nFigure 9a -- speedup vs runtime dataset size")
+    for s, per_workload in sorted(results.items()):
+        print(f"  {s:4.1f}x  avg {average_speedups(per_workload):5.2f}")
+
+    averages = {s: average_speedups(pw) for s, pw in results.items()}
+    # Saba wins at every dataset size...
+    for s, avg in averages.items():
+        assert avg > 1.02, f"scale {s}: {avg}"
+    # ...and the matched size is at least as good as the worst mismatch
+    # (paper: 1.54x matched vs 1.33x/1.40x mismatched).
+    assert averages[1.0] >= min(averages.values()) - 1e-9
+
+
+def test_fig9b_node_count(benchmark):
+    results = benchmark.pedantic(run_fig9b, rounds=1, iterations=1)
+
+    print("\nFigure 9b -- speedup vs runtime node count")
+    for m, per_workload in sorted(results.items()):
+        print(f"  {m:4.1f}x  avg {average_speedups(per_workload):5.2f}")
+
+    averages = {m: average_speedups(pw) for m, pw in results.items()}
+    for m, avg in averages.items():
+        assert avg > 0.98, f"multiplier {m}: {avg}"
+    # The benefit at 4x is the weakest of the larger-than-profiled
+    # deployments (paper: 1.09x at 4x vs 1.26-1.42x below).
+    assert averages[4.0] <= max(averages[2.0], averages[3.0]) + 0.02
+
+
+def test_fig9c_polynomial_degree(benchmark):
+    results = benchmark.pedantic(run_fig9c, rounds=1, iterations=1)
+
+    print("\nFigure 9c -- speedup vs polynomial degree")
+    for k, per_workload in sorted(results.items()):
+        print(f"  k={k}  avg {average_speedups(per_workload):5.2f}")
+
+    averages = {k: average_speedups(pw) for k, pw in results.items()}
+    for k, avg in averages.items():
+        assert avg > 1.0, f"degree {k}: {avg}"
+    # Higher degrees never hurt (paper: 1.27x, 1.42x, 1.54x for k=1,2,3).
+    assert averages[3] >= averages[1] - 0.05

@@ -1,0 +1,40 @@
+"""Table 1: the workload catalog.
+
+Regenerates the table (workload, category, dataset size) and, as the
+quantitative check, profiles every workload to confirm the catalog's
+calibration against Figure 1a.
+"""
+
+from repro.core.profiler import OfflineProfiler
+from repro.workloads.catalog import CATALOG, workload_names
+
+
+def test_table1_catalog(benchmark):
+    profiler = OfflineProfiler(
+        method="simulate", fractions=(0.25, 0.75), degree=1
+    )
+
+    def regenerate():
+        rows = []
+        for name in workload_names():
+            template = CATALOG[name]
+            result = profiler.profile(template)
+            rows.append(
+                (name, template.category, template.dataset,
+                 result.slowdown_at(0.75), result.slowdown_at(0.25))
+            )
+        return rows
+
+    rows = benchmark(regenerate)
+
+    print("\nTable 1 -- workloads (with measured Fig-1a slowdowns)")
+    print(f"{'Workload':9s} {'Category':10s} {'Dataset':34s} {'D(75%)':>7s} {'D(25%)':>7s}")
+    for name, category, dataset, d75, d25 in rows:
+        print(f"{name:9s} {category:10s} {dataset:34s} {d75:7.2f} {d25:7.2f}")
+
+    assert [r[0] for r in rows] == workload_names()
+    d25 = {r[0]: r[4] for r in rows}
+    # Paper: range 1.1x (Sort) .. 3.4x (LR), average 2.1x.
+    assert 1.0 <= d25["Sort"] <= 1.25
+    assert 2.8 <= d25["LR"] <= 3.9
+    assert 1.8 <= sum(d25.values()) / len(d25) <= 2.4

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Co-existence with non-Saba-compliant traffic (Section 3).
+
+"Datacenter operators can statically allocate a queue for
+non-Saba-compliant applications on switches and reserve a portion of
+the network bandwidth for them."
+
+This example reserves queue 7 with 30 % of link capacity
+(``C_saba = 0.7``) for a latency-critical service that never registers
+with Saba, and shows that (a) the untagged service keeps its reserved
+share no matter how aggressively Saba reallocates the rest, and
+(b) Saba-compliant applications still benefit from sensitivity-aware
+weighting inside their 70 %.
+
+Run:  python examples/coexistence.py
+"""
+
+from repro.core.controller import SabaController
+from repro.core.library import SabaLibrary
+from repro.core.profiler import OfflineProfiler
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.flows import Flow
+from repro.simnet.topology import single_switch
+from repro.units import GBPS_56, to_gbps
+from repro.workloads.catalog import CATALOG
+
+
+def main() -> None:
+    profiler = OfflineProfiler()
+    table = profiler.build_table([CATALOG["LR"], CATALOG["Sort"]])
+
+    topo = single_switch(4)
+    controller = SabaController(table, c_saba=0.7, reserved_queue=7)
+    fabric = FluidFabric(topo)
+    fabric.set_policy(controller)
+    library = SabaLibrary(fabric, controller)
+
+    # Two Saba-compliant applications...
+    library.saba_app_register("lr-job", "LR")
+    library.saba_app_register("sort-job", "Sort")
+    lr_flow = library.saba_conn_create(
+        "lr-job", "server0", "server1", size=1e12
+    )
+    sort_flow = library.saba_conn_create(
+        "sort-job", "server0", "server2", size=1e12
+    )
+    # ...and one legacy service that never talks to Saba: its flow
+    # carries no PL, so the switch steers it to the reserved queue.
+    legacy = Flow(src="server0", dst="server3", size=1e12)
+    fabric.start_flow(legacy)
+
+    fabric.recompute_rates()
+    print("Instantaneous rates on the shared 56 Gb/s NIC:")
+    for label, flow in (
+        ("LR (Saba)", lr_flow),
+        ("Sort (Saba)", sort_flow),
+        ("legacy (untagged)", legacy),
+    ):
+        print(f"  {label:18s} {to_gbps(flow.rate):6.2f} Gb/s "
+              f"({flow.rate / GBPS_56 * 100:5.1f} % of line rate)")
+
+    assert legacy.rate / GBPS_56 > 0.29, "reserved share must hold"
+    assert lr_flow.rate > sort_flow.rate, "Saba still skews inside C_saba"
+    print("\nThe reserved queue isolates the legacy service (>= 30 %), "
+          "while Saba skews the remaining 70 % toward LR.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Inside the controller: profiling, Eq. 2 weights, PLs and queues.
+
+Walks through Saba's machinery step by step on the full Table-1
+workload suite:
+
+1. the offline profiler sweeps 5-100 % bandwidth caps and fits the
+   polynomial sensitivity model of every workload (Section 4);
+2. the Eq. 2 optimiser computes the weight split for several
+   application mixes sharing one switch output port (Section 5.1);
+3. applications are grouped into priority levels and PLs are mapped
+   onto a port with a limited number of queues via the agglomerative
+   hierarchy (Section 5.3).
+
+Run:  python examples/profile_and_allocate.py
+"""
+
+import numpy as np
+
+from repro.core.allocation import optimize_weights
+from repro.core.clustering import PLHierarchy
+from repro.core.profiler import OfflineProfiler
+from repro.core.sensitivity import r_squared
+from repro.workloads.catalog import CATALOG
+
+
+def main() -> None:
+    # -- 1. Profile everything -------------------------------------------
+    profiler = OfflineProfiler()
+    table = profiler.build_table(CATALOG.values())
+
+    print("Sensitivity table (Eq. 1 models, inverse basis):")
+    print(f"  {'name':5s} {'D(0.75)':>8s} {'D(0.50)':>8s} {'D(0.25)':>8s} "
+          f"{'D(0.05)':>8s}")
+    for name in CATALOG:
+        m = table.get(name)
+        row = "  ".join(f"{m.predict(b):7.2f}" for b in (0.75, 0.5, 0.25, 0.05))
+        print(f"  {name:5s}  {row}")
+
+    # -- 2. Eq. 2 weight splits -------------------------------------------
+    mixes = [
+        ("LR + PR (Figure 1b)", ["LR", "PR"]),
+        ("4 sensitive + 4 insensitive",
+         ["LR", "RF", "GBT", "SVM", "PR", "SQL", "WC", "Sort"]),
+        ("all ten workloads", list(CATALOG)),
+    ]
+    print("\nEq. 2 weight allocations per port:")
+    for label, names in mixes:
+        weights = optimize_weights([table.get(n) for n in names])
+        cells = ", ".join(
+            f"{n}={w:.2f}" for n, w in sorted(
+                zip(names, weights), key=lambda kv: -kv[1]
+            )
+        )
+        print(f"  {label}:\n    {cells}")
+
+    # -- 3. PL hierarchy and queue mapping ----------------------------------
+    names = list(CATALOG)
+    degree = max(table.get(n).degree for n in names)
+    points = np.array([table.get(n).as_vector(degree) for n in names])
+    hierarchy = PLHierarchy(points)
+    print("\nPL-to-queue mapping (all ten PLs active at one port):")
+    for n_queues in (8, 4, 2):
+        _level, mapping = hierarchy.best_clustering(
+            list(range(len(names))), max_clusters=n_queues
+        )
+        groups = {}
+        for pl, queue in mapping.items():
+            groups.setdefault(queue, []).append(names[pl])
+        rendered = "  ".join(
+            f"q{q}:[{','.join(sorted(members))}]"
+            for q, members in sorted(groups.items())
+        )
+        print(f"  {n_queues} queues -> {rendered}")
+
+
+if __name__ == "__main__":
+    main()

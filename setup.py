@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e . --no-use-pep517``
+works in offline environments that lack the ``wheel`` package (PEP 517
+editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""Reproduction of *Saba: Rethinking Datacenter Network Allocation from
+Application's Perspective* (EuroSys '23).
+
+The package is organised as follows:
+
+``repro.simnet``
+    A flow-level (fluid) discrete-event datacenter network simulator:
+    topologies, routing, per-port queues, weighted fair queueing, and
+    max-min water-filling rate allocation.  This substrate stands in for
+    both the paper's 32-server InfiniBand testbed and its OMNeT++
+    simulator.
+
+``repro.workloads``
+    Staged compute/communicate application models, including the ten
+    named workloads of Table 1 and the twenty synthetic simulator
+    workloads of Section 8.1.
+
+``repro.cluster``
+    Job placement, cluster-setup generation, and the co-run executor
+    that runs a set of placed jobs on the fabric under an allocation
+    policy.
+
+``repro.baselines``
+    The comparison points of the evaluation: InfiniBand-style
+    congestion-controlled max-min, ideal max-min fairness, Homa, and
+    Sincronia.
+
+``repro.core``
+    Saba itself: the offline profiler, polynomial sensitivity models,
+    the Eq. 2 weight optimiser, application-to-PL and PL-to-queue
+    clustering, the centralized and distributed controllers, and the
+    Saba library (connection manager + software interface).
+
+``repro.experiments``
+    One module per table/figure of the paper's evaluation; the
+    ``benchmarks/`` tree drives these.
+"""
+
+from repro._version import __version__
+
+from repro.core.sensitivity import SensitivityModel, fit_sensitivity_model
+from repro.core.profiler import OfflineProfiler, ProfileResult
+from repro.core.table import SensitivityTable
+from repro.core.controller import SabaController
+from repro.core.library import SabaLibrary
+
+__all__ = [
+    "__version__",
+    "SensitivityModel",
+    "fit_sensitivity_model",
+    "OfflineProfiler",
+    "ProfileResult",
+    "SensitivityTable",
+    "SabaController",
+    "SabaLibrary",
+]

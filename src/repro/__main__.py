@@ -1,0 +1,190 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig1a
+    python -m repro fig8 --setups 20
+    python -m repro fig10 --full-scale
+    python -m repro fig12 --sizes 10 100 500
+
+Each subcommand prints the paper-style rows/series of one table or
+figure.  The pytest benchmarks (``pytest benchmarks/
+--benchmark-only``) run the same harnesses with shape assertions; this
+CLI is the interactive way to poke at them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _fig1a(args) -> None:
+    from repro.experiments.fig1 import run_fig1a
+
+    rows = run_fig1a()
+    print(f"{'Workload':9s} {'75% BW':>8s} {'25% BW':>8s}")
+    for name, cells in rows.items():
+        print(f"{name:9s} {cells[0.75]:8.2f} {cells[0.25]:8.2f}")
+
+
+def _fig1b(args) -> None:
+    from repro.experiments.fig1 import run_fig1b
+
+    result = run_fig1b()
+    print("scheme    LR    PR   (paper: max-min 2.26/1.21, skewed 1.48/1.34)")
+    print(f"max-min {result.maxmin['LR']:5.2f} {result.maxmin['PR']:5.2f}")
+    print(f"skewed  {result.skewed['LR']:5.2f} {result.skewed['PR']:5.2f}")
+
+
+def _fig2(args) -> None:
+    from repro.experiments.fig2 import run_fig2
+
+    for (workload, fraction), panel in sorted(run_fig2().items()):
+        print(f"{workload}@{int(fraction * 100)}%: completion "
+              f"{panel.completion_time:.1f}s, mean CPU {panel.mean_cpu():.2f}, "
+              f"mean net {panel.mean_network():.2f}")
+
+
+def _fig5(args) -> None:
+    from repro.experiments.fig5_fig6 import run_fig5
+
+    for name, panel in run_fig5().items():
+        cells = "  ".join(f"k={k}: R2={panel.r2[k]:.3f}"
+                          for k in sorted(panel.r2))
+        print(f"{name:4s} {cells}")
+
+
+def _fig6(args) -> None:
+    from repro.experiments.fig5_fig6 import run_fig6a, run_fig6b, run_fig6c
+
+    print("-- 6a: R2 vs degree")
+    for name, row in run_fig6a().items():
+        print(f"  {name:5s} " + " ".join(f"k{k}:{v:.2f}" for k, v in row.items()))
+    print("-- 6b: R2 vs dataset scale")
+    for name, row in run_fig6b().items():
+        print(f"  {name:5s} " + " ".join(f"{s}x:{v:.2f}" for s, v in row.items()))
+    print("-- 6c: R2 vs node count")
+    for name, row in run_fig6c().items():
+        print(f"  {name:5s} " + " ".join(f"{m}x:{v:.2f}" for m, v in row.items()))
+
+
+def _fig8(args) -> None:
+    from repro.experiments.fig8 import run_fig8
+
+    result = run_fig8(n_setups=args.setups)
+    print("per-workload average speedup (paper avg: 1.88x):")
+    for name, speedup in sorted(result.per_workload_speedup.items(),
+                                key=lambda kv: -kv[1]):
+        print(f"  {name:5s} {speedup:5.2f}")
+    print(f"average: {result.average_speedup:.2f} over "
+          f"{len(result.setup_averages)} setups")
+
+
+def _fig9(args) -> None:
+    from repro.experiments.fig9 import (
+        average_speedups, run_fig9a, run_fig9b, run_fig9c,
+    )
+
+    print("-- 9a: dataset scale")
+    for s, row in sorted(run_fig9a().items()):
+        print(f"  {s}x: avg {average_speedups(row):.2f}")
+    print("-- 9b: node count")
+    for m, row in sorted(run_fig9b().items()):
+        print(f"  {m}x: avg {average_speedups(row):.2f}")
+    print("-- 9c: polynomial degree")
+    for k, row in sorted(run_fig9c().items()):
+        print(f"  k={k}: avg {average_speedups(row):.2f}")
+
+
+def _fig10(args) -> None:
+    from repro.experiments.fig10_fig11 import run_fig10
+
+    kwargs = (
+        dict(n_spine=54, n_leaf=102, n_tor=108, servers_per_tor=18)
+        if args.full_scale else None
+    )
+    result = run_fig10(topology_kwargs=kwargs)
+    paper = {"saba": 1.27, "sincronia": 1.19, "ideal-maxmin": 1.14,
+             "homa": 1.12}
+    for policy in paper:
+        print(f"{policy:13s} measured {result.average(policy):5.2f} "
+              f"(paper {paper[policy]:.2f})")
+
+
+def _fig11(args) -> None:
+    from repro.experiments.fig10_fig11 import run_fig11a, run_fig11b
+
+    a = run_fig11a()
+    print(f"centralized {a['centralized']:.2f}  distributed "
+          f"{a['distributed']:.2f}  (paper 1.27 / 1.23)")
+    for label, avg in run_fig11b().items():
+        print(f"queues={label:>9s}: {avg:.2f}")
+
+
+def _fig12(args) -> None:
+    from repro.experiments.fig12 import percentile, run_fig12
+
+    results = run_fig12(app_set_sizes=tuple(args.sizes))
+    for k, scenarios in sorted(results.items()):
+        times = [s.calc_time for s in scenarios]
+        print(f"k={k}: p99 {percentile(times, 99):.3f}s "
+              f"max {max(times):.3f}s over {len(times)} scenarios")
+
+
+def _report(args) -> None:
+    from repro.experiments.report import generate_reports
+
+    paths = generate_reports(
+        args.out, heavy=args.heavy,
+        progress=lambda name: print(f"running {name} ..."),
+    )
+    print(f"wrote {len(paths)} artifacts to {args.out}")
+
+
+COMMANDS = {
+    "report": _report,
+    "fig1a": _fig1a,
+    "fig1b": _fig1b,
+    "fig2": _fig2,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Saba paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name in COMMANDS:
+        p = sub.add_parser(name, help=f"run the {name} experiment")
+        if name == "fig8":
+            p.add_argument("--setups", type=int, default=10)
+        if name == "fig10":
+            p.add_argument("--full-scale", action="store_true")
+        if name == "fig12":
+            p.add_argument("--sizes", type=int, nargs="+",
+                           default=[1, 10, 100, 250])
+        if name == "report":
+            p.add_argument("--out", default="results")
+            p.add_argument("--heavy", action="store_true",
+                           help="include fig8/9/10/11/12 (slow)")
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available experiments:", ", ".join(COMMANDS))
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Allocation-policy baselines used in the paper's evaluation.
+
+* :class:`InfiniBandBaseline` -- the testbed baseline: per-flow
+  max-min approximated by FECN-style end-to-end congestion management,
+  including its throughput inefficiency under high fan-in.
+* :class:`IdealMaxMin` -- the simulation upper bound for any
+  congestion-control protocol targeting max-min fairness (§8.4
+  study 4).
+* :class:`HomaPolicy` -- receiver-driven size-priority transport,
+  approximated in the fluid limit by strict priority on remaining flow
+  size (§8.4 study 5).
+* :class:`SincroniaPolicy` -- clairvoyant coflow scheduling via the
+  BSSI greedy ordering with priority enforcement (§8.4 study 6).
+"""
+
+from repro.baselines.infiniband import InfiniBandBaseline
+from repro.baselines.maxmin import IdealMaxMin
+from repro.baselines.homa import HomaPolicy
+from repro.baselines.sincronia import SincroniaPolicy
+
+__all__ = [
+    "InfiniBandBaseline",
+    "IdealMaxMin",
+    "HomaPolicy",
+    "SincroniaPolicy",
+]

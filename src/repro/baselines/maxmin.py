@@ -1,0 +1,40 @@
+"""Ideal per-flow max-min fairness.
+
+Section 8.4, study 4: "In the ideal implementation of max-min
+fairness, each workload is assigned to a dedicated queue, and packets
+from queues are serviced using the Round-Robin algorithm. [...] it
+achieves the upper bound of max-min fairness."
+
+In the fluid limit, per-packet round-robin across per-flow queues *is*
+max-min fairness with no congestion-control losses, so this policy is
+simply the fair scheduler on ideal links.
+"""
+
+from __future__ import annotations
+
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.fairness import FairScheduler, LinkScheduler
+from repro.simnet.flows import Flow
+
+
+class IdealMaxMin:
+    """Exact per-flow max-min fairness (simulation upper bound)."""
+
+    name = "ideal-maxmin"
+
+    def __init__(self) -> None:
+        self._scheduler = FairScheduler()
+
+    def attach(self, fabric: FluidFabric) -> None:
+        """Ensure links are ideal (no congestion-control inefficiency)."""
+        for state in fabric.topology.link_states.values():
+            state.efficiency_fn = None
+
+    def scheduler_of(self, link_id: str) -> LinkScheduler:
+        return self._scheduler
+
+    def on_flow_started(self, flow: Flow) -> None:  # noqa: D102
+        pass
+
+    def on_flow_finished(self, flow: Flow) -> None:  # noqa: D102
+        pass

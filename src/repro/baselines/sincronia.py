@@ -1,0 +1,138 @@
+"""Sincronia, approximated in the fluid limit (§8.4, study 6).
+
+Sincronia (Agarwal et al., SIGCOMM'18) is a clairvoyant coflow
+scheduler: it computes a total order over unfinished coflows with the
+*Bottleneck-Sort-Scale-Iterate* (BSSI) greedy, assigns priorities to
+flows according to their coflow's order, and delegates rate control to
+a priority-enabled transport.  It "requires flow sizes to be known a
+priori", which the simulator satisfies exactly.
+
+BSSI, as implemented here (the unweighted case of Algorithm 1 in the
+Sincronia paper):
+
+1. compute each port's total demand (sum of remaining bytes of
+   unfinished coflows' flows crossing it);
+2. find the most-bottlenecked port ``b``;
+3. among unordered coflows, pick the one with the *largest* demand on
+   ``b`` and place it **last** in the remaining order;
+4. remove it and repeat.
+
+The order is recomputed at coflow arrival/departure epochs (each
+BSP-stage shuffle of each job is one coflow, tagged by the runtime),
+and flows inherit a strict priority equal to their coflow's rank
+clamped to the number of switch priority classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.fairness import LinkScheduler, PriorityScheduler, fecn_collapse
+from repro.simnet.flows import Flow
+
+#: Priority classes available to coflow ranks (8-queue switches).
+DEFAULT_PRIORITY_CLASSES = 8
+
+
+class SincroniaPolicy:
+    """BSSI coflow ordering enforced via strict priority."""
+
+    name = "sincronia"
+
+    def __init__(
+        self,
+        priority_classes: int = DEFAULT_PRIORITY_CLASSES,
+        collapse_alpha: Optional[float] = None,
+    ) -> None:
+        """``collapse_alpha`` optionally applies the per-queue
+        congestion-control loss of the underlying priority-enabled
+        transport (Sincronia "leverages the underlying priority-enabled
+        transport layer"; the default models it as ideal)."""
+        if priority_classes < 1:
+            raise ValueError(f"priority_classes must be >= 1: {priority_classes}")
+        self.priority_classes = priority_classes
+        self._flows_of: Dict[str, Set[int]] = {}
+        self._flow_objs: Dict[int, Flow] = {}
+        self._rank: Dict[str, int] = {}
+        efficiency = fecn_collapse(collapse_alpha) if collapse_alpha else None
+        self._scheduler = PriorityScheduler(
+            self._priority_of, efficiency_fn=efficiency
+        )
+        self._fabric: Optional[FluidFabric] = None
+
+    # -- FabricPolicy interface ------------------------------------------
+
+    def attach(self, fabric: FluidFabric) -> None:
+        """Sincronia assumes a priority-enabled ideal transport."""
+        self._fabric = fabric
+        for state in fabric.topology.link_states.values():
+            state.efficiency_fn = None
+
+    def scheduler_of(self, link_id: str) -> LinkScheduler:
+        return self._scheduler
+
+    def on_flow_started(self, flow: Flow) -> None:
+        coflow = flow.coflow if flow.coflow is not None else str(flow.app)
+        members = self._flows_of.setdefault(coflow, set())
+        members.add(flow.flow_id)
+        self._flow_objs[flow.flow_id] = flow
+        self._reorder()
+
+    def on_flow_finished(self, flow: Flow) -> None:
+        coflow = flow.coflow if flow.coflow is not None else str(flow.app)
+        members = self._flows_of.get(coflow)
+        if members is None:
+            return
+        members.discard(flow.flow_id)
+        self._flow_objs.pop(flow.flow_id, None)
+        if not members:
+            del self._flows_of[coflow]
+            self._reorder()
+
+    # -- BSSI -------------------------------------------------------------
+
+    def _priority_of(self, flow: Flow) -> int:
+        coflow = flow.coflow if flow.coflow is not None else str(flow.app)
+        rank = self._rank.get(coflow, self.priority_classes - 1)
+        return min(rank, self.priority_classes - 1)
+
+    def _reorder(self) -> None:
+        """Recompute the BSSI total order over active coflows."""
+        # Port demand: remaining bytes per (coflow, link).
+        demand: Dict[str, Dict[str, float]] = {}
+        port_total: Dict[str, float] = {}
+        for coflow, members in self._flows_of.items():
+            per_port = demand.setdefault(coflow, {})
+            for fid in members:
+                flow = self._flow_objs[fid]
+                for lid in flow.path:
+                    per_port[lid] = per_port.get(lid, 0.0) + flow.remaining
+                    port_total[lid] = port_total.get(lid, 0.0) + flow.remaining
+        unordered = set(self._flows_of)
+        order_last_to_first: List[str] = []
+        totals = dict(port_total)
+        while unordered:
+            bottleneck = max(totals, key=lambda lid: totals[lid], default=None)
+            if bottleneck is None:
+                order_last_to_first.extend(sorted(unordered))
+                break
+            pick = max(
+                unordered,
+                key=lambda c: (demand[c].get(bottleneck, 0.0), c),
+            )
+            order_last_to_first.append(pick)
+            unordered.discard(pick)
+            for lid, amount in demand[pick].items():
+                remaining = totals.get(lid)
+                if remaining is None:
+                    continue  # port already fully accounted
+                remaining -= amount
+                if remaining <= 0:
+                    del totals[lid]
+                else:
+                    totals[lid] = remaining
+        order = list(reversed(order_last_to_first))
+        self._rank = {coflow: i for i, coflow in enumerate(order)}
+        if self._fabric is not None:
+            self._fabric.invalidate_rates()

@@ -1,0 +1,24 @@
+"""Cluster-level machinery: placement, co-run execution, setups.
+
+This package turns application specs into *jobs* placed on servers of
+a topology and executes them concurrently on the fluid fabric under an
+allocation policy, producing per-job completion times -- the raw
+measurements behind every evaluation figure.
+"""
+
+from repro.cluster.jobs import Job, JobResult
+from repro.cluster.placement import random_placement, PlacementError
+from repro.cluster.runtime import CoRunExecutor, DirectConnections
+from repro.cluster.setups import ClusterSetup, JobDescriptor, generate_setups
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "random_placement",
+    "PlacementError",
+    "CoRunExecutor",
+    "DirectConnections",
+    "ClusterSetup",
+    "JobDescriptor",
+    "generate_setups",
+]

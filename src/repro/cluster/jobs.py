@@ -1,0 +1,53 @@
+"""Job and result records shared across the cluster package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.workloads.model import ApplicationSpec
+
+
+@dataclass
+class Job:
+    """A placed application instance set.
+
+    Attributes:
+        job_id: unique id within one co-run (e.g. ``"job3:LR"``).
+        spec: the instantiated application.
+        workload: template name for sensitivity-table lookups
+            (``spec.name`` may carry decorations; this one is the key
+            the profiler used).
+        placement: server per instance; ``len == spec.n_instances``.
+    """
+
+    job_id: str
+    spec: ApplicationSpec
+    workload: str
+    placement: List[str]
+
+    def __post_init__(self) -> None:
+        if len(self.placement) != self.spec.n_instances:
+            raise ValueError(
+                f"job {self.job_id}: placement has {len(self.placement)} "
+                f"servers for {self.spec.n_instances} instances"
+            )
+        if len(set(self.placement)) != len(self.placement):
+            raise ValueError(
+                f"job {self.job_id}: placement must use distinct servers "
+                "(at most one instance of a job per server)"
+            )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job in a co-run."""
+
+    job_id: str
+    workload: str
+    start_time: float
+    end_time: float
+
+    @property
+    def completion_time(self) -> float:
+        return self.end_time - self.start_time

@@ -1,0 +1,74 @@
+"""Random job placement under the paper's §8.2 constraints.
+
+"Instances of jobs are randomly distributed among servers with two
+constraints: 1) at most one instance of a given job is assigned to a
+server, and 2) each server accommodates at most 16 jobs."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+
+#: Paper's per-server job cap (§8.2, constraint 2).
+DEFAULT_MAX_JOBS_PER_SERVER = 16
+
+
+class PlacementError(ReproError):
+    """The requested placement is infeasible."""
+
+
+def random_placement(
+    instance_counts: Sequence[int],
+    servers: Sequence[str],
+    rng: random.Random,
+    max_jobs_per_server: int = DEFAULT_MAX_JOBS_PER_SERVER,
+) -> List[List[str]]:
+    """Place jobs' instances on servers.
+
+    Args:
+        instance_counts: instances required per job, in job order.
+        servers: available server names.
+        rng: source of randomness (callers seed it for reproducibility).
+        max_jobs_per_server: constraint (2) of §8.2.
+
+    Returns:
+        One server list per job (distinct servers within each job).
+
+    Strategy: for each job, shuffle the servers and take the
+    least-loaded ``n`` of them, shuffled order breaking ties.  This is
+    random but balanced enough that the paper's parameters (16 jobs of
+    up to 32 instances on 32 servers) are always feasible.
+
+    Raises:
+        PlacementError: a job needs more distinct servers than exist,
+            or the load cap leaves too few servers free.
+    """
+    n_servers = len(servers)
+    load: Dict[str, int] = {s: 0 for s in servers}
+    placements: List[List[str]] = []
+    for job_index, n_instances in enumerate(instance_counts):
+        if n_instances < 1:
+            raise PlacementError(
+                f"job {job_index}: needs at least one instance"
+            )
+        if n_instances > n_servers:
+            raise PlacementError(
+                f"job {job_index}: {n_instances} instances exceed "
+                f"{n_servers} servers (constraint 1)"
+            )
+        candidates = [s for s in servers if load[s] < max_jobs_per_server]
+        if len(candidates) < n_instances:
+            raise PlacementError(
+                f"job {job_index}: only {len(candidates)} servers below "
+                f"the {max_jobs_per_server}-job cap, need {n_instances}"
+            )
+        rng.shuffle(candidates)
+        candidates.sort(key=lambda s: load[s])
+        chosen = candidates[:n_instances]
+        for s in chosen:
+            load[s] += 1
+        placements.append(chosen)
+    return placements

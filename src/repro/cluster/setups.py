@@ -1,0 +1,117 @@
+"""Randomized cluster setups for the testbed experiments (§8.2).
+
+"We generate 500 cluster setups.  In each cluster setup, 16 jobs are
+randomly selected by drawing, with replacement, from the set of
+workloads listed in Table 1.  [...] The dataset size of each job is
+randomly selected from 0.1x, 1x, and 10x of the dataset used by the
+profiler.  The number of instances of a job is also randomly selected
+from 0.5x to 4x of the number of nodes used by the profiler (8
+nodes)."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.cluster.jobs import Job
+from repro.cluster.placement import random_placement
+from repro.workloads.catalog import CATALOG, PROFILER_NODES
+
+#: §8.2 randomization domains.
+DATASET_SCALES = (0.1, 1.0, 10.0)
+INSTANCE_MULTIPLIERS = (0.5, 1.0, 2.0, 3.0, 4.0)
+
+
+@dataclass(frozen=True)
+class JobDescriptor:
+    """One job draw within a cluster setup."""
+
+    job_id: str
+    workload: str
+    dataset_scale: float
+    n_instances: int
+
+
+@dataclass(frozen=True)
+class ClusterSetup:
+    """One randomized co-run configuration."""
+
+    setup_id: int
+    jobs: Tuple[JobDescriptor, ...]
+
+    def materialize(
+        self,
+        servers: Sequence[str],
+        rng: random.Random,
+        link_capacity: float,
+        fanout: int = 3,
+    ) -> List[Job]:
+        """Instantiate specs and place instances on ``servers``."""
+        specs = []
+        for desc in self.jobs:
+            template = CATALOG[desc.workload]
+            spec = template.instantiate(
+                dataset_scale=desc.dataset_scale,
+                n_instances=desc.n_instances,
+                link_capacity=link_capacity,
+            )
+            if fanout != spec.fanout:
+                spec = type(spec)(
+                    name=spec.name,
+                    stages=spec.stages,
+                    n_instances=spec.n_instances,
+                    fanout=fanout,
+                )
+            specs.append(spec)
+        placements = random_placement(
+            [s.n_instances for s in specs], servers, rng
+        )
+        return [
+            Job(
+                job_id=desc.job_id,
+                spec=spec,
+                workload=desc.workload,
+                placement=placement,
+            )
+            for desc, spec, placement in zip(self.jobs, specs, placements)
+        ]
+
+
+def generate_setups(
+    n_setups: int = 500,
+    jobs_per_setup: int = 16,
+    seed: int = 2023,
+    workloads: Sequence[str] = tuple(CATALOG),
+    dataset_scales: Sequence[float] = DATASET_SCALES,
+    instance_multipliers: Sequence[float] = INSTANCE_MULTIPLIERS,
+    profiler_nodes: int = PROFILER_NODES,
+    max_instances: int = 32,
+) -> Iterator[ClusterSetup]:
+    """Yield randomized cluster setups per the §8.2 recipe.
+
+    ``max_instances`` caps the instance count at the server count of
+    the testbed (constraint 1 of §8.2 requires distinct servers per
+    job, so a job can never exceed the cluster size).
+    """
+    if n_setups < 1 or jobs_per_setup < 1:
+        raise ValueError("n_setups and jobs_per_setup must be >= 1")
+    rng = random.Random(seed)
+    for setup_id in range(n_setups):
+        jobs = []
+        for j in range(jobs_per_setup):
+            workload = rng.choice(list(workloads))
+            scale = rng.choice(list(dataset_scales))
+            multiplier = rng.choice(list(instance_multipliers))
+            n_instances = max(2, min(max_instances,
+                                     round(multiplier * profiler_nodes)))
+            jobs.append(
+                JobDescriptor(
+                    job_id=f"job{j}:{workload}",
+                    workload=workload,
+                    dataset_scale=scale,
+                    n_instances=n_instances,
+                )
+            )
+        yield ClusterSetup(setup_id=setup_id, jobs=tuple(jobs))

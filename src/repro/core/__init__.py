@@ -1,0 +1,48 @@
+"""Saba: the paper's primary contribution.
+
+Pipeline:
+
+1. :mod:`repro.core.profiler` measures slowdown-vs-bandwidth samples
+   for each application ahead of time;
+2. :mod:`repro.core.sensitivity` fits Eq. 1 polynomial sensitivity
+   models and stores them in a :class:`repro.core.table.SensitivityTable`;
+3. at runtime, applications register through the
+   :class:`repro.core.library.SabaLibrary`, and
+   :class:`repro.core.controller.SabaController` solves Eq. 2 per
+   switch output port, maps applications to priority levels
+   (:func:`repro.core.clustering.kmeans`), PLs to queues
+   (:class:`repro.core.clustering.PLHierarchy`), and programs WFQ
+   weights on every port the application's connections traverse.
+"""
+
+from repro.core.sensitivity import (
+    SensitivityModel,
+    fit_sensitivity_model,
+    r_squared,
+)
+from repro.core.table import SensitivityTable
+from repro.core.profiler import OfflineProfiler, ProfileResult
+from repro.core.allocation import optimize_weights, AllocationProblem
+from repro.core.clustering import kmeans, PLHierarchy
+from repro.core.controller import SabaController
+from repro.core.distributed import MappingDatabase, DistributedControllerGroup
+from repro.core.library import SabaLibrary
+from repro.core.rpc import RpcBus
+
+__all__ = [
+    "SensitivityModel",
+    "fit_sensitivity_model",
+    "r_squared",
+    "SensitivityTable",
+    "OfflineProfiler",
+    "ProfileResult",
+    "optimize_weights",
+    "AllocationProblem",
+    "kmeans",
+    "PLHierarchy",
+    "SabaController",
+    "MappingDatabase",
+    "DistributedControllerGroup",
+    "SabaLibrary",
+    "RpcBus",
+]

@@ -1,0 +1,440 @@
+"""The Saba controller (Section 5).
+
+The controller keeps a registry of Saba-compliant applications and the
+per-port sets of connections they have open.  On every registration,
+deregistration, connection creation and connection destruction it
+
+1. re-derives the application-to-PL mapping (K-means over sensitivity
+   coefficients, Section 5.3.1) when the application set changed;
+2. rebuilds the PL hierarchy (Section 5.3.2) for PL-to-queue mapping;
+3. for each switch output port whose flow set changed, solves Eq. 2
+   over the applications present, maps their PLs to the port's queues
+   via the hierarchy, and programs the port's SL/VL-style
+   :class:`~repro.simnet.switch.QueueTable` with the summed per-queue
+   weights.
+
+The controller doubles as the fabric's allocation policy: it installs
+:class:`~repro.simnet.fairness.WFQScheduler` on every link, bound to
+the live queue tables, so a reprogrammed port takes effect at the next
+rate recomputation -- exactly how a real switch update behaves.
+
+Equation 2 solutions are memoised per multiset of application models:
+datacenter workloads churn connections far faster than the set of
+co-located applications changes, so the cache eliminates nearly all
+optimiser invocations in steady state (the Figure 12 benchmark runs
+with the cache disabled to time raw calculations).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RegistrationError
+from repro.core.allocation import DEFAULT_MIN_WEIGHT, optimize_weights
+from repro.core.clustering import PLHierarchy
+from repro.core.sensitivity import SensitivityModel
+from repro.core.table import SensitivityTable
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.fairness import LinkScheduler, WFQScheduler, fecn_collapse
+from repro.simnet.flows import Flow
+from repro.simnet.switch import NUM_PRIORITY_LEVELS
+
+#: Fraction of link capacity managed by Saba; both evaluations use
+#: 100 % ("we reserve 100% of the link capacity to be managed by
+#: Saba", Section 8.1).
+DEFAULT_C_SABA = 1.0
+
+
+@dataclass
+class ControllerStats:
+    """Observability counters for tests and the Figure 12 benchmark."""
+
+    registrations: int = 0
+    deregistrations: int = 0
+    conn_creates: int = 0
+    conn_destroys: int = 0
+    reclusterings: int = 0
+    port_allocations: int = 0
+    optimizer_calls: int = 0
+    calc_times: List[float] = field(default_factory=list)
+
+
+class SabaController:
+    """Centralized controller: registration API + fabric policy."""
+
+    name = "saba"
+
+    def __init__(
+        self,
+        table: SensitivityTable,
+        num_pls: int = NUM_PRIORITY_LEVELS,
+        c_saba: float = DEFAULT_C_SABA,
+        min_weight: float = DEFAULT_MIN_WEIGHT,
+        solver: str = "auto",
+        collapse_alpha: Optional[float] = None,
+        reserved_queue: Optional[int] = None,
+        use_weight_cache: bool = True,
+        use_group_models: bool = False,
+        seed: int = 0,
+    ) -> None:
+        """
+        Args:
+            table: profiler output (workload -> sensitivity model).
+            num_pls: priority levels supported by the network
+                (InfiniBand: 16 service levels).
+            c_saba: link-capacity share managed by Saba (Eq. 2's
+                constraint right-hand side).
+            min_weight: starvation floor per application.
+            solver: Eq. 2 solver ("auto" / "slsqp" / "kkt" / "projgrad").
+            collapse_alpha: per-queue congestion-control loss of the
+                underlying transport (see
+                :func:`repro.simnet.fairness.fecn_collapse`).  Saba
+                "does not mandate any changes to deployed
+                congestion-control protocols", so testbed comparisons
+                pass the InfiniBand baseline's alpha here; VL
+                separation then mitigates (but does not remove) the
+                collapse.  ``None`` for an ideal transport
+                (simulation studies).
+            reserved_queue: statically reserved queue index for
+                non-Saba-compliant traffic; weights leave it
+                ``1 - c_saba`` of the capacity.
+            use_weight_cache: memoise Eq. 2 per application multiset.
+            use_group_models: solve Eq. 2 with PL-group centroid models
+                instead of per-application models (the information a
+                database-driven distributed controller has).
+            seed: K-means seeding (determinism).
+        """
+        if num_pls < 1:
+            raise RegistrationError(f"num_pls must be >= 1: {num_pls}")
+        self.table = table
+        self.num_pls = num_pls
+        self.c_saba = c_saba
+        self.min_weight = min_weight
+        self.solver = solver
+        self.collapse_alpha = collapse_alpha
+        self.reserved_queue = reserved_queue
+        self.use_weight_cache = use_weight_cache
+        self.use_group_models = use_group_models
+        self._rng = random.Random(seed)
+
+        self.stats = ControllerStats()
+        self._fabric: Optional[FluidFabric] = None
+        self._apps: Dict[str, str] = {}  # job_id -> workload
+        self._pl_of: Dict[str, int] = {}  # job_id -> PL
+        self._pl_members: Dict[int, set] = {}  # PL -> job_ids
+        self._pl_models: Dict[int, SensitivityModel] = {}
+        self._hierarchy: Optional[PLHierarchy] = None
+        self._hier_pls: List[int] = []  # hierarchy row -> PL id
+        self._port_apps: Dict[str, Counter] = {}  # link_id -> job_id counts
+        self._schedulers: Dict[str, LinkScheduler] = {}
+        self._weight_cache: Dict[Tuple[str, ...], List[float]] = {}
+
+    # -- software-interface endpoints (called via the Saba library) ---------
+
+    def rpc_methods(self) -> Dict[str, object]:
+        """Endpoint map for registration on an :class:`RpcBus`."""
+        return {
+            "app_register": self.app_register,
+            "app_deregister": self.app_deregister,
+            "conn_create": self.conn_create,
+            "conn_destroy": self.conn_destroy,
+        }
+
+    def app_register(self, job_id: str, workload: str) -> int:
+        """Register an application; returns its priority level.
+
+        Raises :class:`RegistrationError` for duplicates or workloads
+        the profiler has never seen (there is no model to allocate by).
+        """
+        if job_id in self._apps:
+            raise RegistrationError(f"application {job_id!r} already registered")
+        if workload not in self.table:
+            raise RegistrationError(
+                f"workload {workload!r} has no profile; run the offline "
+                "profiler first"
+            )
+        self._apps[job_id] = workload
+        self.stats.registrations += 1
+        self._assign_pl(job_id)
+        self._reallocate_ports(self._port_apps.keys())
+        return self._pl_of[job_id]
+
+    def app_deregister(self, job_id: str) -> None:
+        if job_id not in self._apps:
+            raise RegistrationError(f"application {job_id!r} is not registered")
+        del self._apps[job_id]
+        self.stats.deregistrations += 1
+        for counter in self._port_apps.values():
+            counter.pop(job_id, None)
+        self._release_pl(job_id)
+        self._reallocate_ports(self._port_apps.keys())
+
+    def conn_create(self, job_id: str, path: Sequence[str]) -> None:
+        """Account a new connection and re-enforce its ports."""
+        if job_id not in self._apps:
+            raise RegistrationError(
+                f"connection for unregistered application {job_id!r}"
+            )
+        self.stats.conn_creates += 1
+        for link_id in path:
+            self._port_apps.setdefault(link_id, Counter())[job_id] += 1
+        self._reallocate_ports(path)
+
+    def conn_destroy(self, job_id: str, path: Sequence[str]) -> None:
+        self.stats.conn_destroys += 1
+        for link_id in path:
+            counter = self._port_apps.get(link_id)
+            if counter is None:
+                continue
+            counter[job_id] -= 1
+            if counter[job_id] <= 0:
+                del counter[job_id]
+            if not counter:
+                del self._port_apps[link_id]
+        self._reallocate_ports(path)
+
+    def pl_of(self, job_id: str) -> int:
+        try:
+            return self._pl_of[job_id]
+        except KeyError:
+            raise RegistrationError(f"{job_id!r} has no PL (not registered)") from None
+
+    # -- FabricPolicy -----------------------------------------------------------
+
+    def attach(self, fabric: FluidFabric) -> None:
+        self._fabric = fabric
+        for state in fabric.topology.link_states.values():
+            state.efficiency_fn = None
+
+    def scheduler_of(self, link_id: str) -> LinkScheduler:
+        scheduler = self._schedulers.get(link_id)
+        if scheduler is None:
+            if self._fabric is None:
+                raise RegistrationError("controller is not attached to a fabric")
+            qtable = self._fabric.topology.port_table(link_id)
+            efficiency = (
+                fecn_collapse(self.collapse_alpha)
+                if self.collapse_alpha
+                else None
+            )
+            scheduler = WFQScheduler(
+                queue_of=lambda flow, t=qtable: t.queue_of(flow.pl),
+                weight_of=lambda q, t=qtable: t.weight_of(q),
+                efficiency_fn=efficiency,
+            )
+            self._schedulers[link_id] = scheduler
+        return scheduler
+
+    def on_flow_started(self, flow: Flow) -> None:
+        """No-op: the library reports connections via conn_create."""
+
+    def on_flow_finished(self, flow: Flow) -> None:
+        """No-op: the library reports teardown via conn_destroy."""
+
+    # -- clustering --------------------------------------------------------------
+
+    def _model_of(self, job_id: str) -> SensitivityModel:
+        if self.use_group_models and self._pl_models:
+            return self._pl_models[self._pl_of[job_id]]
+        return self.table.get(self._apps[job_id])
+
+    # Section 5.3.1 asks for K-means over registered applications.  A
+    # batch re-clustering on every (de)registration would renumber
+    # PLs, but a PL is carried in the headers of *in-flight*
+    # connections (InfiniBand SLs are fixed at connection setup), so
+    # an application's PL must stay stable for its lifetime.  We
+    # therefore cluster *incrementally*: a registering application
+    # joins the PL whose centroid matches its sensitivity
+    # coefficients, gets a fresh PL while fewer than S are in use, and
+    # otherwise joins the nearest centroid -- the online equivalent of
+    # the paper's K-means grouping.
+
+    def _assign_pl(self, job_id: str) -> None:
+        model = self.table.get(self._apps[job_id])
+        degree = model.degree
+        vec = model.as_vector(degree)
+        chosen: Optional[int] = None
+        # Exact-centroid match first (same workload => same PL).
+        best_pl, best_dist = None, float("inf")
+        for pl, centroid_model in self._pl_models.items():
+            centroid = centroid_model.as_vector(degree)
+            dist = float(np.sum((centroid - vec) ** 2))
+            if dist < best_dist:
+                best_pl, best_dist = pl, dist
+        if best_pl is not None and best_dist < 1e-12:
+            chosen = best_pl
+        elif len(self._pl_members) < self.num_pls:
+            chosen = next(
+                pl for pl in range(self.num_pls) if pl not in self._pl_members
+            )
+        else:
+            chosen = best_pl
+        assert chosen is not None
+        self._pl_of[job_id] = chosen
+        self._pl_members.setdefault(chosen, set()).add(job_id)
+        self._refresh_pl_state(chosen, reference=model)
+
+    def _release_pl(self, job_id: str) -> None:
+        pl = self._pl_of.pop(job_id, None)
+        if pl is None:
+            return
+        members = self._pl_members.get(pl)
+        if members is None:
+            return
+        members.discard(job_id)
+        if not members:
+            del self._pl_members[pl]
+            self._pl_models.pop(pl, None)
+            self._rebuild_hierarchy()
+            self._weight_cache.clear()
+        else:
+            self._refresh_pl_state(pl)
+
+    def _refresh_pl_state(
+        self, pl: int, reference: Optional[SensitivityModel] = None
+    ) -> None:
+        """Recompute one PL's centroid model and rebuild the hierarchy."""
+        self.stats.reclusterings += 1
+        self._weight_cache.clear()
+        members = self._pl_members[pl]
+        models = [self.table.get(self._apps[j]) for j in sorted(members)]
+        if reference is None:
+            reference = models[0]
+        degree = max(m.degree for m in models)
+        centroid = np.mean([m.as_vector(degree) for m in models], axis=0)
+        self._pl_models[pl] = SensitivityModel(
+            name=f"pl{pl}",
+            coefficients=tuple(float(c) for c in centroid),
+            fit_domain=reference.fit_domain,
+            basis=reference.basis,
+        )
+        self._rebuild_hierarchy()
+
+    def _rebuild_hierarchy(self) -> None:
+        if not self._pl_models:
+            self._hierarchy = None
+            self._hier_pls = []
+            return
+        self._hier_pls = sorted(self._pl_models)
+        degree = max(m.degree for m in self._pl_models.values())
+        self._hierarchy = PLHierarchy(
+            np.array([
+                self._pl_models[pl].as_vector(degree) for pl in self._hier_pls
+            ])
+        )
+
+    # -- allocation ---------------------------------------------------------------
+
+    def _reallocate_ports(self, link_ids) -> None:
+        t0 = time.perf_counter()
+        for link_id in list(link_ids):
+            self._reallocate_port(link_id)
+        self.stats.calc_times.append(time.perf_counter() - t0)
+        if self._fabric is not None:
+            self._fabric.invalidate_rates()
+
+    def _reallocate_port(self, link_id: str) -> None:
+        if self._fabric is None:
+            return
+        counter = self._port_apps.get(link_id)
+        qtable = self._fabric.topology.port_table(link_id)
+        if not counter:
+            qtable.reset()
+            return
+        self.stats.port_allocations += 1
+        apps = sorted(counter)
+        assert self._hierarchy is not None
+        # Hierarchy rows are indexed by position in _hier_pls; PL ids
+        # are stable across epochs, rows are not.
+        row_of = {pl: row for row, pl in enumerate(self._hier_pls)}
+        active_pls = sorted({self._pl_of[a] for a in apps})
+        active_rows = [row_of[pl] for pl in active_pls]
+        usable = qtable.num_queues - (1 if self.reserved_queue is not None else 0)
+        _level, row_to_queue = self._hierarchy.best_clustering(
+            active_rows, max_clusters=max(1, usable)
+        )
+        pl_to_queue = {
+            pl: row_to_queue[row_of[pl]] for pl in active_pls
+        }
+        if self.reserved_queue is not None:
+            # Shift Saba's queues off the reserved index.
+            pl_to_queue = {
+                pl: q if q < self.reserved_queue else q + 1
+                for pl, q in pl_to_queue.items()
+            }
+        app_weights = self._weights_for(apps)
+        queue_weights: Dict[int, float] = {}
+        for app, weight in zip(apps, app_weights):
+            queue = pl_to_queue[self._pl_of[app]]
+            queue_weights[queue] = queue_weights.get(queue, 0.0) + weight
+        if self.reserved_queue is not None:
+            queue_weights[self.reserved_queue] = max(0.0, 1.0 - self.c_saba)
+        qtable.program(pl_to_queue, queue_weights)
+        if self.reserved_queue is not None:
+            qtable.default_queue = self.reserved_queue
+
+    def _weights_for(self, apps: Sequence[str]) -> List[float]:
+        """Eq. 2 over the applications at one port (cached)."""
+        models = [self._model_of(a) for a in apps]
+        order = sorted(range(len(apps)), key=lambda i: models[i].name)
+        key = tuple(models[i].name for i in order)
+        weights_sorted = self._weight_cache.get(key) if self.use_weight_cache else None
+        if weights_sorted is None:
+            self.stats.optimizer_calls += 1
+            weights_sorted = optimize_weights(
+                [models[i] for i in order],
+                total=self.c_saba,
+                min_weight=min(self.min_weight, self.c_saba / (2 * len(apps))),
+                solver=self.solver,
+            )
+            if self.use_weight_cache:
+                self._weight_cache[key] = weights_sorted
+        weights = [0.0] * len(apps)
+        for rank, i in enumerate(order):
+            weights[i] = weights_sorted[rank]
+        return weights
+
+    # -- observability ------------------------------------------------------------
+
+    def describe_port(self, link_id: str) -> Dict[str, object]:
+        """Operator view of one port: who sends there, the PL-to-queue
+        mapping in force, and the programmed weights."""
+        if self._fabric is None:
+            raise RegistrationError("controller is not attached to a fabric")
+        qtable = self._fabric.topology.port_table(link_id)
+        counter = self._port_apps.get(link_id, {})
+        apps = sorted(counter)
+        return {
+            "link": link_id,
+            "applications": {
+                app: {
+                    "workload": self._apps.get(app),
+                    "pl": self._pl_of.get(app),
+                    "connections": counter[app],
+                    "queue": qtable.queue_of(self._pl_of.get(app)),
+                }
+                for app in apps
+            },
+            "weights": qtable.weights,
+            "generation": qtable.generation,
+        }
+
+    # -- benchmarking support ---------------------------------------------------
+
+    def recompute_all_ports(self) -> float:
+        """Recompute every known port's allocation; returns seconds.
+
+        Used by the Figure 12 benchmark: "the time the controller takes
+        to compute the bandwidth share of applications for all
+        switches".
+        """
+        t0 = time.perf_counter()
+        for link_id in list(self._port_apps):
+            self._reallocate_port(link_id)
+        return time.perf_counter() - t0

@@ -1,0 +1,312 @@
+"""The distributed controller design (Section 5.4).
+
+"Eq 2 indicates that the bandwidth calculation for applications on a
+given output port is independent of other switches, presenting an
+opportunity to distribute the controller's logic.  In such a
+distributed design, each controller is responsible for a group of
+switches [...] the controllers fetch the application-to-PL mapping and
+the PL clusters from a database."
+
+Two components:
+
+* :class:`MappingDatabase` -- built *offline by the profiler* over the
+  full sensitivity table: K-means of every profiled workload into the
+  network's S priority levels plus the PL hierarchy.  Because the
+  mapping is static (not re-clustered per active application set) and
+  controllers only know PL-centroid sensitivities, allocations are
+  slightly coarser than the centralized controller's -- the ~4 %
+  performance gap of Figure 11a.
+* :class:`DistributedControllerGroup` -- partitions switches among N
+  controller shards.  The Saba library informs the shard owning the
+  first switch on a connection's path; that shard configures its own
+  ports and forwards the announcement to the shard owning the next
+  switch, and so on (``stats.forwards`` counts the extra control-plane
+  hops).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RegistrationError
+from repro.core.allocation import DEFAULT_MIN_WEIGHT, optimize_weights
+from repro.core.clustering import PLHierarchy, kmeans
+from repro.core.controller import DEFAULT_C_SABA
+from repro.core.sensitivity import SensitivityModel
+from repro.core.table import SensitivityTable
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.fairness import LinkScheduler, WFQScheduler, fecn_collapse
+from repro.simnet.flows import Flow
+from repro.simnet.switch import NUM_PRIORITY_LEVELS
+
+
+class MappingDatabase:
+    """Offline application-to-PL mapping and PL hierarchy."""
+
+    def __init__(
+        self,
+        table: SensitivityTable,
+        num_pls: int = NUM_PRIORITY_LEVELS,
+        seed: int = 0,
+    ) -> None:
+        if len(table) == 0:
+            raise RegistrationError("cannot build a database from an empty table")
+        self.table = table
+        names = table.names()
+        models = [table.get(n) for n in names]
+        degree = max(m.degree for m in models)
+        points = np.array([m.as_vector(degree) for m in models])
+        labels, centroids = kmeans(points, num_pls, rng=random.Random(seed))
+        dense = {pl: i for i, pl in enumerate(sorted(set(labels)))}
+        self._pl_of_workload = {
+            name: dense[labels[i]] for i, name in enumerate(names)
+        }
+        self.pl_models: Dict[int, SensitivityModel] = {
+            dense[pl]: SensitivityModel(
+                name=f"pl{dense[pl]}",
+                coefficients=tuple(float(c) for c in centroids[pl]),
+                fit_domain=models[0].fit_domain,
+                basis=models[0].basis,
+            )
+            for pl in sorted(set(labels))
+        }
+        self.hierarchy = PLHierarchy(
+            np.array([
+                self.pl_models[i].as_vector(degree)
+                for i in range(len(self.pl_models))
+            ])
+        )
+
+    def pl_of(self, workload: str) -> int:
+        try:
+            return self._pl_of_workload[workload]
+        except KeyError:
+            raise RegistrationError(
+                f"workload {workload!r} is not in the mapping database"
+            ) from None
+
+    def replicate(self) -> "MappingDatabase":
+        """A replica (the design co-locates one with each controller)."""
+        replica = object.__new__(MappingDatabase)
+        replica.table = self.table
+        replica._pl_of_workload = dict(self._pl_of_workload)
+        replica.pl_models = dict(self.pl_models)
+        replica.hierarchy = self.hierarchy
+        return replica
+
+
+@dataclass
+class DistributedStats:
+    """Control-plane accounting across all shards."""
+
+    registrations: int = 0
+    conn_creates: int = 0
+    conn_destroys: int = 0
+    forwards: int = 0
+    port_allocations: int = 0
+    per_shard_messages: Counter = field(default_factory=Counter)
+
+
+class _ControllerShard:
+    """One controller instance owning a subset of switches."""
+
+    def __init__(self, shard_id: int, db: MappingDatabase) -> None:
+        self.shard_id = shard_id
+        self.db = db
+        self.port_apps: Dict[str, Counter] = {}
+
+
+class DistributedControllerGroup:
+    """N controller shards + replicated mapping database.
+
+    Satisfies both the fabric-policy protocol and the controller RPC
+    surface, so the Saba library works with it unchanged.
+    """
+
+    name = "saba-distributed"
+
+    def __init__(
+        self,
+        db: MappingDatabase,
+        n_shards: int = 4,
+        c_saba: float = DEFAULT_C_SABA,
+        min_weight: float = DEFAULT_MIN_WEIGHT,
+        solver: str = "auto",
+        collapse_alpha: Optional[float] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise RegistrationError(f"n_shards must be >= 1: {n_shards}")
+        self.db = db
+        self.n_shards = n_shards
+        self.c_saba = c_saba
+        self.min_weight = min_weight
+        self.solver = solver
+        self.collapse_alpha = collapse_alpha
+        self.stats = DistributedStats()
+        self._shards = [
+            _ControllerShard(i, db.replicate()) for i in range(n_shards)
+        ]
+        self._owner_of_switch: Dict[str, int] = {}
+        self._apps: Dict[str, str] = {}
+        self._fabric: Optional[FluidFabric] = None
+        self._schedulers: Dict[str, LinkScheduler] = {}
+        self._weight_cache: Dict[Tuple[int, ...], List[float]] = {}
+
+    # -- controller RPC surface --------------------------------------------------
+
+    def rpc_methods(self) -> Dict[str, object]:
+        return {
+            "app_register": self.app_register,
+            "app_deregister": self.app_deregister,
+            "conn_create": self.conn_create,
+            "conn_destroy": self.conn_destroy,
+        }
+
+    def app_register(self, job_id: str, workload: str) -> int:
+        """PL lookup is a database read -- no global re-clustering."""
+        if job_id in self._apps:
+            raise RegistrationError(f"application {job_id!r} already registered")
+        pl = self.db.pl_of(workload)
+        self._apps[job_id] = workload
+        self.stats.registrations += 1
+        return pl
+
+    def app_deregister(self, job_id: str) -> None:
+        if job_id not in self._apps:
+            raise RegistrationError(f"application {job_id!r} is not registered")
+        del self._apps[job_id]
+        for shard in self._shards:
+            for counter in shard.port_apps.values():
+                counter.pop(job_id, None)
+
+    def conn_create(self, job_id: str, path: Sequence[str]) -> None:
+        if job_id not in self._apps:
+            raise RegistrationError(
+                f"connection for unregistered application {job_id!r}"
+            )
+        self.stats.conn_creates += 1
+        self._walk_path(path, job_id, delta=+1)
+
+    def conn_destroy(self, job_id: str, path: Sequence[str]) -> None:
+        self.stats.conn_destroys += 1
+        self._walk_path(path, job_id, delta=-1)
+
+    def _walk_path(self, path: Sequence[str], job_id: str, delta: int) -> None:
+        """Hop from shard to shard along the path (Section 5.4)."""
+        previous_shard: Optional[int] = None
+        for link_id in path:
+            shard_id = self._shard_of_link(link_id)
+            shard = self._shards[shard_id]
+            if previous_shard is not None and shard_id != previous_shard:
+                self.stats.forwards += 1
+            previous_shard = shard_id
+            self.stats.per_shard_messages[shard_id] += 1
+            counter = shard.port_apps.setdefault(link_id, Counter())
+            counter[job_id] += delta
+            if counter[job_id] <= 0:
+                del counter[job_id]
+            if not counter:
+                del shard.port_apps[link_id]
+                self._reset_port(link_id)
+            else:
+                self._reallocate_port(shard, link_id)
+        if self._fabric is not None:
+            self._fabric.invalidate_rates()
+
+    def _shard_of_link(self, link_id: str) -> int:
+        if self._fabric is None:
+            raise RegistrationError("controller group is not attached")
+        link = self._fabric.topology.link(link_id)
+        owner = self._owner_of_switch.get(link.src)
+        if owner is None:
+            # Server NIC ports are managed by the shard of the first
+            # switch they feed.
+            owner = self._owner_of_switch.get(link.dst, 0)
+        return owner
+
+    # -- allocation ------------------------------------------------------------------
+
+    def _reset_port(self, link_id: str) -> None:
+        if self._fabric is not None:
+            self._fabric.topology.port_table(link_id).reset()
+
+    def _reallocate_port(self, shard: _ControllerShard, link_id: str) -> None:
+        if self._fabric is None:
+            return
+        counter = shard.port_apps.get(link_id)
+        if not counter:
+            self._reset_port(link_id)
+            return
+        self.stats.port_allocations += 1
+        qtable = self._fabric.topology.port_table(link_id)
+        apps = sorted(counter)
+        pls = [shard.db.pl_of(self._apps[a]) for a in apps]
+        active_pls = sorted(set(pls))
+        _level, pl_to_queue = shard.db.hierarchy.best_clustering(
+            active_pls, max_clusters=qtable.num_queues
+        )
+        weights = self._weights_for(pls)
+        queue_weights: Dict[int, float] = {}
+        for pl, weight in zip(pls, weights):
+            queue = pl_to_queue[pl]
+            queue_weights[queue] = queue_weights.get(queue, 0.0) + weight
+        qtable.program(pl_to_queue, queue_weights)
+
+    def _weights_for(self, pls: Sequence[int]) -> List[float]:
+        """Eq. 2 over PL-centroid models (the database's knowledge)."""
+        order = sorted(range(len(pls)), key=lambda i: pls[i])
+        key = tuple(pls[i] for i in order)
+        weights_sorted = self._weight_cache.get(key)
+        if weights_sorted is None:
+            models = [self.db.pl_models[pls[i]] for i in order]
+            weights_sorted = optimize_weights(
+                models,
+                total=self.c_saba,
+                min_weight=min(self.min_weight, self.c_saba / (2 * len(pls))),
+                solver=self.solver,
+            )
+            self._weight_cache[key] = weights_sorted
+        weights = [0.0] * len(pls)
+        for rank, i in enumerate(order):
+            weights[i] = weights_sorted[rank]
+        return weights
+
+    # -- FabricPolicy -----------------------------------------------------------------
+
+    def attach(self, fabric: FluidFabric) -> None:
+        self._fabric = fabric
+        switches = sorted(fabric.topology.switches)
+        for i, switch in enumerate(switches):
+            self._owner_of_switch[switch] = i % self.n_shards
+        for state in fabric.topology.link_states.values():
+            state.efficiency_fn = None
+
+    def scheduler_of(self, link_id: str) -> LinkScheduler:
+        scheduler = self._schedulers.get(link_id)
+        if scheduler is None:
+            if self._fabric is None:
+                raise RegistrationError("controller group is not attached")
+            qtable = self._fabric.topology.port_table(link_id)
+            efficiency = (
+                fecn_collapse(self.collapse_alpha)
+                if self.collapse_alpha
+                else None
+            )
+            scheduler = WFQScheduler(
+                queue_of=lambda flow, t=qtable: t.queue_of(flow.pl),
+                weight_of=lambda q, t=qtable: t.weight_of(q),
+                efficiency_fn=efficiency,
+            )
+            self._schedulers[link_id] = scheduler
+        return scheduler
+
+    def on_flow_started(self, flow: Flow) -> None:  # noqa: D102
+        pass
+
+    def on_flow_finished(self, flow: Flow) -> None:  # noqa: D102
+        pass

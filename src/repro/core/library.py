@@ -1,0 +1,204 @@
+"""The Saba library: connection manager + software interface (Section 6).
+
+Applications that wish to be Saba-compliant register through this
+library and open every connection through it.  The library implements
+the interaction diagram of Figure 7:
+
+* ``saba_app_register``   -> controller assigns a PL (1)-(3);
+* ``saba_conn_create``    -> the connection manager creates the flow
+  carrying the PL and informs the controller, which re-allocates and
+  re-enforces the switches on the path (4)-(7);
+* ``saba_conn_destroy``   -> implicit on flow completion here (the
+  fluid model has no half-open connections); triggers a new
+  allocation (8)-(11);
+* ``saba_app_deregister`` -> (12)-(13).
+
+The library also satisfies the cluster runtime's
+:class:`~repro.cluster.runtime.ConnectionAPI`, so materialised jobs
+become Saba-compliant simply by constructing their executor with
+``connections_factory=SabaLibrary.factory(controller)`` -- matching
+the paper's claim that "the individual workloads required no
+modification to support Saba" (the framework shim does the work).
+
+All control-plane traffic goes through an :class:`RpcBus` ("the
+connection manager uses RPC operations for all control-plane
+activities", Section 7.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import RegistrationError
+from repro.cluster.jobs import Job
+from repro.core.controller import SabaController
+from repro.core.rpc import RpcBus
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.flows import Flow
+
+CONTROLLER_ENDPOINT = "controller"
+
+
+class SabaLibrary:
+    """Per-fabric connection manager + software interface."""
+
+    def __init__(
+        self,
+        fabric: FluidFabric,
+        controller: SabaController,
+        bus: Optional[RpcBus] = None,
+        multipath: bool = False,
+        fail_open: bool = False,
+    ) -> None:
+        """``multipath`` announces *every* equal-cost path of a new
+        connection to the controller, not just the one its flow takes:
+        "If the underlying network layer supports multipathing, the
+        controller determines switches along all paths between the
+        source and destination" (Section 5, footnote 2).  Ports on
+        alternate paths are then weighted before any traffic shifts
+        onto them.
+
+        ``fail_open`` makes the connection manager tolerate a dead
+        controller: Saba's data plane is just switch queue state, so
+        when the control plane is unreachable (the §5.4 single point
+        of failure), connections proceed under the last-programmed
+        weights instead of erroring.  Registration-time failures leave
+        the application unmanaged (PL ``None`` -> the port's default
+        queue), matching the non-compliant co-existence path."""
+        self._fabric = fabric
+        self._bus = bus if bus is not None else RpcBus()
+        self._multipath = multipath
+        self._fail_open = fail_open
+        self.dropped_control_messages = 0
+        if not self._bus.has_endpoint(CONTROLLER_ENDPOINT):
+            self._bus.register(CONTROLLER_ENDPOINT, controller.rpc_methods())
+        self._pl_of: Dict[str, Optional[int]] = {}
+
+    def _call_controller(self, method: str, **kwargs):
+        """One control-plane RPC, honouring ``fail_open``."""
+        from repro.core.rpc import RpcError
+
+        try:
+            return self._bus.call(CONTROLLER_ENDPOINT, method, **kwargs)
+        except RpcError:
+            if not self._fail_open:
+                raise
+            self.dropped_control_messages += 1
+            return None
+
+    @classmethod
+    def factory(
+        cls,
+        controller: SabaController,
+        bus: Optional[RpcBus] = None,
+        multipath: bool = False,
+    ) -> Callable[[FluidFabric], "SabaLibrary"]:
+        """Connections-factory for :class:`CoRunExecutor`."""
+        return lambda fabric: cls(fabric, controller, bus=bus,
+                                  multipath=multipath)
+
+    @property
+    def bus(self) -> RpcBus:
+        return self._bus
+
+    # -- software interface ----------------------------------------------------
+
+    def saba_app_register(
+        self, job_id: str, workload: str
+    ) -> Optional[int]:
+        """Register the application; caches and returns its PL
+        (``None`` when a fail-open registration could not reach the
+        controller -- the application runs unmanaged)."""
+        if job_id in self._pl_of:
+            raise RegistrationError(f"{job_id!r} already registered")
+        pl = self._call_controller(
+            "app_register", job_id=job_id, workload=workload
+        )
+        self._pl_of[job_id] = pl
+        return pl
+
+    def saba_app_deregister(self, job_id: str) -> None:
+        if job_id not in self._pl_of:
+            raise RegistrationError(f"{job_id!r} is not registered")
+        if self._pl_of[job_id] is not None:
+            self._call_controller("app_deregister", job_id=job_id)
+        del self._pl_of[job_id]
+
+    def saba_conn_create(
+        self,
+        job_id: str,
+        src: str,
+        dst: str,
+        size: float,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+        coflow: Optional[str] = None,
+        rate_cap: Optional[float] = None,
+        aux_rate: float = 0.0,
+    ) -> Flow:
+        """Create a connection carrying the application's PL.
+
+        The PL was acquired at registration, so "setting up the
+        connection does not introduce any additional overhead"
+        (Section 6) -- no extra round trip happens here beyond the
+        path announcement.
+        """
+        if job_id not in self._pl_of:
+            raise RegistrationError(
+                f"{job_id!r} must register before creating connections"
+            )
+        pl = self._pl_of[job_id]  # None = unmanaged (fail-open register)
+        flow = Flow(src=src, dst=dst, size=size, app=job_id, pl=pl,
+                    coflow=coflow, rate_cap=rate_cap, aux_rate=aux_rate)
+        flow.path = tuple(
+            self._fabric.router.path_for_flow(src, dst, flow.flow_id)
+        )
+        if self._multipath:
+            announced = sorted(
+                {
+                    lid
+                    for path in self._fabric.router.equal_cost_paths(src, dst)
+                    for lid in path
+                }
+            )
+        else:
+            announced = list(flow.path)
+
+        managed = pl is not None
+
+        def _teardown(done_flow: Flow) -> None:
+            if managed:
+                self._call_controller(
+                    "conn_destroy", job_id=job_id, path=announced
+                )
+            if on_complete is not None:
+                on_complete(done_flow)
+
+        if managed:
+            self._call_controller(
+                "conn_create", job_id=job_id, path=announced
+            )
+        return self._fabric.start_flow(flow, on_complete=_teardown)
+
+    # -- ConnectionAPI (cluster runtime integration) ------------------------------
+
+    def create(
+        self,
+        job_id: str,
+        src: str,
+        dst: str,
+        size: float,
+        on_complete: Callable[[Flow], None],
+        coflow: Optional[str] = None,
+        rate_cap: Optional[float] = None,
+        aux_rate: float = 0.0,
+    ) -> Flow:
+        return self.saba_conn_create(
+            job_id, src, dst, size, on_complete=on_complete, coflow=coflow,
+            rate_cap=rate_cap, aux_rate=aux_rate,
+        )
+
+    def job_started(self, job: Job) -> None:
+        self.saba_app_register(job.job_id, job.workload)
+
+    def job_finished(self, job: Job) -> None:
+        self.saba_app_deregister(job.job_id)

@@ -1,0 +1,177 @@
+"""The offline profiler (Section 4).
+
+"Saba's offline profiler performs ahead-of-time profiling on
+applications to measure their bandwidth sensitivity based on the
+performance degradation caused by limited network bandwidth."
+
+The profiling loop (Section 4.1, Figure 4):
+
+1. deploy the application on a dedicated pod (8 servers behind one
+   switch in the paper's methodology);
+2. run it once per bandwidth fraction in ``BW = {b_1 .. b_n}``
+   (Section 7.1: 5/10/25/50/75/90/100 %), each time rate-limiting
+   every node's NIC to that fraction of link capacity;
+3. convert completion times to slowdowns versus the unthrottled run;
+4. least-squares fit the Eq. 1 polynomial and record the coefficients
+   in the sensitivity table.
+
+Measurements can come from the event-driven simulator (the default --
+the exact code path runtime jobs use) or from the closed-form
+stage model (``method="analytic"``) when sweeping many configurations
+in benchmarks; the test suite pins both to agree.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ProfilingError
+from repro.baselines.maxmin import IdealMaxMin
+from repro.cluster.jobs import Job
+from repro.cluster.runtime import CoRunExecutor
+from repro.core.sensitivity import (
+    PROFILE_FRACTIONS,
+    SensitivityModel,
+    fit_sensitivity_model,
+)
+from repro.core.table import SensitivityTable
+from repro.simnet.topology import single_switch
+from repro.units import GBPS_56
+from repro.workloads.catalog import PROFILER_NODES, WorkloadTemplate
+from repro.workloads.model import ApplicationSpec
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Everything the profiler learned about one application."""
+
+    workload: str
+    samples: Tuple[Tuple[float, float], ...]
+    model: SensitivityModel
+    completion_times: Tuple[Tuple[float, float], ...]
+    wall_time: float
+
+    def slowdown_at(self, fraction: float) -> float:
+        """Measured slowdown at a profiled fraction."""
+        for b, d in self.samples:
+            if abs(b - fraction) < 1e-9:
+                return d
+        raise ProfilingError(f"fraction {fraction} was not profiled")
+
+
+class OfflineProfiler:
+    """Sweeps bandwidth caps and fits sensitivity models."""
+
+    def __init__(
+        self,
+        fractions: Sequence[float] = PROFILE_FRACTIONS,
+        degree: int = 3,
+        n_nodes: int = PROFILER_NODES,
+        link_capacity: float = GBPS_56,
+        method: str = "simulate",
+    ) -> None:
+        if not fractions:
+            raise ProfilingError("need at least one bandwidth fraction")
+        fractions = tuple(sorted(set(float(f) for f in fractions)))
+        for f in fractions:
+            if not 0.0 < f <= 1.0:
+                raise ProfilingError(f"fraction {f} outside (0, 1]")
+        if 1.0 not in fractions:
+            # Slowdown is defined relative to the unthrottled run.
+            fractions = fractions + (1.0,)
+        if method not in ("simulate", "analytic"):
+            raise ProfilingError(f"unknown method {method!r}")
+        self.fractions = fractions
+        self.degree = degree
+        self.n_nodes = n_nodes
+        self.link_capacity = link_capacity
+        self.method = method
+
+    # -- measurement -------------------------------------------------------
+
+    def measure_completion_time(
+        self, spec: ApplicationSpec, fraction: float
+    ) -> float:
+        """Run ``spec`` in isolation with NICs capped at ``fraction``."""
+        if self.method == "analytic":
+            return spec.analytic_completion_time(fraction, self.link_capacity)
+        topo = single_switch(spec.n_instances, capacity=self.link_capacity,
+                             name="profiler-pod")
+        servers = topo.servers[: spec.n_instances]
+        topo.set_uniform_throttle(servers, fraction)
+        executor = CoRunExecutor(topo, policy=IdealMaxMin())
+        job = Job(
+            job_id=f"profile:{spec.name}",
+            spec=spec,
+            workload=spec.name,
+            placement=list(servers),
+        )
+        results = executor.run([job])
+        return results[job.job_id].completion_time
+
+    def measure_samples(
+        self, spec: ApplicationSpec
+    ) -> Tuple[List[Tuple[float, float]], List[Tuple[float, float]]]:
+        """Sweep all fractions; returns (samples, completion_times)."""
+        times = [
+            (f, self.measure_completion_time(spec, f)) for f in self.fractions
+        ]
+        baseline = dict(times)[1.0]
+        if baseline <= 0:
+            raise ProfilingError(
+                f"{spec.name}: zero completion time at full bandwidth"
+            )
+        samples = [(f, t / baseline) for f, t in times]
+        return samples, times
+
+    # -- profiling ------------------------------------------------------------
+
+    def profile_spec(self, spec: ApplicationSpec) -> ProfileResult:
+        """Profile a concrete application spec."""
+        t0 = time.perf_counter()
+        samples, times = self.measure_samples(spec)
+        model = fit_sensitivity_model(spec.name, samples, degree=self.degree)
+        return ProfileResult(
+            workload=spec.name,
+            samples=tuple(samples),
+            model=model,
+            completion_times=tuple(times),
+            wall_time=time.perf_counter() - t0,
+        )
+
+    def profile(
+        self,
+        template: WorkloadTemplate,
+        dataset_scale: float = 1.0,
+        n_instances: Optional[int] = None,
+    ) -> ProfileResult:
+        """Profile a catalog workload at the profiler's reference shape."""
+        spec = template.instantiate(
+            dataset_scale=dataset_scale,
+            n_instances=n_instances if n_instances is not None else self.n_nodes,
+            link_capacity=self.link_capacity,
+        )
+        return self.profile_spec(spec)
+
+    def build_table(
+        self, templates: Iterable[WorkloadTemplate]
+    ) -> SensitivityTable:
+        """Profile every template and assemble the sensitivity table."""
+        table = SensitivityTable()
+        for template in templates:
+            table.add(self.profile(template).model)
+        return table
+
+    def profiling_cost(self, result: ProfileResult) -> float:
+        """Total machine-time cost of one profiling campaign, in
+        node-seconds: each of the n throttled runs occupies the whole
+        dedicated pod for its completion time.
+
+        The paper limits profiling cost by capping the pod size and
+        reusing models across dataset sizes and node counts (Section
+        4.2); this quantifies what that saves.
+        """
+        total_run_seconds = sum(t for _, t in result.completion_times)
+        return total_run_seconds * self.n_nodes

@@ -1,0 +1,58 @@
+"""In-process RPC bus for control-plane traffic.
+
+The paper's connection manager "uses RPC operations for all
+control-plane activities" (Section 7.3).  Within the simulator the
+same structure is kept -- the Saba library never touches controller
+state directly; every interaction is a named call through this bus --
+so the message flow of Figure 7 is observable: tests assert on call
+counts, and the distributed-controller experiment counts forwarding
+hops.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Dict
+
+from repro.errors import ReproError
+
+
+class RpcError(ReproError):
+    """Unknown target or method, or a handler raised."""
+
+
+class RpcBus:
+    """A synchronous, named-endpoint message bus."""
+
+    def __init__(self) -> None:
+        self._endpoints: Dict[str, Dict[str, Callable[..., Any]]] = {}
+        self.call_counts: Counter = Counter()
+
+    def register(self, target: str, methods: Dict[str, Callable[..., Any]]) -> None:
+        """Expose ``methods`` under endpoint name ``target``."""
+        if target in self._endpoints:
+            raise RpcError(f"endpoint {target!r} already registered")
+        self._endpoints[target] = dict(methods)
+
+    def unregister(self, target: str) -> None:
+        self._endpoints.pop(target, None)
+
+    def has_endpoint(self, target: str) -> bool:
+        return target in self._endpoints
+
+    def call(self, target: str, method: str, **kwargs: Any) -> Any:
+        """Invoke ``method`` on ``target``; returns its result."""
+        endpoint = self._endpoints.get(target)
+        if endpoint is None:
+            raise RpcError(f"no endpoint {target!r}")
+        handler = endpoint.get(method)
+        if handler is None:
+            raise RpcError(f"endpoint {target!r} has no method {method!r}")
+        self.call_counts[(target, method)] += 1
+        return handler(**kwargs)
+
+    def calls_to(self, target: str) -> int:
+        """Total calls delivered to ``target`` (all methods)."""
+        return sum(
+            count for (t, _m), count in self.call_counts.items() if t == target
+        )

@@ -1,0 +1,42 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each module exposes ``run_*`` functions returning plain dataclasses /
+dicts with the same rows or series the paper reports, so the
+``benchmarks/`` tree (and the examples) can print paper-style output.
+Scale parameters default to CI-friendly values where noted; pass the
+paper's numbers (500 setups, 1,944 servers, 30,000 scenarios, ...)
+for a full-scale run.
+
+Experiment index (see DESIGN.md section 4 for the full mapping):
+
+====== =====================================================
+Figure Harness
+====== =====================================================
+1a     :func:`repro.experiments.fig1.run_fig1a`
+1b     :func:`repro.experiments.fig1.run_fig1b`
+2      :func:`repro.experiments.fig2.run_fig2`
+5      :func:`repro.experiments.fig5_fig6.run_fig5`
+6a-c   :func:`repro.experiments.fig5_fig6.run_fig6a` (b, c)
+8a/8b  :func:`repro.experiments.fig8.run_fig8`
+9a-c   :func:`repro.experiments.fig9.run_fig9a` (b, c)
+10     :func:`repro.experiments.fig10_fig11.run_fig10`
+11a    :func:`repro.experiments.fig10_fig11.run_fig11a`
+11b    :func:`repro.experiments.fig10_fig11.run_fig11b`
+12     :func:`repro.experiments.fig12.run_fig12`
+====== =====================================================
+"""
+
+from repro.experiments import common
+from repro.experiments import fig1, fig2, fig5_fig6, fig8, fig9
+from repro.experiments import fig10_fig11, fig12
+
+__all__ = [
+    "common",
+    "fig1",
+    "fig2",
+    "fig5_fig6",
+    "fig8",
+    "fig9",
+    "fig10_fig11",
+    "fig12",
+]

@@ -1,0 +1,141 @@
+"""Shared plumbing for the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA, InfiniBandBaseline
+from repro.baselines.maxmin import IdealMaxMin
+from repro.cluster.jobs import Job, JobResult
+from repro.cluster.runtime import CoRunExecutor
+from repro.core.controller import SabaController
+from repro.core.library import SabaLibrary
+from repro.core.profiler import OfflineProfiler
+from repro.core.table import SensitivityTable
+from repro.simnet.topology import Topology, single_switch
+from repro.units import GBPS_56
+from repro.workloads.catalog import CATALOG, PROFILER_NODES
+
+
+#: Completion-batching quantum for the co-run experiments (simulated
+#: seconds).  Stage durations are tens of seconds, so the bounded
+#: per-completion error stays below ~1-2 % while a stage's staggered
+#: flow completions cost a handful of rate recomputations instead of
+#: hundreds.
+EXPERIMENT_QUANTUM = 0.1
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean ("the average speedup reports the geometric mean
+    of the results", Section 8.1)."""
+    if not values:
+        raise ValueError("geomean of no values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def build_catalog_table(
+    degree: int = 3,
+    method: str = "simulate",
+    workloads: Optional[Iterable[str]] = None,
+) -> SensitivityTable:
+    """Profile the Table-1 workloads (k=3 by default, as in §8.2)."""
+    profiler = OfflineProfiler(degree=degree, method=method)
+    names = list(workloads) if workloads is not None else list(CATALOG)
+    return profiler.build_table([CATALOG[n] for n in names])
+
+
+def standalone_times(
+    workloads: Iterable[str],
+    n_instances: int = PROFILER_NODES,
+    link_capacity: float = GBPS_56,
+) -> Dict[str, float]:
+    """Unthrottled isolated completion time per workload (testbed
+    baseline network, used as the slowdown denominator)."""
+    times: Dict[str, float] = {}
+    for name in workloads:
+        topo = single_switch(max(2, n_instances), capacity=link_capacity)
+        spec = CATALOG[name].instantiate(
+            n_instances=n_instances, link_capacity=link_capacity
+        )
+        job = Job("solo", spec, name, topo.servers[:n_instances])
+        executor = CoRunExecutor(topo, policy=InfiniBandBaseline())
+        times[name] = executor.run([job])["solo"].completion_time
+    return times
+
+
+def make_policy(
+    name: str,
+    table: Optional[SensitivityTable] = None,
+    collapse_alpha: Optional[float] = DEFAULT_COLLAPSE_ALPHA,
+    **controller_kwargs,
+):
+    """Build ``(policy, connections_factory)`` for a policy name.
+
+    ``name`` is one of ``"baseline"`` (InfiniBand FECN), ``"ideal"``
+    (ideal max-min), or ``"saba"`` (needs ``table``).  Testbed-style
+    comparisons keep ``collapse_alpha`` so Saba runs on the same
+    congestion-control substrate as the baseline; pass ``None`` for
+    the idealized simulation studies.
+    """
+    if name == "baseline":
+        return InfiniBandBaseline(
+            collapse_alpha=collapse_alpha if collapse_alpha else 0.0
+        ), None
+    if name == "ideal":
+        return IdealMaxMin(), None
+    if name == "saba":
+        if table is None:
+            raise ValueError("saba policy needs a sensitivity table")
+        controller = SabaController(
+            table, collapse_alpha=collapse_alpha, **controller_kwargs
+        )
+        return controller, SabaLibrary.factory(controller)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def run_jobs(
+    topology: Topology,
+    jobs: Sequence[Job],
+    policy,
+    connections_factory=None,
+    recorder=None,
+) -> Dict[str, JobResult]:
+    """Run one co-run to completion."""
+    executor = CoRunExecutor(
+        topology,
+        policy=policy,
+        connections_factory=connections_factory,
+        recorder=recorder,
+        completion_quantum=EXPERIMENT_QUANTUM,
+    )
+    return executor.run(jobs)
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Per-job and aggregate speedups of one policy over another."""
+
+    per_job: Dict[str, float]
+    per_workload: Dict[str, List[float]]
+
+    @property
+    def average(self) -> float:
+        return geomean(list(self.per_job.values()))
+
+    def workload_average(self, workload: str) -> float:
+        return geomean(self.per_workload[workload])
+
+
+def speedup_report(
+    baseline: Mapping[str, JobResult], other: Mapping[str, JobResult]
+) -> SpeedupReport:
+    """Speedup of ``other`` over ``baseline`` per job (>1 = faster)."""
+    per_job: Dict[str, float] = {}
+    per_workload: Dict[str, List[float]] = {}
+    for job_id, base in baseline.items():
+        sp = base.completion_time / other[job_id].completion_time
+        per_job[job_id] = sp
+        per_workload.setdefault(base.workload, []).append(sp)
+    return SpeedupReport(per_job=per_job, per_workload=per_workload)

@@ -1,0 +1,146 @@
+"""Figure 1: the motivation experiments (Section 2).
+
+* :func:`run_fig1a` -- slowdown of each Table-1 workload at 75 % and
+  25 % of link bandwidth, profiled in isolation on an 8-server pod.
+* :func:`run_fig1b` -- LR and PR co-running under (1) per-flow max-min
+  (the InfiniBand baseline) and (2) the *skewed* allocation that gives
+  LR 75 % and PR 25 % of every port, implemented with two statically
+  weighted queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA, InfiniBandBaseline
+from repro.cluster.jobs import Job
+from repro.cluster.runtime import CoRunExecutor
+from repro.core.profiler import OfflineProfiler
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.fairness import LinkScheduler, WFQScheduler, fecn_collapse
+from repro.simnet.flows import Flow
+from repro.simnet.topology import single_switch
+from repro.workloads.catalog import CATALOG, PROFILER_NODES
+
+
+def run_fig1a(
+    fractions: Sequence[float] = (0.75, 0.25),
+    method: str = "simulate",
+) -> Dict[str, Dict[float, float]]:
+    """Slowdown per workload per bandwidth fraction (Figure 1a).
+
+    Returns ``{workload: {fraction: slowdown}}``.
+    """
+    profiler = OfflineProfiler(fractions=fractions, method=method, degree=1)
+    rows: Dict[str, Dict[float, float]] = {}
+    for name, template in CATALOG.items():
+        result = profiler.profile(template)
+        rows[name] = {f: result.slowdown_at(f) for f in fractions}
+    return rows
+
+
+class _StaticSkewPolicy:
+    """Two statically weighted queues (the Section 2.2 'Skewed' scheme)."""
+
+    name = "skewed"
+
+    def __init__(self, weights: Dict[str, float],
+                 collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA) -> None:
+        self._weights = dict(weights)
+        self._apps = sorted(self._weights)
+        efficiency = fecn_collapse(collapse_alpha) if collapse_alpha else None
+        self._scheduler = WFQScheduler(
+            queue_of=self._queue_of,
+            weight_of=self._weight_of,
+            efficiency_fn=efficiency,
+        )
+
+    def _queue_of(self, flow: Flow) -> int:
+        try:
+            return self._apps.index(str(flow.app))
+        except ValueError:
+            return 0
+
+    def _weight_of(self, queue: int) -> float:
+        if queue >= len(self._apps):
+            return 0.0
+        return self._weights[self._apps[queue]]
+
+    def attach(self, fabric: FluidFabric) -> None:
+        for state in fabric.topology.link_states.values():
+            state.efficiency_fn = None
+
+    def scheduler_of(self, link_id: str) -> LinkScheduler:
+        return self._scheduler
+
+    def on_flow_started(self, flow: Flow) -> None:  # noqa: D102
+        pass
+
+    def on_flow_finished(self, flow: Flow) -> None:  # noqa: D102
+        pass
+
+
+@dataclass(frozen=True)
+class Fig1bResult:
+    """Slowdowns vs stand-alone execution under both schemes.
+
+    ``standalone`` carries the absolute stand-alone completion times so
+    callers can compare *average completion time* (the paper's actual
+    objective) rather than the unweighted sum of slowdowns.
+    """
+
+    maxmin: Dict[str, float]
+    skewed: Dict[str, float]
+    standalone: Dict[str, float]
+
+    def average_completion(self, scheme: str) -> float:
+        ratios = self.maxmin if scheme == "maxmin" else self.skewed
+        times = [ratios[n] * self.standalone[n] for n in ratios]
+        return sum(times) / len(times)
+
+
+def run_fig1b(
+    skew: Tuple[float, float] = (0.75, 0.25),
+    n_servers: int = PROFILER_NODES,
+    collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
+) -> Fig1bResult:
+    """LR + PR co-run: max-min vs the skewed allocation (Figure 1b)."""
+
+    def jobs(topology):
+        servers = topology.servers[:n_servers]
+        return [
+            Job("LR", CATALOG["LR"].instantiate(n_instances=n_servers),
+                "LR", list(servers)),
+            Job("PR", CATALOG["PR"].instantiate(n_instances=n_servers),
+                "PR", list(servers)),
+        ]
+
+    def standalone(name: str) -> float:
+        topo = single_switch(n_servers)
+        spec = CATALOG[name].instantiate(n_instances=n_servers)
+        job = Job(name, spec, name, topo.servers[:n_servers])
+        executor = CoRunExecutor(
+            topo, policy=InfiniBandBaseline(collapse_alpha=collapse_alpha)
+        )
+        return executor.run([job])[name].completion_time
+
+    alone = {name: standalone(name) for name in ("LR", "PR")}
+
+    def corun(policy) -> Dict[str, float]:
+        topo = single_switch(n_servers)
+        executor = CoRunExecutor(topo, policy=policy)
+        results = executor.run(jobs(topo))
+        return {
+            name: results[name].completion_time / alone[name]
+            for name in ("LR", "PR")
+        }
+
+    return Fig1bResult(
+        maxmin=corun(InfiniBandBaseline(collapse_alpha=collapse_alpha)),
+        skewed=corun(
+            _StaticSkewPolicy({"LR": skew[0], "PR": skew[1]},
+                              collapse_alpha=collapse_alpha)
+        ),
+        standalone=alone,
+    )

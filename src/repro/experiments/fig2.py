@@ -1,0 +1,84 @@
+"""Figure 2: CPU/network utilization timelines (Section 2.3).
+
+Runs LR or PR in isolation at a given bandwidth fraction and returns
+the per-server utilization series that the paper plots: LR alternates
+clean computation and communication phases whose communication part
+stretches as bandwidth shrinks, while PR overlaps transmission with
+computation and stays compute-dominated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.baselines.maxmin import IdealMaxMin
+from repro.cluster.jobs import Job
+from repro.cluster.runtime import CoRunExecutor
+from repro.simnet.telemetry import UtilizationRecorder
+from repro.simnet.topology import single_switch
+from repro.workloads.catalog import CATALOG, PROFILER_NODES
+
+
+@dataclass(frozen=True)
+class TimelineResult:
+    """One Figure-2 panel."""
+
+    workload: str
+    bandwidth_fraction: float
+    completion_time: float
+    times: Tuple[float, ...]
+    cpu: Tuple[float, ...]
+    network: Tuple[float, ...]
+
+    def mean_cpu(self) -> float:
+        return sum(self.cpu) / len(self.cpu) if self.cpu else 0.0
+
+    def mean_network(self) -> float:
+        return sum(self.network) / len(self.network) if self.network else 0.0
+
+
+def run_timeline(
+    workload: str,
+    bandwidth_fraction: float,
+    n_servers: int = PROFILER_NODES,
+    resolution: float = 0.5,
+    server_index: int = 0,
+) -> TimelineResult:
+    """Utilization timeline of one server during an isolated run."""
+    template = CATALOG[workload]
+    topo = single_switch(n_servers)
+    servers = topo.servers[:n_servers]
+    topo.set_uniform_throttle(servers, bandwidth_fraction)
+    recorder = UtilizationRecorder()
+    executor = CoRunExecutor(topo, policy=IdealMaxMin(), recorder=recorder)
+    spec = template.instantiate(n_instances=n_servers)
+    job = Job(workload, spec, workload, list(servers))
+    results = executor.run([job])
+    completion = results[workload].completion_time
+    server = servers[server_index]
+    times, cpu = recorder.series(server, "cpu", t_end=completion,
+                                 resolution=resolution)
+    _, network = recorder.series(server, "network", t_end=completion,
+                                 resolution=resolution)
+    # Normalise network utilization to the *throttled* line rate, like
+    # the paper's figure (which plots utilization of available BW).
+    network = [min(1.0, u / bandwidth_fraction) for u in network]
+    return TimelineResult(
+        workload=workload,
+        bandwidth_fraction=bandwidth_fraction,
+        completion_time=completion,
+        times=tuple(times),
+        cpu=tuple(cpu),
+        network=tuple(network),
+    )
+
+
+def run_fig2(
+    workloads: Tuple[str, ...] = ("LR", "PR"),
+    fractions: Tuple[float, ...] = (0.75, 0.25),
+) -> Dict[Tuple[str, float], TimelineResult]:
+    """All four panels of Figure 2."""
+    return {
+        (w, f): run_timeline(w, f) for w in workloads for f in fractions
+    }

@@ -1,0 +1,125 @@
+"""Figures 5 and 6: sensitivity-model accuracy (Section 4.2).
+
+* :func:`run_fig5` -- profiling samples plus fitted models of degree
+  1..3 for SQL and LR (the paper's contrast between a non-linear and a
+  near-linear workload).
+* :func:`run_fig6a` -- R^2 of each workload's model vs polynomial
+  degree (goodness of fit).
+* :func:`run_fig6b` -- *predictive* R^2 when the runtime dataset size
+  differs from the profiled one (0.1x / 1x / 10x).
+* :func:`run_fig6c` -- predictive R^2 across runtime node counts
+  (0.5x .. 4x of the 8-node profiling pod).
+
+Predictive R^2 follows the paper's method: the model is fitted at the
+reference configuration (1x dataset, 8 nodes, k as given) and scored
+against slowdown samples *measured* at the runtime configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.profiler import OfflineProfiler
+from repro.core.sensitivity import SensitivityModel, fit_sensitivity_model, r_squared
+from repro.workloads.catalog import CATALOG, PROFILER_NODES
+
+DATASET_SCALES = (0.1, 1.0, 10.0)
+NODE_MULTIPLIERS = (0.5, 1.0, 2.0, 3.0, 4.0)
+
+
+@dataclass(frozen=True)
+class Fig5Panel:
+    workload: str
+    samples: Tuple[Tuple[float, float], ...]
+    models: Dict[int, SensitivityModel]
+    r2: Dict[int, float]
+
+
+def run_fig5(
+    workloads: Sequence[str] = ("SQL", "LR"),
+    degrees: Sequence[int] = (1, 2, 3),
+    method: str = "analytic",
+) -> Dict[str, Fig5Panel]:
+    """Samples and fitted models for the Figure 5 panels."""
+    profiler = OfflineProfiler(method=method)
+    panels: Dict[str, Fig5Panel] = {}
+    for name in workloads:
+        samples, _ = profiler.measure_samples(CATALOG[name].instantiate())
+        models = {
+            k: fit_sensitivity_model(name, samples, degree=k) for k in degrees
+        }
+        panels[name] = Fig5Panel(
+            workload=name,
+            samples=tuple(samples),
+            models=models,
+            r2={k: r_squared(m, samples) for k, m in models.items()},
+        )
+    return panels
+
+
+def run_fig6a(
+    degrees: Sequence[int] = (1, 2, 3),
+    method: str = "analytic",
+) -> Dict[str, Dict[int, float]]:
+    """R^2 per workload per polynomial degree (Figure 6a)."""
+    profiler = OfflineProfiler(method=method)
+    scores: Dict[str, Dict[int, float]] = {}
+    for name, template in CATALOG.items():
+        samples, _ = profiler.measure_samples(template.instantiate())
+        scores[name] = {
+            k: r_squared(fit_sensitivity_model(name, samples, degree=k),
+                         samples)
+            for k in degrees
+        }
+    return scores
+
+
+def _predictive_r2(
+    template,
+    model: SensitivityModel,
+    profiler: OfflineProfiler,
+    dataset_scale: float = 1.0,
+    n_instances: int = PROFILER_NODES,
+) -> float:
+    spec = template.instantiate(
+        dataset_scale=dataset_scale, n_instances=n_instances
+    )
+    samples, _ = profiler.measure_samples(spec)
+    return r_squared(model, samples)
+
+
+def run_fig6b(
+    scales: Sequence[float] = DATASET_SCALES,
+    degree: int = 3,
+    method: str = "analytic",
+) -> Dict[str, Dict[float, float]]:
+    """Predictive R^2 across runtime dataset sizes (Figure 6b)."""
+    profiler = OfflineProfiler(method=method, degree=degree)
+    scores: Dict[str, Dict[float, float]] = {}
+    for name, template in CATALOG.items():
+        model = profiler.profile(template).model
+        scores[name] = {
+            s: _predictive_r2(template, model, profiler, dataset_scale=s)
+            for s in scales
+        }
+    return scores
+
+
+def run_fig6c(
+    multipliers: Sequence[float] = NODE_MULTIPLIERS,
+    degree: int = 3,
+    method: str = "analytic",
+) -> Dict[str, Dict[float, float]]:
+    """Predictive R^2 across runtime node counts (Figure 6c)."""
+    profiler = OfflineProfiler(method=method, degree=degree)
+    scores: Dict[str, Dict[float, float]] = {}
+    for name, template in CATALOG.items():
+        model = profiler.profile(template).model
+        scores[name] = {}
+        for m in multipliers:
+            n = max(2, round(m * PROFILER_NODES))
+            scores[name][m] = _predictive_r2(
+                template, model, profiler, n_instances=n
+            )
+    return scores

@@ -1,0 +1,120 @@
+"""Figure 8: the main testbed results (Section 8.2).
+
+500 randomized cluster setups of 16 jobs on 32 servers; each setup
+runs twice -- once under the InfiniBand baseline, once under Saba --
+and per-job speedups are aggregated per workload (Figure 8a) and per
+setup (the CDF of Figure 8b).
+
+Scale parameters default to the paper's values; CI and the benchmark
+harness pass smaller ``n_setups`` (the distribution of setup averages
+stabilises far below 500).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA, InfiniBandBaseline
+from repro.cluster.runtime import CoRunExecutor
+from repro.cluster.setups import ClusterSetup, generate_setups
+from repro.core.controller import SabaController
+from repro.core.library import SabaLibrary
+from repro.core.table import SensitivityTable
+from repro.experiments.common import EXPERIMENT_QUANTUM, build_catalog_table, geomean
+from repro.simnet.topology import single_switch
+from repro.units import GBPS_56
+from repro.workloads.catalog import CATALOG
+
+
+@dataclass
+class Fig8Result:
+    """Aggregated outcome of the testbed experiment."""
+
+    per_workload_speedup: Dict[str, float]
+    setup_averages: List[float]
+    per_job_speedups: Dict[str, List[float]] = field(repr=False, default_factory=dict)
+
+    @property
+    def average_speedup(self) -> float:
+        """Geometric mean across workloads (the paper's 1.88x)."""
+        return geomean(list(self.per_workload_speedup.values()))
+
+    def cdf(self) -> List[tuple]:
+        """(speedup, cumulative fraction) points for Figure 8b."""
+        values = sorted(self.setup_averages)
+        n = len(values)
+        return [(v, (i + 1) / n) for i, v in enumerate(values)]
+
+
+def run_setup_pair(
+    setup: ClusterSetup,
+    table: SensitivityTable,
+    n_servers: int = 32,
+    collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
+    placement_seed: int = 0,
+    saba_kwargs: Optional[dict] = None,
+) -> Dict[str, float]:
+    """Run one cluster setup under baseline and Saba; per-job speedups."""
+
+    def materialize(topology):
+        rng = random.Random(placement_seed + setup.setup_id)
+        return setup.materialize(topology.servers, rng, GBPS_56)
+
+    base_topo = single_switch(n_servers)
+    baseline = CoRunExecutor(
+        base_topo,
+        policy=InfiniBandBaseline(collapse_alpha=collapse_alpha),
+        completion_quantum=EXPERIMENT_QUANTUM,
+    ).run(materialize(base_topo))
+
+    saba_topo = single_switch(n_servers)
+    controller = SabaController(
+        table, collapse_alpha=collapse_alpha, **(saba_kwargs or {})
+    )
+    saba = CoRunExecutor(
+        saba_topo,
+        policy=controller,
+        connections_factory=SabaLibrary.factory(controller),
+        completion_quantum=EXPERIMENT_QUANTUM,
+    ).run(materialize(saba_topo))
+
+    return {
+        job_id: baseline[job_id].completion_time / saba[job_id].completion_time
+        for job_id in baseline
+    }
+
+
+def run_fig8(
+    n_setups: int = 500,
+    jobs_per_setup: int = 16,
+    n_servers: int = 32,
+    seed: int = 2023,
+    collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
+    table: Optional[SensitivityTable] = None,
+    degree: int = 3,
+) -> Fig8Result:
+    """The full Figure 8 experiment."""
+    if table is None:
+        table = build_catalog_table(degree=degree, method="analytic")
+    per_job: Dict[str, List[float]] = {name: [] for name in CATALOG}
+    setup_averages: List[float] = []
+    for setup in generate_setups(
+        n_setups=n_setups, jobs_per_setup=jobs_per_setup, seed=seed,
+        max_instances=n_servers,
+    ):
+        speedups = run_setup_pair(
+            setup, table, n_servers=n_servers, collapse_alpha=collapse_alpha
+        )
+        for desc in setup.jobs:
+            per_job[desc.workload].append(speedups[desc.job_id])
+        setup_averages.append(geomean(list(speedups.values())))
+    per_workload = {
+        name: geomean(values) for name, values in per_job.items() if values
+    }
+    return Fig8Result(
+        per_workload_speedup=per_workload,
+        setup_averages=setup_averages,
+        per_job_speedups=per_job,
+    )

@@ -1,0 +1,111 @@
+"""Figure 9: sensitivity studies on the testbed (Section 8.3).
+
+All three studies use the *homogeneous* setup the paper describes:
+one instance of each Table-1 workload on every server of an 8-server
+pod (so all ten jobs co-run with identical placement), profiled
+ahead of time with k = 3 unless the study varies k.
+
+* Study 1 (:func:`run_fig9a`): runtime dataset size 0.1x / 1x / 10x.
+* Study 2 (:func:`run_fig9b`): runtime node count 0.5x .. 4x.
+* Study 3 (:func:`run_fig9c`): profiler polynomial degree 1 / 2 / 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA, InfiniBandBaseline
+from repro.cluster.jobs import Job
+from repro.cluster.runtime import CoRunExecutor
+from repro.core.controller import SabaController
+from repro.core.library import SabaLibrary
+from repro.core.table import SensitivityTable
+from repro.experiments.common import EXPERIMENT_QUANTUM, build_catalog_table, geomean
+from repro.simnet.topology import single_switch
+from repro.workloads.catalog import CATALOG, PROFILER_NODES
+
+
+def _homogeneous_jobs(n_servers: int, dataset_scale: float):
+    servers = [f"server{i}" for i in range(n_servers)]
+    return [
+        Job(
+            job_id=name,
+            spec=template.instantiate(
+                dataset_scale=dataset_scale, n_instances=n_servers
+            ),
+            workload=name,
+            placement=list(servers),
+        )
+        for name, template in CATALOG.items()
+    ]
+
+
+def _speedups(
+    table: SensitivityTable,
+    n_servers: int,
+    dataset_scale: float,
+    collapse_alpha: float,
+) -> Dict[str, float]:
+    base_topo = single_switch(n_servers)
+    baseline = CoRunExecutor(
+        base_topo,
+        policy=InfiniBandBaseline(collapse_alpha=collapse_alpha),
+        completion_quantum=EXPERIMENT_QUANTUM,
+    ).run(_homogeneous_jobs(n_servers, dataset_scale))
+    saba_topo = single_switch(n_servers)
+    controller = SabaController(table, collapse_alpha=collapse_alpha)
+    saba = CoRunExecutor(
+        saba_topo,
+        policy=controller,
+        connections_factory=SabaLibrary.factory(controller),
+        completion_quantum=EXPERIMENT_QUANTUM,
+    ).run(_homogeneous_jobs(n_servers, dataset_scale))
+    return {
+        name: baseline[name].completion_time / saba[name].completion_time
+        for name in baseline
+    }
+
+
+def run_fig9a(
+    scales: Sequence[float] = (0.1, 1.0, 10.0),
+    collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
+    table: Optional[SensitivityTable] = None,
+) -> Dict[float, Dict[str, float]]:
+    """Study 1: speedup per workload per runtime dataset scale."""
+    if table is None:
+        table = build_catalog_table(method="analytic")
+    return {
+        s: _speedups(table, PROFILER_NODES, s, collapse_alpha) for s in scales
+    }
+
+
+def run_fig9b(
+    multipliers: Sequence[float] = (0.5, 1.0, 2.0, 3.0, 4.0),
+    collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
+    table: Optional[SensitivityTable] = None,
+) -> Dict[float, Dict[str, float]]:
+    """Study 2: speedup per workload per runtime node count."""
+    if table is None:
+        table = build_catalog_table(method="analytic")
+    results = {}
+    for m in multipliers:
+        n = max(2, round(m * PROFILER_NODES))
+        results[m] = _speedups(table, n, 1.0, collapse_alpha)
+    return results
+
+
+def run_fig9c(
+    degrees: Sequence[int] = (1, 2, 3),
+    collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
+) -> Dict[int, Dict[str, float]]:
+    """Study 3: speedup per workload per profiler polynomial degree."""
+    results = {}
+    for k in degrees:
+        table = build_catalog_table(degree=k, method="analytic")
+        results[k] = _speedups(table, PROFILER_NODES, 1.0, collapse_alpha)
+    return results
+
+
+def average_speedups(per_workload: Dict[str, float]) -> float:
+    """Geometric-mean column ('Avg') of the Figure 9 bars."""
+    return geomean(list(per_workload.values()))

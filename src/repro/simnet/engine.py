@@ -1,0 +1,142 @@
+"""Discrete-event simulation engine.
+
+A deliberately small engine: a priority queue of timestamped events and
+a clock.  The fluid network simulator (:mod:`repro.simnet.fabric`) and
+the cluster runtime (:mod:`repro.cluster.runtime`) both schedule their
+work through a single :class:`Simulator` so that compute-phase timers
+and flow completions interleave on one timeline.
+
+Events scheduled for the same timestamp fire in FIFO order of
+scheduling, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)``; ``seq`` is a monotonically
+    increasing tiebreaker so simultaneous events run FIFO.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event queue plus simulated clock.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule_at(2.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule_at(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 2.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of (non-cancelled) events executed so far."""
+        return self._events_processed
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Raises :class:`SimulationError` if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} (now={self._now})"
+            )
+        event = Event(time=float(time), seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after a relative ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Run the next event.  Returns ``False`` when the queue is empty."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._events_processed += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or
+        ``max_events`` have fired.
+
+        ``until`` is inclusive: events scheduled exactly at ``until``
+        still run, and the clock is advanced to ``until`` afterwards so
+        the caller can rely on ``sim.now``.
+        """
+        fired = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            self.step()
+            fired += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without running events.
+
+        Used by the fluid fabric, which drains flow progress itself and
+        only consults the engine for timer events.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards to t={time} (now={self._now})"
+            )
+        self._now = time
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)

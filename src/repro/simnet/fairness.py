@@ -1,0 +1,573 @@
+"""Rate allocation: per-link schedulers and the network-wide solver.
+
+Three per-link disciplines cover every policy in the paper:
+
+* :class:`FairScheduler` -- per-flow max-min within a link (InfiniBand
+  FECN baseline and the *ideal max-min* baseline).
+* :class:`WFQScheduler` -- two-level weighted fair queueing: link
+  capacity is divided among the port's queues in proportion to their
+  weights (work-conserving), then max-min within each queue.  This is
+  the discipline Saba programs (Section 5.2).
+* :class:`PriorityScheduler` -- strict priority across queues, max-min
+  within a queue (fluid approximations of Homa and Sincronia).
+
+Network-wide rates come from progressive residual filling
+(:func:`network_rates`): starting from zero, each round offers every
+link's unclaimed capacity to the flows that can still grow, divided by
+the link's discipline, and each flow claims the minimum offer along
+its path.  For unweighted fair queueing the result equals classic
+max-min fairness -- :func:`max_min_rates` implements exact progressive
+filling independently, the test suite pins the two against each other
+on random networks, and an all-:class:`FairScheduler` network
+short-circuits to it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.simnet.flows import Flow
+
+#: Maps a flow to the queue index it occupies at a given link, or to a
+#: priority for strict-priority disciplines.
+QueueOfFlow = Callable[[str, Flow], int]
+
+_EPS = 1e-9
+
+
+def water_fill(capacity: float, demands: Sequence[float]) -> List[float]:
+    """Max-min allocation of ``capacity`` among flows capped at ``demands``.
+
+    Classic bounded water-filling: repeatedly grant the smallest
+    unsatisfied demand its cap if the equal share exceeds it, otherwise
+    split the remaining capacity equally.  Runs in O(n log n).
+
+    >>> water_fill(10.0, [2.0, 100.0, 100.0])
+    [2.0, 4.0, 4.0]
+    """
+    n = len(demands)
+    if n == 0:
+        return []
+    if capacity <= 0:
+        return [0.0] * n
+    order = sorted(range(n), key=lambda i: demands[i])
+    alloc = [0.0] * n
+    remaining = capacity
+    left = n
+    for idx, i in enumerate(order):
+        share = remaining / left
+        grant = min(demands[i], share)
+        alloc[i] = grant
+        remaining -= grant
+        left -= 1
+    return alloc
+
+
+def weighted_water_fill(
+    capacity: float, demands: Sequence[float], weights: Sequence[float]
+) -> List[float]:
+    """Weighted max-min allocation of ``capacity``.
+
+    Each entry receives capacity in proportion to its weight, capped at
+    its demand, with unused share redistributed (work conservation).
+
+    >>> weighted_water_fill(13.0, [100.0, 100.0, 1.0], [1.0, 2.0, 1.0])
+    [4.0, 8.0, 1.0]
+    """
+    n = len(demands)
+    if n != len(weights):
+        raise ValueError("demands and weights must have equal length")
+    if n == 0:
+        return []
+    if capacity <= 0:
+        return [0.0] * n
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    alloc = [0.0] * n
+    active = [i for i in range(n) if weights[i] > 0]
+    # Zero-weight entries get capacity only if everyone else is satisfied;
+    # handle them by a final unweighted fill over the leftovers.
+    remaining = capacity
+    while active:
+        total_w = sum(weights[i] for i in active)
+        # Find the smallest normalised demand; grant every entry whose
+        # demand is below its proportional share, then recurse.
+        fill_level = remaining / total_w
+        satisfied = [i for i in active if demands[i] - alloc[i] <= fill_level * weights[i] + _EPS]
+        if not satisfied:
+            for i in active:
+                alloc[i] += fill_level * weights[i]
+            remaining = 0.0
+            break
+        for i in satisfied:
+            grant = min(demands[i] - alloc[i], remaining)
+            alloc[i] += grant
+            remaining -= grant
+        active = [i for i in active if i not in set(satisfied)]
+        if remaining <= _EPS:
+            break
+    if remaining > _EPS:
+        zero_w = [i for i in range(n) if weights[i] == 0]
+        if zero_w:
+            extra = water_fill(remaining, [demands[i] - alloc[i] for i in zero_w])
+            for j, i in enumerate(zero_w):
+                alloc[i] += extra[j]
+    return alloc
+
+
+#: Maps the number of flows sharing one congestion-control domain (a
+#: queue) to the fraction of its bandwidth the transport actually
+#: delivers.  ``None`` models an ideal transport.
+EfficiencyFn = Optional[Callable[[int], float]]
+
+#: Shared empty offer map (links with no growing candidates).
+_NO_OFFERS: Dict[int, float] = {}
+
+
+def fecn_collapse(alpha: float) -> Callable[[int], float]:
+    """FECN-style congestion-control throughput collapse.
+
+    ``efficiency(n) = 1 / (1 + alpha * (n - 1))``: a single flow uses
+    the full queue bandwidth; every additional flow sharing the
+    control loop adds rate-hunting losses.  The shape follows the
+    authors' own switch measurement study (Katebzadeh et al.,
+    ISPASS'20), which found InfiniBand throughput degrading steadily
+    with the number of competing flows per queue.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0: {alpha}")
+
+    def efficiency(n_flows: int) -> float:
+        if n_flows <= 1:
+            return 1.0
+        return 1.0 / (1.0 + alpha * (n_flows - 1))
+
+    return efficiency
+
+
+def _efficient(capacity: float, n_flows: int, efficiency_fn: EfficiencyFn) -> float:
+    if efficiency_fn is None or n_flows <= 0:
+        return capacity
+    return capacity * min(1.0, max(0.0, efficiency_fn(n_flows)))
+
+
+class LinkScheduler:
+    """Interface: divide one link's capacity among traversing flows.
+
+    Schedulers own the congestion-control efficiency model: real
+    transports lose throughput as more flows share one queue (sources
+    hunting for the fair rate under FECN marking; see the InfiniBand
+    baseline), and the loss applies *per queue* because each VL is an
+    independent congestion-control domain.  Splitting flows across
+    queues therefore mitigates the collapse -- one of the effects that
+    separates the baseline from every queue-using policy in Figure 10.
+
+    The loss derates the link's *usable capacity*, evaluated once per
+    rate recomputation over the link's full flow population
+    (:meth:`usable_capacity`); :meth:`allocate` itself is loss-free.
+    Applying the loss inside the allocation rounds instead would
+    compound it across progressive-filling iterations.
+    """
+
+    def usable_capacity(self, capacity: float, flows: Sequence[Flow]) -> float:
+        """Line rate minus congestion-control losses for ``flows``."""
+        return capacity
+
+    def allocate(
+        self, capacity: float, flows: Sequence[Flow], demands: Sequence[float]
+    ) -> List[float]:
+        """Return a per-flow share of ``capacity``.
+
+        ``demands[i]`` is an upper bound on what flow ``i`` can use
+        (its bottleneck elsewhere); shares must not exceed demands and
+        must sum to at most ``capacity``.
+        """
+        raise NotImplementedError
+
+
+class FairScheduler(LinkScheduler):
+    """Per-flow max-min within the link (one shared queue)."""
+
+    def __init__(self, efficiency_fn: EfficiencyFn = None) -> None:
+        self._efficiency_fn = efficiency_fn
+
+    def usable_capacity(self, capacity: float, flows: Sequence[Flow]) -> float:
+        return _efficient(capacity, len(flows), self._efficiency_fn)
+
+    def allocate(
+        self, capacity: float, flows: Sequence[Flow], demands: Sequence[float]
+    ) -> List[float]:
+        return water_fill(capacity, demands)
+
+
+class WFQScheduler(LinkScheduler):
+    """Weighted fair queueing across queues, max-min within a queue.
+
+    ``queue_of`` maps a flow to its queue index at this link;
+    ``weight_of`` maps a queue index to its configured weight.  Both are
+    late-bound callables so the controller can reprogram ports without
+    rebuilding schedulers.  Congestion-control losses apply per queue
+    (each VL runs its own control loop): the link's usable capacity is
+    the weight-proportional mix of its populated queues' efficiencies.
+    """
+
+    def __init__(
+        self,
+        queue_of: Callable[[Flow], int],
+        weight_of: Callable[[int], float],
+        efficiency_fn: EfficiencyFn = None,
+    ) -> None:
+        self._queue_of = queue_of
+        self._weight_of = weight_of
+        self._efficiency_fn = efficiency_fn
+
+    def usable_capacity(self, capacity: float, flows: Sequence[Flow]) -> float:
+        if self._efficiency_fn is None or not flows:
+            return capacity
+        counts: Dict[int, int] = {}
+        for flow in flows:
+            q = self._queue_of(flow)
+            counts[q] = counts.get(q, 0) + 1
+        weights = {
+            q: max(0.0, float(self._weight_of(q))) for q in counts
+        }
+        total_w = sum(weights.values())
+        if total_w <= 0:
+            # Unweighted port: flows share one effective control loop
+            # per queue; use the population-weighted mix.
+            total_n = sum(counts.values())
+            mix = sum(
+                n * self._efficiency_fn(n) for n in counts.values()
+            ) / total_n
+            return capacity * mix
+        mix = sum(
+            weights[q] * self._efficiency_fn(n) for q, n in counts.items()
+        ) / total_w
+        return capacity * mix
+
+    def allocate(
+        self, capacity: float, flows: Sequence[Flow], demands: Sequence[float]
+    ) -> List[float]:
+        by_queue: Dict[int, List[int]] = {}
+        for i, flow in enumerate(flows):
+            by_queue.setdefault(self._queue_of(flow), []).append(i)
+        queues = sorted(by_queue)
+        q_weights = [max(0.0, float(self._weight_of(q))) for q in queues]
+        q_demands = [sum(demands[i] for i in by_queue[q]) for q in queues]
+        q_alloc = weighted_water_fill(capacity, q_demands, q_weights)
+        shares = [0.0] * len(flows)
+        for q_idx, q in enumerate(queues):
+            members = by_queue[q]
+            inner = water_fill(q_alloc[q_idx], [demands[i] for i in members])
+            for j, i in enumerate(members):
+                shares[i] = inner[j]
+        return shares
+
+
+class PriorityScheduler(LinkScheduler):
+    """Strict priority across classes, max-min within a class.
+
+    ``priority_of`` maps a flow to an integer class; *lower* values are
+    served first (priority 0 preempts priority 1).  This is the fluid
+    limit of priority queueing used to approximate Homa and Sincronia.
+    Congestion-control losses apply per class (one queue per class);
+    the link's usable capacity mixes class efficiencies by population.
+    """
+
+    def __init__(
+        self,
+        priority_of: Callable[[Flow], int],
+        efficiency_fn: EfficiencyFn = None,
+    ) -> None:
+        self._priority_of = priority_of
+        self._efficiency_fn = efficiency_fn
+
+    def usable_capacity(self, capacity: float, flows: Sequence[Flow]) -> float:
+        if self._efficiency_fn is None or not flows:
+            return capacity
+        counts: Dict[int, int] = {}
+        for flow in flows:
+            c = self._priority_of(flow)
+            counts[c] = counts.get(c, 0) + 1
+        total_n = sum(counts.values())
+        mix = sum(
+            n * self._efficiency_fn(n) for n in counts.values()
+        ) / total_n
+        return capacity * mix
+
+    def allocate(
+        self, capacity: float, flows: Sequence[Flow], demands: Sequence[float]
+    ) -> List[float]:
+        by_prio: Dict[int, List[int]] = {}
+        for i, flow in enumerate(flows):
+            by_prio.setdefault(self._priority_of(flow), []).append(i)
+        shares = [0.0] * len(flows)
+        remaining = capacity
+        for prio in sorted(by_prio):
+            members = by_prio[prio]
+            inner = water_fill(remaining, [demands[i] for i in members])
+            for j, i in enumerate(members):
+                shares[i] = inner[j]
+            remaining -= sum(inner)
+            if remaining <= _EPS:
+                remaining = 0.0  # lower priorities receive zero
+        return shares
+
+
+def max_min_rates(
+    flows: Sequence[Flow],
+    capacities: Mapping[str, float],
+    weights: Optional[Mapping[int, float]] = None,
+) -> Dict[int, float]:
+    """Exact (weighted) max-min fairness by progressive filling.
+
+    ``capacities`` maps link id -> capacity; each flow's ``path`` lists
+    the link ids it traverses.  ``weights`` optionally assigns a scalar
+    weight per ``flow_id`` (default 1.0).  Returns flow_id -> rate.
+
+    This is the reference implementation of the *ideal max-min
+    fairness* baseline (Section 8.4 study 4): it is what a round-robin
+    scheduler with per-flow queues achieves in the fluid limit.
+    """
+    active = {f.flow_id: f for f in flows if not f.done}
+    rates: Dict[int, float] = {fid: 0.0 for fid in active}
+    if not active:
+        return rates
+    w = {fid: (weights.get(fid, 1.0) if weights else 1.0) for fid in active}
+    headroom = dict(capacities)
+    unfrozen = set(active)
+    for f in active.values():
+        for lid in f.path:
+            if lid not in headroom:
+                raise SimulationError(f"flow {f.flow_id} uses unknown link {lid}")
+    while unfrozen:
+        # Fill level each link supports for its unfrozen flows.
+        link_weight: Dict[str, float] = {}
+        for fid in unfrozen:
+            for lid in active[fid].path:
+                link_weight[lid] = link_weight.get(lid, 0.0) + w[fid]
+        if not link_weight:
+            break
+        bottleneck = None
+        best_level = float("inf")
+        for lid, total_w in link_weight.items():
+            if total_w <= 0:
+                continue
+            level = headroom[lid] / total_w
+            if level < best_level - _EPS:
+                best_level = level
+                bottleneck = lid
+        if bottleneck is None:
+            break
+        # Application-limited flows saturate at their demand cap before
+        # the bottleneck fill level: freeze those first and re-derive
+        # the bottleneck with the freed capacity (bounded max-min).
+        capped_now = [
+            fid
+            for fid in unfrozen
+            if w[fid] > 0
+            and active[fid].demand_limit / w[fid] <= best_level + _EPS
+        ]
+        if capped_now:
+            for fid in capped_now:
+                rates[fid] = min(
+                    active[fid].demand_limit, best_level * w[fid]
+                )
+                unfrozen.discard(fid)
+                for lid in active[fid].path:
+                    headroom[lid] = max(0.0, headroom[lid] - rates[fid])
+            continue
+        frozen_now = [
+            fid for fid in unfrozen if bottleneck in set(active[fid].path)
+        ]
+        if not frozen_now:
+            break
+        for fid in frozen_now:
+            rates[fid] = best_level * w[fid]
+            unfrozen.discard(fid)
+            for lid in active[fid].path:
+                headroom[lid] -= rates[fid]
+                if headroom[lid] < 0:
+                    headroom[lid] = 0.0
+    return rates
+
+
+def network_rates(
+    flows: Sequence[Flow],
+    capacity_of: Callable[[str, int], float],
+    scheduler_of: Callable[[str], LinkScheduler],
+    max_rounds: int = 80,
+    tol: float = 1e-4,
+) -> Dict[int, float]:
+    """Network-wide rate allocation by progressive residual filling.
+
+    Starting from zero, each round recomputes every link's *target*
+    allocation over the flows that can still grow (their own rate cap
+    not reached and no link on their path saturated): the link's
+    capacity, minus what blocked flows already hold, is divided among
+    the growing flows by the link's scheduling discipline, and each
+    flow is offered ``max(0, target - current)``.  A flow then claims
+    the minimum offer along its path.  Rates grow monotonically, so
+    the procedure terminates when every flow is either cap-limited or
+    blocked by a saturated link -- which is exactly the
+    work-conserving (weighted/prioritised) max-min allocation.  For
+    per-flow fair queueing it reproduces classic progressive filling
+    (the test suite pins it against :func:`max_min_rates` on random
+    networks).  Recomputing full targets rather than splitting the
+    residual evenly is what keeps it exact: flows held back by another
+    link do not permanently forfeit their share here.
+
+    A naive demand-coupled fixed point is *not* used because any
+    mutually-consistent under-allocation is a fixed point of that map;
+    residual filling cannot stall below the work-conserving optimum.
+
+    Args:
+        flows: active flows; each must have a non-empty ``path``.
+        capacity_of: ``(link_id, n_flows_on_link) -> capacity`` in
+            bytes/s.  The flow count lets the InfiniBand baseline model
+            fan-in-dependent congestion-control inefficiency.
+        scheduler_of: returns the discipline installed at a link.
+        max_rounds: safety cap on filling rounds.
+        tol: stop once a round adds less than ``tol`` of the largest
+            link capacity.  The default trades the last 0.01 % of rate
+            precision for far fewer trickle rounds; completion times
+            are insensitive at that scale.
+
+    Returns:
+        flow_id -> rate (bytes/s).
+    """
+    active = [f for f in flows if not f.done]
+    if not active:
+        return {}
+    on_link: Dict[str, List[Flow]] = {}
+    for f in active:
+        if not f.path:
+            raise SimulationError(f"flow {f.flow_id} has no path")
+        for lid in f.path:
+            on_link.setdefault(lid, []).append(f)
+
+    schedulers = {lid: scheduler_of(lid) for lid in on_link}
+    caps = {
+        lid: schedulers[lid].usable_capacity(capacity_of(lid, len(fl)), fl)
+        for lid, fl in on_link.items()
+    }
+    # Fast path: unweighted per-flow fairness everywhere (the
+    # InfiniBand baseline and ideal max-min) is solved exactly by
+    # classic progressive filling in one pass.
+    if all(type(s) is FairScheduler for s in schedulers.values()):
+        return max_min_rates(active, caps)
+    max_cap = max(caps.values())
+    eps = tol * max_cap
+    rate: Dict[int, float] = {f.flow_id: 0.0 for f in active}
+    used: Dict[str, float] = {lid: 0.0 for lid in on_link}
+    limit: Dict[int, float] = {
+        f.flow_id: f.demand_limit for f in active
+    }
+    path_of: Dict[int, tuple] = {f.flow_id: tuple(f.path) for f in active}
+    growing = set(rate)
+
+    def _run_rounds(compute_offers) -> None:
+        """Shared grant loop with touched-link offer caching.
+
+        A link's cached offers stay valid until a rate on it changes
+        (every granted flow marks its whole path touched) or its
+        blocked set changes (newly saturated links untrack their
+        flows, whose other links get touched too).
+        """
+        offer_at: Dict[str, Dict[int, float]] = {}
+        touched = set(on_link)
+        for _ in range(max_rounds):
+            if not growing:
+                return
+            for lid in touched:
+                members = on_link[lid]
+                candidates = [
+                    f for f in members if f.flow_id in growing
+                ]
+                if not candidates:
+                    offer_at.pop(lid, None)
+                    continue
+                offer_at[lid] = compute_offers(lid, members, candidates)
+            touched = set()
+            added = 0.0
+            granted: List[int] = []
+            for fid in growing:
+                path = path_of[fid]
+                extra = min(
+                    offer_at.get(lid, _NO_OFFERS).get(fid, 0.0)
+                    for lid in path
+                )
+                if extra <= 0.0:
+                    continue
+                rate[fid] += extra
+                added = max(added, extra)
+                granted.append(fid)
+                for lid in path:
+                    used[lid] += extra
+                    touched.add(lid)
+            # Retire flows that reached their own cap, and flows
+            # blocked by links that just saturated.
+            for fid in granted:
+                if rate[fid] >= limit[fid] - eps:
+                    growing.discard(fid)
+            for lid in list(touched):
+                if used[lid] >= caps[lid] - eps:
+                    for f in on_link[lid]:
+                        if f.flow_id in growing:
+                            growing.discard(f.flow_id)
+                            touched.update(path_of[f.flow_id])
+            if added <= eps:
+                return
+
+    def _weighted_offers(lid, members, candidates):
+        """Main phase: discipline targets minus current holdings."""
+        blocked_usage = 0.0
+        for f in members:
+            if f.flow_id not in growing:
+                blocked_usage += rate[f.flow_id]
+        usable = max(0.0, caps[lid] - blocked_usage)
+        demands = [limit[f.flow_id] for f in candidates]
+        targets = schedulers[lid].allocate(usable, candidates, demands)
+        offers = {
+            f.flow_id: max(0.0, targets[i] - rate[f.flow_id])
+            for i, f in enumerate(candidates)
+        }
+        # A flow may already hold more than this round's target for it
+        # (targets shrink as the candidate set changes), and held
+        # bandwidth is never reclaimed -- so cap the round's total
+        # hand-out at the link's true residual.
+        residual = max(0.0, caps[lid] - used[lid])
+        total_offer = sum(offers.values())
+        if total_offer > residual and total_offer > 0.0:
+            factor = residual / total_offer
+            offers = {fid: o * factor for fid, o in offers.items()}
+        return offers
+
+    def _mopup_offers(lid, members, candidates):
+        """Mop-up phase: leftover capacity, per-flow fair."""
+        residual = max(0.0, caps[lid] - used[lid])
+        headrooms = [
+            limit[f.flow_id] - rate[f.flow_id] for f in candidates
+        ]
+        grants = water_fill(residual, headrooms)
+        return {f.flow_id: grants[i] for i, f in enumerate(candidates)}
+
+    _run_rounds(_weighted_offers)
+
+    # -- work-conserving mop-up -----------------------------------------
+    # The weighted rounds above can stall with residual capacity left:
+    # a queue's share may be unclaimable because its members are
+    # limited elsewhere, while sibling-queue flows still hunger.  A
+    # real WRR scheduler grants unclaimed slots to whichever backlogged
+    # queue is next, so leftover capacity is distributed per-flow fair
+    # to any unblocked, under-cap flow.
+    growing = {
+        fid
+        for fid in rate
+        if rate[fid] < limit[fid] - eps
+        and all(used[lid] < caps[lid] - eps for lid in path_of[fid])
+    }
+    _run_rounds(_mopup_offers)
+    return rate

@@ -1,0 +1,114 @@
+"""Flow abstraction for the fluid simulator.
+
+A flow is a point-to-point transfer of a known number of bytes along a
+fixed path of directed links.  Flows belong to an application (``app``)
+and may carry a priority level (``pl``), which the active allocation
+policy maps to a queue at each output port.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+_flow_ids = itertools.count()
+
+
+def _next_flow_id() -> int:
+    return next(_flow_ids)
+
+
+@dataclass
+class Flow:
+    """A fluid flow.
+
+    Attributes:
+        src/dst: endpoint node names.
+        size: total bytes to transfer.
+        app: identifier of the owning application (``None`` for
+            background traffic).
+        pl: priority level carried in packet headers; assigned by the
+            Saba library at connection-creation time.
+        coflow: identifier of the owning coflow (used by Sincronia).
+        rate_cap: application-limited sending rate in bytes/s (``None``
+            for network-limited flows).  Real workloads such as
+            PageRank emit shuffle traffic at the pace computation
+            produces it rather than at line rate; the cap is how the
+            fluid model expresses that, and schedulers redistribute the
+            unused share (work conservation).
+        aux_rate: non-network drain rate in bytes/s.  Real transfers
+            have progress paths the NIC throttle does not touch --
+            co-located partitions served from local disk, map-side
+            spill files, compressed fallbacks -- so completion time
+            *saturates* instead of growing like 1/bandwidth when the
+            network gets very slow.  The auxiliary rate drains the
+            flow's remaining bytes in addition to its network rate and
+            consumes no link capacity.
+        path: directed link ids from ``src`` to ``dst``; filled in by
+            the fabric at start time via the router.
+    """
+
+    src: str
+    dst: str
+    size: float
+    app: Optional[str] = None
+    pl: Optional[int] = None
+    coflow: Optional[str] = None
+    rate_cap: Optional[float] = None
+    aux_rate: float = 0.0
+    flow_id: int = field(default_factory=_next_flow_id)
+    path: Sequence[str] = field(default_factory=tuple)
+
+    # -- runtime state, managed by the fabric --------------------------
+    remaining: float = field(init=False)
+    rate: float = field(init=False, default=0.0)
+    start_time: Optional[float] = field(init=False, default=None)
+    finish_time: Optional[float] = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"flow {self.flow_id}: size must be > 0")
+        if self.src == self.dst:
+            raise ValueError(f"flow {self.flow_id}: src == dst ({self.src})")
+        if self.rate_cap is not None and self.rate_cap <= 0:
+            raise ValueError(f"flow {self.flow_id}: rate_cap must be > 0")
+        if self.aux_rate < 0:
+            raise ValueError(f"flow {self.flow_id}: aux_rate must be >= 0")
+        self.remaining = float(self.size)
+
+    @property
+    def demand_limit(self) -> float:
+        """Sending-rate ceiling (inf for network-limited flows)."""
+        return self.rate_cap if self.rate_cap is not None else float("inf")
+
+    @property
+    def done(self) -> bool:
+        """True once all bytes have been delivered."""
+        return self.remaining <= 0.0
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Completion latency, or ``None`` while in flight."""
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    @property
+    def drain_rate(self) -> float:
+        """Total progress rate: network share plus the auxiliary path."""
+        return self.rate + self.aux_rate
+
+    def advance(self, dt: float) -> None:
+        """Drain ``drain_rate * dt`` bytes; clamps at zero."""
+        if dt < 0:
+            raise ValueError(f"negative dt: {dt}")
+        self.remaining = max(0.0, self.remaining - self.drain_rate * dt)
+
+    def time_to_finish(self) -> float:
+        """Seconds until completion at the current rate (inf if stalled)."""
+        if self.done:
+            return 0.0
+        if self.drain_rate <= 0.0:
+            return float("inf")
+        return self.remaining / self.drain_rate

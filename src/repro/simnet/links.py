@@ -1,0 +1,72 @@
+"""Directed network links.
+
+A :class:`Link` is a unidirectional pipe with a fixed line-rate
+capacity and an optional *effective-capacity function* used by the
+InfiniBand-baseline policy to model congestion-control inefficiency
+(the gap between FECN's approximation of max-min fairness and the
+ideal; see DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link ``src -> dst``.
+
+    Attributes:
+        link_id: unique identifier, e.g. ``"server3->tor0"``.
+        src: name of the transmitting node.
+        dst: name of the receiving node.
+        capacity: line rate in bytes/second.
+    """
+
+    link_id: str
+    src: str
+    dst: str
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"link {self.link_id}: capacity must be > 0")
+        if self.src == self.dst:
+            raise ValueError(f"link {self.link_id}: src == dst ({self.src})")
+
+    def reverse_id(self) -> str:
+        """Identifier of the opposite-direction link, by naming convention."""
+        return f"{self.dst}->{self.src}"
+
+
+@dataclass
+class LinkState:
+    """Mutable per-link runtime state kept by the fabric.
+
+    ``throttle`` caps the usable fraction of the line rate; the offline
+    profiler uses it to emulate NIC rate-limiting (token-bucket caps of
+    5/10/25/50/75/90/100 % of link capacity, Section 7.1).
+
+    ``efficiency_fn`` maps the number of competing flows to a usable
+    fraction of capacity, modelling congestion-control inefficiency.
+    ``None`` means the link is ideal.
+    """
+
+    link: Link
+    throttle: float = 1.0
+    efficiency_fn: Optional[Callable[[int], float]] = field(default=None)
+
+    def effective_capacity(self, n_flows: int) -> float:
+        """Capacity usable by ``n_flows`` competing flows, in bytes/s."""
+        cap = self.link.capacity * self.throttle
+        if self.efficiency_fn is not None and n_flows > 0:
+            eff = self.efficiency_fn(n_flows)
+            cap *= min(1.0, max(0.0, eff))
+        return cap
+
+    def set_throttle(self, fraction: float) -> None:
+        """Set the usable fraction of line rate (profiler rate limiting)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"throttle must be in (0, 1], got {fraction}")
+        self.throttle = float(fraction)

@@ -1,0 +1,85 @@
+"""Token-bucket rate limiter.
+
+The paper's profiler enforces bandwidth caps "by a token bucket rate
+limiter in the InfiniBand driver" (Section 7.1).  The fluid simulator
+only needs the *average* rate cap (``LinkState.throttle``), but the
+token bucket is implemented faithfully here because the examples use
+it to demonstrate NIC-level throttling, and because it gives the test
+suite a self-contained, property-testable component.
+
+The bucket accumulates tokens (bytes) at ``rate`` up to ``burst``;
+:meth:`consume` succeeds when enough tokens are present, and
+:meth:`earliest_available` reports when a given amount could next be
+sent -- which is what a driver uses to pace DMA doorbells.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A classic token bucket over continuous time.
+
+    Args:
+        rate: refill rate in bytes/second.
+        burst: bucket depth in bytes (maximum instantaneous burst).
+        initial: starting fill; defaults to a full bucket.
+    """
+
+    def __init__(self, rate: float, burst: float, initial: float | None = None) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = self.burst if initial is None else min(float(initial), self.burst)
+        if self._tokens < 0:
+            raise ValueError("initial fill must be >= 0")
+        self._last_update = 0.0
+
+    @property
+    def tokens(self) -> float:
+        """Fill level as of the last update (no implicit refill)."""
+        return self._tokens
+
+    def refill(self, now: float) -> None:
+        """Accrue tokens up to ``now``."""
+        if now < self._last_update:
+            raise ValueError(
+                f"time moved backwards: {now} < {self._last_update}"
+            )
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last_update) * self.rate
+        )
+        self._last_update = now
+
+    def consume(self, amount: float, now: float) -> bool:
+        """Try to take ``amount`` bytes at time ``now``.
+
+        Returns True and debits the bucket on success; leaves the
+        bucket untouched (beyond the refill) on failure.
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        self.refill(now)
+        if amount <= self._tokens + 1e-12:
+            self._tokens -= amount
+            return True
+        return False
+
+    def earliest_available(self, amount: float, now: float) -> float:
+        """Earliest time at which ``amount`` bytes could be consumed.
+
+        Returns ``now`` if the bucket already holds enough.  ``amount``
+        larger than the burst can never be sent in one piece; callers
+        must fragment, so this raises ``ValueError``.
+        """
+        if amount > self.burst:
+            raise ValueError(
+                f"amount {amount} exceeds burst {self.burst}; fragment it"
+            )
+        self.refill(now)
+        if amount <= self._tokens:
+            return now
+        deficit = amount - self._tokens
+        return now + deficit / self.rate

@@ -1,0 +1,103 @@
+"""Routing: shortest paths with deterministic ECMP.
+
+The controller "gets the forwarding tables of switches in the network
+to detect the path of each connection" (Section 7.2); here the router
+*is* the forwarding state.  Paths are computed by breadth-first search
+over the directed topology graph; when several shortest paths exist
+(the spine tier), one is selected by a stable hash of the flow id, so
+a given flow always takes the same path -- matching per-flow ECMP.
+
+Results are cached per ``(src, dst)`` pair: the set of equal-cost
+paths is computed once, and each flow indexes into it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.simnet.topology import Topology
+
+
+def _stable_hash(value: int) -> int:
+    """Deterministic across processes (``hash()`` is salted for str)."""
+    digest = hashlib.blake2b(str(value).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class Router:
+    """Shortest-path ECMP router over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology, max_equal_paths: int = 8) -> None:
+        self.topology = topology
+        self.max_equal_paths = max_equal_paths
+        self._cache: Dict[Tuple[str, str], List[List[str]]] = {}
+
+    def equal_cost_paths(self, src: str, dst: str) -> List[List[str]]:
+        """All (up to ``max_equal_paths``) shortest paths, as link-id lists."""
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        paths = self._bfs_paths(src, dst)
+        if not paths:
+            raise RoutingError(f"no route from {src!r} to {dst!r}")
+        self._cache[key] = paths
+        return paths
+
+    def path_for_flow(self, src: str, dst: str, flow_id: int) -> List[str]:
+        """The ECMP-selected shortest path for one flow."""
+        paths = self.equal_cost_paths(src, dst)
+        index = _stable_hash(flow_id) % len(paths)
+        return paths[index]
+
+    def _bfs_paths(self, src: str, dst: str) -> List[List[str]]:
+        """Enumerate shortest node-paths via BFS levels, then convert to links."""
+        topo = self.topology
+        if not topo.has_node(src):
+            raise RoutingError(f"unknown source {src!r}")
+        if not topo.has_node(dst):
+            raise RoutingError(f"unknown destination {dst!r}")
+        if src == dst:
+            raise RoutingError("src == dst")
+        # BFS recording predecessor lists at the shortest level.
+        dist: Dict[str, int] = {src: 0}
+        preds: Dict[str, List[str]] = {}
+        frontier = deque([src])
+        found_level: Optional[int] = None
+        while frontier:
+            node = frontier.popleft()
+            if found_level is not None and dist[node] >= found_level:
+                break
+            for nxt in topo.neighbors(node):
+                if nxt not in dist:
+                    dist[nxt] = dist[node] + 1
+                    preds[nxt] = [node]
+                    if nxt == dst:
+                        found_level = dist[nxt]
+                    frontier.append(nxt)
+                elif dist[nxt] == dist[node] + 1:
+                    preds[nxt].append(node)
+        if dst not in dist:
+            return []
+        # Walk predecessor DAG back from dst, capped at max_equal_paths.
+        node_paths: List[List[str]] = []
+
+        def backtrack(node: str, suffix: List[str]) -> None:
+            if len(node_paths) >= self.max_equal_paths:
+                return
+            if node == src:
+                node_paths.append([src] + suffix)
+                return
+            for pred in preds.get(node, []):
+                backtrack(pred, [node] + suffix)
+
+        backtrack(dst, [])
+        link_paths = []
+        for nodes in node_paths:
+            link_paths.append(
+                [f"{a}->{b}" for a, b in zip(nodes, nodes[1:])]
+            )
+        return link_paths

@@ -1,0 +1,108 @@
+"""Utilization telemetry for Figure 2-style timelines.
+
+The motivation study (Section 2.3) plots per-server CPU and network
+utilization over time for LR and PR under 75 % and 25 % bandwidth.
+:class:`UtilizationRecorder` reconstructs those timelines from the
+fluid simulation:
+
+* network utilization is sampled by the fabric each time rates change
+  (rates are piecewise-constant, so these samples are exact);
+* CPU busy intervals are reported by the cluster runtime whenever a
+  compute phase starts/ends.
+
+``series()`` resamples either metric onto a uniform grid for plotting
+or assertions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class _StepSeries:
+    """Piecewise-constant series as parallel (time, value) arrays."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("telemetry samples must be time-ordered")
+        if self.times and time == self.times[-1]:
+            self.values[-1] = value
+            return
+        self.times.append(time)
+        self.values.append(value)
+
+    def value_at(self, time: float) -> float:
+        if not self.times or time < self.times[0]:
+            return 0.0
+        idx = bisect_right(self.times, time) - 1
+        return self.values[idx]
+
+
+class UtilizationRecorder:
+    """Records per-server network and CPU utilization in [0, 1]."""
+
+    def __init__(self) -> None:
+        self._network: Dict[str, _StepSeries] = {}
+        self._cpu: Dict[str, _StepSeries] = {}
+
+    # -- fabric-facing ---------------------------------------------------
+
+    def record_network(self, server: str, time: float, utilization: float) -> None:
+        """Sample the server's NIC utilization (fraction of line rate)."""
+        series = self._network.setdefault(server, _StepSeries())
+        series.append(time, max(0.0, min(1.0, utilization)))
+
+    # -- runtime-facing ---------------------------------------------------
+
+    def cpu_busy(self, server: str, time: float, busy: bool) -> None:
+        """Mark the server's CPU as busy/idle from ``time`` onward."""
+        series = self._cpu.setdefault(server, _StepSeries())
+        series.append(time, 1.0 if busy else 0.0)
+
+    # -- queries ----------------------------------------------------------
+
+    def servers(self) -> List[str]:
+        return sorted(set(self._network) | set(self._cpu))
+
+    def series(
+        self,
+        server: str,
+        metric: str,
+        t_end: float,
+        resolution: float = 1.0,
+        t_start: float = 0.0,
+    ) -> Tuple[List[float], List[float]]:
+        """Resample a metric onto a uniform grid.
+
+        ``metric`` is ``"network"`` or ``"cpu"``.  Returns parallel
+        lists of timestamps and utilization values in [0, 1].
+        """
+        if metric == "network":
+            series = self._network.get(server, _StepSeries())
+        elif metric == "cpu":
+            series = self._cpu.get(server, _StepSeries())
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        if resolution <= 0:
+            raise ValueError("resolution must be > 0")
+        times: List[float] = []
+        values: List[float] = []
+        t = t_start
+        while t <= t_end + 1e-12:
+            times.append(t)
+            values.append(series.value_at(t))
+            t += resolution
+        return times, values
+
+    def mean_utilization(self, server: str, metric: str, t_end: float) -> float:
+        """Time-weighted mean utilization over [0, t_end]."""
+        times, values = self.series(server, metric, t_end, resolution=max(t_end / 2000.0, 1e-6))
+        if not values:
+            return 0.0
+        return sum(values) / len(values)

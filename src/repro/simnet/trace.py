@@ -1,0 +1,157 @@
+"""Flow-trace export and summary statistics.
+
+The fluid fabric keeps every completed :class:`~repro.simnet.flows.Flow`
+with its start/finish times; this module turns that into analysable
+records (dicts, CSV, JSON) and provides the small statistics toolkit
+the benchmarks use (percentiles, CDF points, FCT summaries) --
+flow-completion-time analysis being the lingua franca of the related
+work the paper compares against (Homa, Sincronia, pFabric).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.flows import Flow
+
+_FIELDS = (
+    "flow_id", "app", "coflow", "pl", "src", "dst", "size",
+    "start_time", "finish_time", "duration", "mean_rate",
+)
+
+
+def flow_record(flow: Flow) -> Dict[str, object]:
+    """One completed flow as a plain record."""
+    duration = flow.duration
+    return {
+        "flow_id": flow.flow_id,
+        "app": flow.app,
+        "coflow": flow.coflow,
+        "pl": flow.pl,
+        "src": flow.src,
+        "dst": flow.dst,
+        "size": flow.size,
+        "start_time": flow.start_time,
+        "finish_time": flow.finish_time,
+        "duration": duration,
+        "mean_rate": (flow.size / duration) if duration else None,
+    }
+
+
+def flow_records(fabric: FluidFabric) -> List[Dict[str, object]]:
+    """Records for every flow the fabric has completed."""
+    return [flow_record(f) for f in fabric.completed]
+
+
+def write_csv(records: Iterable[Dict[str, object]],
+              path: Union[str, Path]) -> int:
+    """Write records to CSV; returns the row count."""
+    records = list(records)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for record in records:
+            writer.writerow({k: record.get(k) for k in _FIELDS})
+    return len(records)
+
+
+def write_json(records: Iterable[Dict[str, object]],
+               path: Union[str, Path]) -> int:
+    records = list(records)
+    Path(path).write_text(json.dumps(records, indent=2))
+    return len(records)
+
+
+def read_csv(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read a trace back; numeric fields are parsed."""
+    numeric = {"flow_id", "pl", "size", "start_time", "finish_time",
+               "duration", "mean_rate"}
+    out: List[Dict[str, object]] = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            parsed: Dict[str, object] = {}
+            for key, value in row.items():
+                if value == "" or value is None:
+                    parsed[key] = None
+                elif key in numeric:
+                    parsed[key] = float(value)
+                else:
+                    parsed[key] = value
+            out.append(parsed)
+    return out
+
+
+# -- statistics -----------------------------------------------------------
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100]: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def cdf_points(values: Sequence[float]) -> List[tuple]:
+    """(value, cumulative fraction) pairs, as plotted in Figures 8b/12."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+@dataclass(frozen=True)
+class FctSummary:
+    """Flow-completion-time summary of a trace."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (
+            f"n={self.count} mean={self.mean:.3f} p50={self.p50:.3f} "
+            f"p90={self.p90:.3f} p99={self.p99:.3f} max={self.max:.3f}"
+        )
+
+
+def summarize_fct(
+    records: Iterable[Dict[str, object]],
+    app: Optional[str] = None,
+) -> FctSummary:
+    """FCT summary over a trace, optionally for one application."""
+    durations = [
+        float(r["duration"])
+        for r in records
+        if r.get("duration") is not None and (app is None or r.get("app") == app)
+    ]
+    if not durations:
+        raise ValueError("no completed flows matched")
+    return FctSummary(
+        count=len(durations),
+        mean=sum(durations) / len(durations),
+        p50=percentile(durations, 50),
+        p90=percentile(durations, 90),
+        p99=percentile(durations, 99),
+        max=max(durations),
+    )

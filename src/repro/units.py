@@ -1,0 +1,40 @@
+"""Unit helpers used across the simulator.
+
+All internal quantities use SI base units:
+
+* time        -- seconds (float)
+* data        -- bytes (float; fluid model, so fractional bytes are fine)
+* rate        -- bytes per second (float)
+
+The paper's hardware uses 56 Gbit/s InfiniBand FDR links, which we expose
+as :data:`GBPS_56`.  Helper constructors make intent explicit at call
+sites (``gbps(56)`` rather than ``56e9 / 8``).
+"""
+
+from __future__ import annotations
+
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bytes per second."""
+    return value * 1e9 / 8.0
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    return value * 1e6 / 8.0
+
+
+def to_gbps(rate_bytes_per_s: float) -> float:
+    """Convert bytes per second back to gigabits per second."""
+    return rate_bytes_per_s * 8.0 / 1e9
+
+
+#: Link speed of the paper's testbed (ConnectX-3 FDR InfiniBand).
+GBPS_56 = gbps(56)

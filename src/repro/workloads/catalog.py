@@ -1,0 +1,255 @@
+"""The ten named workloads of Table 1.
+
+Each :class:`WorkloadTemplate` captures a HiBench workload as a plan of
+stage groups plus scaling rules.  The free parameters (compute split,
+shuffle volume, synchronisation volume, overlap) were calibrated so
+that the *standalone slowdown curves* match the paper's measurements:
+
+* Figure 1a -- slowdown at 75 % and 25 % bandwidth, e.g. LR 1.3x/3.4x,
+  PR ~1.1x/1.4x, Sort ~1.0x/1.1x, average ~2.1x at 25 %;
+* Figure 5 -- SQL stays flat down to ~25 % then degrades steeply
+  (high compute/communication overlap), LR degrades smoothly;
+* Figure 2 -- PR hides part of its communication under compute
+  (non-zero ``overlap``), LR does not.
+
+Scaling rules (how a template turns into an
+:class:`~repro.workloads.model.ApplicationSpec` for a given dataset
+scale ``s`` and instance count ``n``; the profiler reference point is
+``s = 1``, ``n = 8``):
+
+* scaled compute per stage: ``compute_scaled * s**compute_exp * 8/n``
+  -- data-dependent work splits across instances;
+* fixed compute per stage: ``compute_fixed`` -- framework/startup
+  overhead, independent of ``s`` and ``n`` (workloads with a large
+  fixed share, like NI, lose model accuracy fastest when the runtime
+  dataset differs from the profiled one: Figure 6b);
+* shuffle: ``shuffle_time * s * 8/n`` seconds at full line rate --
+  dataset-proportional, split across instances;
+* synchronisation (model exchange / barrier traffic):
+  ``sync_time * (n/8)**sync_growth`` -- grows with the deployment,
+  which is what erodes model accuracy at 3-4x node counts
+  (Figure 6c; NW has the largest ``sync_growth``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.units import GBPS_56
+from repro.workloads.model import ApplicationSpec, Stage
+
+#: Node count used by the offline profiler (Section 8.1: 8-server pod).
+PROFILER_NODES = 8
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """A group of ``count`` identical stages within a template.
+
+    Time-valued fields are *seconds at full 56 Gb/s line rate* for the
+    reference configuration (dataset 1x, 8 instances); communication
+    fields are converted to bytes at instantiation.
+
+    ``rate_cap_fraction`` limits each instance's aggregate sending
+    rate to that fraction of line rate (application-limited traffic);
+    ``None`` means network-limited.
+    """
+
+    count: int
+    compute_fixed: float
+    compute_scaled: float
+    shuffle_time: float
+    sync_time: float
+    overlap: float = 0.0
+    rate_cap_fraction: float | None = None
+    aux_fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadTemplate:
+    """A Table-1 workload with its scaling behaviour.
+
+    ``compute_exp``/``comm_exp`` are the dataset-scale exponents for
+    compute work and shuffle volume.  They are sublinear by default:
+    real framework jobs have large constants (task launch, JVM, I/O
+    setup), so a 10x dataset does not run 10x longer -- and the paper's
+    §8.2 experiments, where 0.1x and 10x jobs co-run, only make sense
+    if job durations stay within the same order of magnitude.
+    """
+
+    name: str
+    category: str
+    dataset: str
+    plan: Tuple[StagePlan, ...]
+    sync_growth: float = 0.5
+    compute_exp: float = 0.7
+    comm_exp: float = 0.6
+    fanout: int = 3
+
+    def instantiate(
+        self,
+        dataset_scale: float = 1.0,
+        n_instances: int = PROFILER_NODES,
+        link_capacity: float = GBPS_56,
+    ) -> ApplicationSpec:
+        """Build the concrete application for a deployment shape."""
+        if dataset_scale <= 0:
+            raise ValueError(f"dataset_scale must be > 0: {dataset_scale}")
+        if n_instances < 1:
+            raise ValueError(f"n_instances must be >= 1: {n_instances}")
+        work = (dataset_scale ** self.compute_exp) * PROFILER_NODES / n_instances
+        shuffle_factor = (
+            dataset_scale ** self.comm_exp
+        ) * PROFILER_NODES / n_instances
+        sync_factor = (n_instances / PROFILER_NODES) ** self.sync_growth
+        stages: List[Stage] = []
+        for group in self.plan:
+            compute = group.compute_fixed + group.compute_scaled * work
+            comm_seconds = (
+                group.shuffle_time * shuffle_factor
+                + group.sync_time * sync_factor
+            )
+            rate_cap = (
+                group.rate_cap_fraction * link_capacity
+                if group.rate_cap_fraction is not None
+                else None
+            )
+            stage = Stage(
+                compute_time=compute,
+                comm_bytes=comm_seconds * link_capacity,
+                overlap=group.overlap,
+                rate_cap=rate_cap,
+                aux_rate=group.aux_fraction * link_capacity,
+            )
+            stages.extend([stage] * group.count)
+        return ApplicationSpec(
+            name=self.name,
+            stages=tuple(stages),
+            n_instances=n_instances,
+            fanout=self.fanout,
+        )
+
+
+def _t(name: str, category: str, dataset: str, plan: List[StagePlan],
+       **kwargs: float) -> WorkloadTemplate:
+    return WorkloadTemplate(
+        name=name, category=category, dataset=dataset, plan=tuple(plan),
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+#: The ten workloads of Table 1, ordered as in the paper.
+#:
+#: ``aux_fraction`` is the non-network drain path (fraction of line
+#: rate): bandwidth-hungry ML workloads have almost none (their
+#: shuffles are pure network), while Sort/WC/SQL/PR serve a large
+#: share of their transfers from co-located partitions and spill
+#: files, which is what makes their slowdown saturate (Figure 1a shows
+#: them at only 1.1-1.4x even at 25 % bandwidth).
+CATALOG: Dict[str, WorkloadTemplate] = {
+    tpl.name: tpl
+    for tpl in [
+        # -- Machine Learning ------------------------------------------------
+        # LR: bandwidth-hungry SGD with visible compute phases between
+        # gradient exchanges (Figure 2a); 1.25x @75 %, ~3x @25 %.
+        _t(
+            "LR", "ML", "10k samples",
+            [StagePlan(5, 0.4, 3.6, 15.5, 0.5, aux_fraction=0.05)],
+            sync_growth=0.3,
+        ),
+        # RF: the most bandwidth-sensitive workload in Figure 8a (3.9x).
+        _t(
+            "RF", "ML", "20k samples",
+            [StagePlan(4, 0.45, 4.05, 19.4, 0.6, aux_fraction=0.05)],
+            sync_growth=0.3,
+        ),
+        # GBT: many short boosting rounds, moderate sensitivity.
+        _t(
+            "GBT", "ML", "1k samples",
+            [StagePlan(6, 0.3, 2.7, 4.8, 1.2, aux_fraction=0.04)],
+            sync_growth=0.8, compute_exp=0.85,
+        ),
+        # SVM: sensitivity dominated by dataset-proportional shuffle, so
+        # its model is the most robust to dataset-size changes (Fig 6b).
+        _t(
+            "SVM", "ML", "150k samples",
+            [StagePlan(6, 0.1, 4.4, 6.3, 0.2, aux_fraction=0.05)],
+            sync_growth=0.5,
+        ),
+        # -- Graph ------------------------------------------------------------
+        # NW: neighbourhood expansion; sync traffic grows superlinearly
+        # with deployment size (worst model accuracy at 3x nodes, Fig 6c).
+        _t(
+            "NW", "Graph", "# of graph edges: 4250M",
+            [StagePlan(6, 0.55, 4.95, 1.7, 2.8, aux_fraction=0.06)],
+            sync_growth=1.1, compute_exp=0.95,
+        ),
+        # -- Websearch ----------------------------------------------------------
+        # NI: heavy fixed indexing overhead per stage, so runtime dataset
+        # scale shifts its compute/communication balance the most (Fig 6b).
+        _t(
+            "NI", "Websearch", "100G samples",
+            [StagePlan(4, 3.25, 3.25, 5.5, 0.5, aux_fraction=0.06)],
+            sync_growth=0.3,
+        ),
+        # PR: compute-dominated with a large but mostly-local and
+        # partially-hidden exchange (the Figure 2b pattern: long
+        # network duty cycle, high CPU, slowdown only ~1.35x @25 %).
+        _t(
+            "PR", "Websearch", "50M pages",
+            [StagePlan(5, 1.0, 9.0, 7.7, 0.3, overlap=0.8,
+                       aux_fraction=0.45)],
+            sync_growth=0.5,
+        ),
+        # -- SQL -----------------------------------------------------------------
+        # SQL (Join): scan stages hide their exchange entirely behind
+        # compute (overlap 1.0) and serve most of it locally, so
+        # slowdown stays low down to 25 % and then degrades steeply --
+        # the non-linear curve of Figure 5.
+        _t(
+            "SQL", "SQL", "Two Tables, # of records: 5G & 120M",
+            [
+                StagePlan(4, 0.5, 4.5, 4.5, 0.0, overlap=1.0,
+                          aux_fraction=0.65),
+                StagePlan(1, 0.1, 0.9, 1.8, 0.2, aux_fraction=0.02),
+            ],
+            sync_growth=0.9,
+        ),
+        # -- Micro ------------------------------------------------------------------
+        # WC: the 300 GB input makes WC one of the biggest traffic
+        # sources on the wire, but combiner output trickles out under
+        # the long map phase and is served largely from local spill
+        # files -- slowdown only ~1.1x @25 %.
+        _t(
+            "WC", "Micro", "300GB",
+            [StagePlan(3, 1.5, 13.5, 10.95, 0.05, overlap=0.93,
+                       aux_fraction=0.45)],
+            sync_growth=0.3,
+        ),
+        # Sort: the largest shuffle volume in the suite (280 GB), yet
+        # disk-bound: spill traffic streams at I/O speed under the
+        # sort phase (1.1x @25 %), and its model stays accurate at 4x
+        # nodes (Fig 6c).
+        _t(
+            "Sort", "Micro", "280GB",
+            [StagePlan(2, 2.0, 18.0, 15.95, 0.05, overlap=0.95,
+                       aux_fraction=0.5)],
+            sync_growth=0.2,
+        ),
+    ]
+}
+
+
+def workload_names() -> List[str]:
+    """Catalog order as it appears in the paper's figures."""
+    return list(CATALOG.keys())
+
+
+def get_template(name: str) -> WorkloadTemplate:
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(CATALOG)}"
+        ) from None

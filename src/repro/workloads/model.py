@@ -1,0 +1,199 @@
+"""Staged bulk-synchronous application model.
+
+An application is a sequence of :class:`Stage` objects executed in
+lockstep by ``n_instances`` workers (the BSP pattern of Spark/Flink,
+Section 8.1: "Each workload emulates the computation and communication
+stages, which is a common pattern in parallel frameworks").
+
+Within a stage every instance
+
+1. computes for ``compute_time`` seconds,
+2. shuffles ``comm_bytes`` of egress traffic, split equally across
+   ``fanout`` ring-neighbour peers,
+3. optionally overlaps communication with the tail of its compute
+   phase: with overlap ``o``, flows are released after
+   ``(1 - o) * compute_time`` seconds.
+
+A barrier separates stages: the next stage starts only when all
+instances have finished both computing and communicating.
+
+Under an isolated run on a non-blocking switch with NICs throttled to
+a fraction ``b`` of line rate ``B``, the stage occupies
+
+    max(compute_time, (1 - o) * compute_time + comm_bytes / (b * B))
+
+seconds, which :meth:`ApplicationSpec.analytic_completion_time`
+evaluates in closed form; the test suite checks the event-driven
+simulation against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One compute+shuffle stage.
+
+    Attributes:
+        compute_time: seconds of CPU work per instance.
+        comm_bytes: egress bytes each instance sends during the
+            shuffle (0 for compute-only stages).
+        overlap: fraction of the compute phase during which the
+            shuffle may proceed concurrently, in [0, 1].  0 = strictly
+            sequential (compute, then communicate); 1 = fully
+            overlapped.
+        rate_cap: application-limited aggregate sending rate per
+            instance in bytes/s (``None`` = network-limited).  Models
+            workloads that emit traffic at the pace computation
+            produces it: long network duty cycles at moderate rates.
+        aux_rate: aggregate non-network drain rate per instance in
+            bytes/s.  Models the progress paths a NIC throttle cannot
+            touch (locally served partitions, spill files, compressed
+            fallbacks), which make real slowdown curves *saturate* at
+            low bandwidth -- the property that lets Saba starve
+            insensitive applications cheaply.
+    """
+
+    compute_time: float
+    comm_bytes: float = 0.0
+    overlap: float = 0.0
+    rate_cap: Optional[float] = None
+    aux_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute_time < 0:
+            raise ValueError(f"compute_time must be >= 0: {self.compute_time}")
+        if self.comm_bytes < 0:
+            raise ValueError(f"comm_bytes must be >= 0: {self.comm_bytes}")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ValueError(f"overlap must be in [0, 1]: {self.overlap}")
+        if self.rate_cap is not None and self.rate_cap <= 0:
+            raise ValueError(f"rate_cap must be > 0: {self.rate_cap}")
+        if self.aux_rate < 0:
+            raise ValueError(f"aux_rate must be >= 0: {self.aux_rate}")
+
+    def flow_release_offset(self) -> float:
+        """Delay from stage start until shuffle flows are injected."""
+        return (1.0 - self.overlap) * self.compute_time
+
+    def duration_at(self, bandwidth: float) -> float:
+        """Isolated stage duration when each instance's shuffle drains
+        at ``bandwidth`` bytes/s (aggregate over its fanout flows)."""
+        if self.comm_bytes == 0:
+            return self.compute_time
+        network = bandwidth if self.rate_cap is None else min(
+            bandwidth, self.rate_cap
+        )
+        effective = max(0.0, network) + self.aux_rate
+        if effective <= 0:
+            return float("inf")
+        comm_time = self.comm_bytes / effective
+        return max(self.compute_time, self.flow_release_offset() + comm_time)
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """A fully instantiated application: stages plus deployment shape.
+
+    Attributes:
+        name: workload name (e.g. ``"LR"``); instances of the same
+            workload in different jobs get distinct job ids at the
+            cluster level, not here.
+        stages: the stage sequence.
+        n_instances: number of workers executing the stage sequence.
+        fanout: shuffle peers per instance per stage (capped at
+            ``n_instances - 1`` by the runtime).
+        barrier: whether a global barrier separates stages.  Spark- and
+            Flink-style jobs (the Table-1 catalog) are bulk-synchronous:
+            stage k+1 starts only after *every* instance finishes stage
+            k.  The paper's synthetic simulator workloads are per-server
+            compute/communicate loops ("each server runs one workload"),
+            so their instances progress independently and only join at
+            job completion.
+    """
+
+    name: str
+    stages: Tuple[Stage, ...]
+    n_instances: int = 8
+    fanout: int = 3
+    barrier: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("an application needs at least one stage")
+        if self.n_instances < 1:
+            raise ValueError(f"n_instances must be >= 1: {self.n_instances}")
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1: {self.fanout}")
+
+    @property
+    def total_compute(self) -> float:
+        return sum(s.compute_time for s in self.stages)
+
+    @property
+    def total_comm_bytes(self) -> float:
+        """Egress bytes per instance over the whole run."""
+        return sum(s.comm_bytes for s in self.stages)
+
+    def effective_fanout(self) -> int:
+        return min(self.fanout, max(1, self.n_instances - 1))
+
+    def peers_of(self, instance: int) -> List[int]:
+        """Ring-neighbour shuffle peers of ``instance``.
+
+        Deterministic and uniform: instance ``i`` sends to
+        ``i+1 .. i+fanout`` (mod n), so every instance also *receives*
+        from exactly ``fanout`` peers, keeping ingress and egress
+        volumes balanced.
+        """
+        n = self.n_instances
+        f = self.effective_fanout()
+        return [(instance + 1 + j) % n for j in range(f)] if n > 1 else []
+
+    def analytic_completion_time(
+        self, bandwidth_fraction: float, link_capacity: float
+    ) -> float:
+        """Closed-form completion time for an *isolated* run.
+
+        Assumes a non-blocking fabric where each instance's NIC is the
+        only bottleneck, throttled to ``bandwidth_fraction`` of
+        ``link_capacity``.  Matches the event-driven simulation on a
+        single-switch topology (verified by tests).
+        """
+        if not 0.0 < bandwidth_fraction <= 1.0:
+            raise ValueError(
+                f"bandwidth_fraction must be in (0, 1]: {bandwidth_fraction}"
+            )
+        bandwidth = bandwidth_fraction * link_capacity
+        return sum(stage.duration_at(bandwidth) for stage in self.stages)
+
+    def slowdown_at(self, bandwidth_fraction: float, link_capacity: float) -> float:
+        """Isolated slowdown vs. unthrottled execution (the quantity the
+        offline profiler measures)."""
+        full = self.analytic_completion_time(1.0, link_capacity)
+        throttled = self.analytic_completion_time(bandwidth_fraction, link_capacity)
+        return throttled / full
+
+    def scaled(self, name_suffix: str = "", compute_scale: float = 1.0,
+               comm_scale: float = 1.0) -> "ApplicationSpec":
+        """A copy with uniformly scaled compute/communication."""
+        stages = tuple(
+            Stage(
+                compute_time=s.compute_time * compute_scale,
+                comm_bytes=s.comm_bytes * comm_scale,
+                overlap=s.overlap,
+                rate_cap=s.rate_cap,
+                aux_rate=s.aux_rate,
+            )
+            for s in self.stages
+        )
+        return ApplicationSpec(
+            name=self.name + name_suffix,
+            stages=stages,
+            n_instances=self.n_instances,
+            fanout=self.fanout,
+            barrier=self.barrier,
+        )

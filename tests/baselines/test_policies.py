@@ -1,0 +1,206 @@
+"""Tests for the baseline allocation policies."""
+
+import pytest
+
+from repro.baselines.homa import HomaPolicy
+from repro.baselines.infiniband import InfiniBandBaseline
+from repro.baselines.maxmin import IdealMaxMin
+from repro.baselines.sincronia import SincroniaPolicy
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.fairness import fecn_collapse
+from repro.simnet.flows import Flow
+from repro.simnet.topology import single_switch
+from repro.units import MB
+
+
+def _fabric(policy, n=4, capacity=100.0):
+    fabric = FluidFabric(single_switch(n, capacity=capacity))
+    fabric.set_policy(policy)
+    return fabric
+
+
+# -- fecn collapse ------------------------------------------------------------
+
+
+def test_fecn_collapse_shape():
+    eff = fecn_collapse(0.02)
+    assert eff(1) == 1.0
+    assert eff(2) == pytest.approx(1 / 1.02)
+    assert eff(51) == pytest.approx(1 / 2.0)
+
+
+def test_fecn_collapse_rejects_negative():
+    with pytest.raises(ValueError):
+        fecn_collapse(-0.1)
+
+
+# -- InfiniBand baseline ----------------------------------------------------------
+
+
+def test_baseline_single_flow_full_rate():
+    fabric = _fabric(InfiniBandBaseline(collapse_alpha=0.05))
+    flow = Flow(src="server0", dst="server1", size=100.0)
+    fabric.start_flow(flow)
+    fabric.run()
+    assert flow.finish_time == pytest.approx(1.0)
+
+
+def test_baseline_collapse_slows_competing_flows():
+    fabric = _fabric(InfiniBandBaseline(collapse_alpha=0.5))
+    f1 = Flow(src="server0", dst="server1", size=100.0)
+    f2 = Flow(src="server0", dst="server2", size=100.0)
+    fabric.start_flow(f1)
+    fabric.start_flow(f2)
+    fabric.recompute_rates()
+    # Two flows in one queue: efficiency 1/1.5, so 66.7 usable.
+    assert f1.rate + f2.rate == pytest.approx(100.0 / 1.5, rel=1e-3)
+
+
+def test_baseline_rejects_negative_alpha():
+    with pytest.raises(ValueError):
+        InfiniBandBaseline(collapse_alpha=-1.0)
+
+
+# -- ideal max-min ---------------------------------------------------------------
+
+
+def test_ideal_maxmin_no_collapse():
+    fabric = _fabric(IdealMaxMin())
+    f1 = Flow(src="server0", dst="server1", size=100.0)
+    f2 = Flow(src="server0", dst="server2", size=100.0)
+    fabric.start_flow(f1)
+    fabric.start_flow(f2)
+    fabric.recompute_rates()
+    assert f1.rate + f2.rate == pytest.approx(100.0, rel=1e-6)
+    assert f1.rate == pytest.approx(f2.rate)
+
+
+def test_ideal_beats_baseline_under_fan_in():
+    """The Figure 10 ordering: ideal max-min > baseline."""
+
+    def total_time(policy):
+        fabric = _fabric(policy)
+        flows = [
+            Flow(src="server0", dst=f"server{1 + i % 3}", size=100.0)
+            for i in range(6)
+        ]
+        for f in flows:
+            fabric.start_flow(f)
+        return fabric.run()
+
+    assert total_time(IdealMaxMin()) < total_time(
+        InfiniBandBaseline(collapse_alpha=0.05)
+    )
+
+
+# -- Homa --------------------------------------------------------------------------
+
+
+def test_homa_prioritises_short_flows():
+    fabric = _fabric(HomaPolicy())
+    short = Flow(src="server0", dst="server1", size=0.5 * MB)
+    long = Flow(src="server0", dst="server2", size=500 * MB)
+    fabric.start_flow(long)
+    fabric.start_flow(short)
+    fabric.recompute_rates()
+    # Short flow (class 0) preempts the long one on the shared NIC.
+    assert short.rate == pytest.approx(100.0, rel=1e-6)
+    assert long.rate == pytest.approx(0.0, abs=1e-6)
+
+
+def test_homa_same_class_shares_fairly():
+    fabric = _fabric(HomaPolicy())
+    f1 = Flow(src="server0", dst="server1", size=500 * MB)
+    f2 = Flow(src="server0", dst="server2", size=600 * MB)
+    fabric.start_flow(f1)
+    fabric.start_flow(f2)
+    fabric.recompute_rates()
+    assert f1.rate == pytest.approx(f2.rate)
+
+
+def test_homa_priority_rises_as_flow_drains():
+    policy = HomaPolicy()
+    flow = Flow(src="a", dst="b", size=500 * MB)
+    p_start = policy._priority_of(flow)
+    flow.remaining = 0.4 * MB
+    assert policy._priority_of(flow) < p_start
+
+
+def test_homa_rejects_unsorted_cutoffs():
+    with pytest.raises(ValueError):
+        HomaPolicy(cutoffs=(10.0, 5.0))
+
+
+# -- Sincronia ------------------------------------------------------------------------
+
+
+def test_sincronia_orders_small_coflow_first():
+    fabric = _fabric(SincroniaPolicy())
+    # Coflow A: one small flow; coflow B: one large flow, same NIC.
+    a = Flow(src="server0", dst="server1", size=100.0, coflow="A")
+    b = Flow(src="server0", dst="server2", size=10000.0, coflow="B")
+    fabric.start_flow(b)
+    fabric.start_flow(a)
+    fabric.recompute_rates()
+    # BSSI: the bottleneck port's largest coflow goes last.
+    assert a.rate == pytest.approx(100.0, rel=1e-6)
+    assert b.rate == pytest.approx(0.0, abs=1e-6)
+
+
+def test_sincronia_releases_priority_when_coflow_finishes():
+    fabric = _fabric(SincroniaPolicy())
+    a = Flow(src="server0", dst="server1", size=100.0, coflow="A")
+    b = Flow(src="server0", dst="server2", size=10000.0, coflow="B")
+    fabric.start_flow(b)
+    fabric.start_flow(a)
+    fabric.run()
+    assert a.finish_time == pytest.approx(1.0)
+    # B is fully preempted until A completes, then runs at line rate.
+    assert b.finish_time == pytest.approx(1.0 + 10000.0 / 100.0, rel=1e-3)
+
+
+def test_sincronia_flows_without_coflow_group_by_app():
+    fabric = _fabric(SincroniaPolicy())
+    f1 = Flow(src="server0", dst="server1", size=100.0, app="jobX")
+    f2 = Flow(src="server0", dst="server2", size=100.0, app="jobX")
+    fabric.start_flow(f1)
+    fabric.start_flow(f2)
+    fabric.recompute_rates()
+    # Same implicit coflow: fair share within the class.
+    assert f1.rate == pytest.approx(f2.rate)
+
+
+def test_sincronia_rank_clamped_to_classes():
+    policy = SincroniaPolicy(priority_classes=2)
+    fabric = _fabric(policy)
+    flows = [
+        Flow(src="server0", dst=f"server{1 + i % 3}", size=100.0 * (i + 1),
+             coflow=f"C{i}")
+        for i in range(5)
+    ]
+    for f in flows:
+        fabric.start_flow(f)
+    for f in flows:
+        assert 0 <= policy._priority_of(f) < 2
+
+
+def test_sincronia_rejects_bad_classes():
+    with pytest.raises(ValueError):
+        SincroniaPolicy(priority_classes=0)
+
+
+def test_sincronia_reorder_survives_exhausted_port_accounting():
+    """Regression: BSSI's port-demand bookkeeping used to KeyError when
+    a later coflow still referenced a port whose running total had
+    already been fully consumed (floating-point early deletion)."""
+    policy = SincroniaPolicy()
+    fabric = _fabric(policy, n=6)
+    # Several coflows overlapping on shared ports with equal demands,
+    # so the subtraction hits exact zero repeatedly.
+    for i in range(6):
+        fabric.start_flow(
+            Flow(src=f"server{i % 3}", dst=f"server{3 + i % 3}",
+                 size=1000.0, coflow=f"C{i % 3}")
+        )
+    fabric.run()  # must not raise
+    assert len(fabric.completed) == 6

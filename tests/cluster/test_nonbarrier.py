@@ -1,0 +1,89 @@
+"""Tests for the per-instance (non-barrier) execution mode."""
+
+import pytest
+
+from repro.baselines.maxmin import IdealMaxMin
+from repro.cluster.jobs import Job
+from repro.cluster.runtime import CoRunExecutor
+from repro.simnet.topology import single_switch
+from repro.workloads.model import ApplicationSpec, Stage
+from repro.workloads.synthetic import synthetic_workloads
+
+
+def _spec(barrier, compute=1.0, comm=0.0, stages=2, n=4, fanout=2):
+    stage = Stage(compute_time=compute, comm_bytes=comm)
+    return ApplicationSpec(name="x", stages=(stage,) * stages,
+                           n_instances=n, fanout=fanout, barrier=barrier)
+
+
+def _run(spec, topo=None):
+    topo = topo or single_switch(4, capacity=100.0)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    job = Job("j", spec, "x", topo.servers[: spec.n_instances])
+    return executor.run([job])["j"].completion_time
+
+
+def test_isolated_runs_agree_between_modes():
+    """With symmetric instances, barrier and per-instance execution
+    produce identical isolated completion times."""
+    t_barrier = _run(_spec(barrier=True, comm=200.0))
+    t_free = _run(_spec(barrier=False, comm=200.0))
+    assert t_free == pytest.approx(t_barrier, rel=1e-6)
+
+
+def test_nonbarrier_instances_decouple_under_asymmetry():
+    """A throttled server delays only its own instance without a
+    barrier, but delays the whole job with one."""
+    def timed(barrier):
+        topo = single_switch(4, capacity=100.0)
+        topo.set_uniform_throttle(["server0"], 0.25)
+        spec = _spec(barrier=barrier, compute=0.0, comm=100.0, stages=3)
+        return _run(spec, topo)
+
+    t_barrier = timed(True)
+    t_free = timed(False)
+    # The barrier forces every stage to wait for the slow server.
+    assert t_barrier > t_free - 1e-9
+    # Job completion is still gated by the slow instance in both modes.
+    assert t_free == pytest.approx(t_barrier, rel=0.35)
+
+
+def test_nonbarrier_job_waits_for_slowest_instance():
+    topo = single_switch(4, capacity=100.0)
+    topo.set_uniform_throttle(["server0"], 0.5)
+    spec = _spec(barrier=False, compute=0.0, comm=100.0, stages=1)
+    t = _run(spec, topo)
+    # server0's egress drains at 50 B/s: its 100 bytes take 2 s.
+    assert t == pytest.approx(2.0)
+
+
+def test_synthetic_workloads_are_nonbarrier():
+    for spec in synthetic_workloads(count=5):
+        assert spec.barrier is False
+
+
+def test_scaled_preserves_barrier_flag():
+    spec = _spec(barrier=False)
+    assert spec.scaled(comm_scale=2.0).barrier is False
+    spec = _spec(barrier=True)
+    assert spec.scaled(comm_scale=2.0).barrier is True
+
+
+def test_nonbarrier_cpu_telemetry_per_instance():
+    from repro.simnet.telemetry import UtilizationRecorder
+
+    topo = single_switch(4, capacity=100.0)
+    topo.set_uniform_throttle(["server0"], 0.5)
+    recorder = UtilizationRecorder()
+    spec = ApplicationSpec(
+        name="x",
+        stages=(Stage(compute_time=1.0, comm_bytes=100.0),) * 2,
+        n_instances=4, fanout=2, barrier=False,
+    )
+    executor = CoRunExecutor(topo, policy=IdealMaxMin(), recorder=recorder)
+    job = Job("j", spec, "x", topo.servers[:4])
+    executor.run([job])
+    # server1 (unthrottled) starts its second compute phase earlier
+    # than server0 would allow under a barrier.
+    _, cpu1 = recorder.series("server1", "cpu", t_end=3.0, resolution=0.25)
+    assert max(cpu1) == 1.0

@@ -1,0 +1,79 @@
+"""Tests for random placement under the §8.2 constraints."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.placement import PlacementError, random_placement
+
+SERVERS = [f"server{i}" for i in range(32)]
+
+
+def test_distinct_servers_per_job():
+    placements = random_placement([8, 16, 32], SERVERS, random.Random(0))
+    for placement in placements:
+        assert len(set(placement)) == len(placement)
+
+
+def test_constraint_one_instance_cap():
+    with pytest.raises(PlacementError):
+        random_placement([33], SERVERS, random.Random(0))
+
+
+def test_constraint_two_jobs_per_server_cap():
+    # 17 jobs x 32 instances each would need 17 jobs on every server.
+    with pytest.raises(PlacementError):
+        random_placement([32] * 17, SERVERS, random.Random(0))
+
+
+def test_paper_scale_always_feasible():
+    """16 jobs of 4..32 instances on 32 servers (the §8.2 setup)."""
+    rng = random.Random(7)
+    for _ in range(20):
+        counts = [rng.choice([4, 8, 16, 24, 32]) for _ in range(16)]
+        placements = random_placement(counts, SERVERS, rng)
+        load = {}
+        for placement in placements:
+            for s in placement:
+                load[s] = load.get(s, 0) + 1
+        assert max(load.values()) <= 16
+
+
+def test_zero_instances_rejected():
+    with pytest.raises(PlacementError):
+        random_placement([0], SERVERS, random.Random(0))
+
+
+def test_balanced_load():
+    placements = random_placement([16] * 8, SERVERS, random.Random(3))
+    load = {s: 0 for s in SERVERS}
+    for placement in placements:
+        for s in placement:
+            load[s] += 1
+    # 128 instance slots over 32 servers = 4 each; least-loaded-first
+    # keeps the spread tight.
+    assert max(load.values()) - min(load.values()) <= 1
+
+
+def test_randomness_differs_across_seeds():
+    a = random_placement([8], SERVERS, random.Random(1))
+    b = random_placement([8], SERVERS, random.Random(2))
+    assert a != b
+
+
+@given(
+    counts=st.lists(st.integers(min_value=1, max_value=16), min_size=1,
+                    max_size=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60)
+def test_placement_properties(counts, seed):
+    servers = [f"s{i}" for i in range(16)]
+    placements = random_placement(counts, servers, random.Random(seed),
+                                  max_jobs_per_server=len(counts))
+    assert len(placements) == len(counts)
+    for count, placement in zip(counts, placements):
+        assert len(placement) == count
+        assert len(set(placement)) == count
+        assert all(s in servers for s in placement)

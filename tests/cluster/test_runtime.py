@@ -1,0 +1,144 @@
+"""Integration tests for the co-run executor."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.baselines.maxmin import IdealMaxMin
+from repro.cluster.jobs import Job, JobResult
+from repro.cluster.runtime import CoRunExecutor
+from repro.simnet.telemetry import UtilizationRecorder
+from repro.simnet.topology import single_switch
+from repro.workloads.model import ApplicationSpec, Stage
+
+
+def _spec(name="app", compute=1.0, comm=0.0, stages=2, n=4, overlap=0.0,
+          fanout=2, aux=0.0):
+    stage = Stage(compute_time=compute, comm_bytes=comm, overlap=overlap,
+                  aux_rate=aux)
+    return ApplicationSpec(name=name, stages=(stage,) * stages,
+                           n_instances=n, fanout=fanout)
+
+
+def _job(job_id, spec, servers):
+    return Job(job_id, spec, spec.name, servers[: spec.n_instances])
+
+
+def test_compute_only_job_duration():
+    topo = single_switch(4, capacity=100.0)
+    spec = _spec(compute=2.0, stages=3)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    results = executor.run([_job("j0", spec, topo.servers)])
+    assert results["j0"].completion_time == pytest.approx(6.0)
+
+
+def test_comm_job_matches_analytic_model():
+    topo = single_switch(4, capacity=100.0)
+    # comm 200 bytes per instance over 2 peers at NIC 100 B/s: 2 s comm.
+    spec = _spec(compute=1.0, comm=200.0, stages=2)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    results = executor.run([_job("j0", spec, topo.servers)])
+    expected = spec.analytic_completion_time(1.0, 100.0)
+    assert results["j0"].completion_time == pytest.approx(expected, rel=1e-6)
+
+
+def test_overlap_hides_communication():
+    topo = single_switch(4, capacity=100.0)
+    hidden = _spec(name="h", compute=4.0, comm=100.0, stages=1, overlap=1.0)
+    exposed = _spec(name="e", compute=4.0, comm=100.0, stages=1, overlap=0.0)
+    t_hidden = CoRunExecutor(topo, policy=IdealMaxMin()).run(
+        [_job("h", hidden, topo.servers)]
+    )["h"].completion_time
+    topo2 = single_switch(4, capacity=100.0)
+    t_exposed = CoRunExecutor(topo2, policy=IdealMaxMin()).run(
+        [_job("e", exposed, topo2.servers)]
+    )["e"].completion_time
+    assert t_hidden == pytest.approx(4.0)
+    assert t_exposed == pytest.approx(5.0)
+
+
+def test_barrier_waits_for_slowest_flow():
+    """A stage ends only when every instance's flows finish."""
+    topo = single_switch(4, capacity=100.0)
+    spec = _spec(compute=0.0, comm=100.0, stages=1, n=4, fanout=2)
+    # Throttle one NIC: its instance's flows dominate the barrier.
+    topo.set_uniform_throttle(["server0"], 0.5)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    results = executor.run([_job("j0", spec, topo.servers)])
+    # server0 egress: 100 bytes at 50 B/s = 2 s (others finish in 1 s).
+    assert results["j0"].completion_time == pytest.approx(2.0)
+
+
+def test_co_running_jobs_contend():
+    topo = single_switch(2, capacity=100.0)
+    a = _spec(name="a", compute=0.0, comm=100.0, stages=1, n=2, fanout=1)
+    b = _spec(name="b", compute=0.0, comm=100.0, stages=1, n=2, fanout=1)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    results = executor.run(
+        [_job("a", a, topo.servers), _job("b", b, topo.servers)]
+    )
+    # Both shuffles share both NICs: each flow gets 50 B/s.
+    assert results["a"].completion_time == pytest.approx(2.0)
+    assert results["b"].completion_time == pytest.approx(2.0)
+
+
+def test_staggered_start_times():
+    topo = single_switch(2, capacity=100.0)
+    spec = _spec(compute=1.0, stages=1, n=2)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    results = executor.run(
+        [_job("j0", spec, topo.servers), _job("j1", spec, topo.servers)],
+        start_times=[0.0, 5.0],
+    )
+    assert results["j0"].start_time == 0.0
+    assert results["j1"].start_time == 5.0
+    assert results["j1"].end_time == pytest.approx(6.0)
+
+
+def test_duplicate_job_ids_rejected():
+    topo = single_switch(2, capacity=100.0)
+    spec = _spec(n=2)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    with pytest.raises(ValueError):
+        executor.run([_job("x", spec, topo.servers), _job("x", spec, topo.servers)])
+
+
+def test_max_time_guard():
+    topo = single_switch(2, capacity=100.0)
+    spec = _spec(compute=100.0, stages=1, n=2)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    with pytest.raises(SimulationError):
+        executor.run([_job("j0", spec, topo.servers)], max_time=1.0)
+
+
+def test_job_placement_size_validated():
+    spec = _spec(n=4)
+    with pytest.raises(ValueError):
+        Job("j0", spec, "app", ["server0", "server1"])
+    with pytest.raises(ValueError):
+        Job("j0", spec, "app", ["s0", "s0", "s1", "s2"])
+
+
+def test_cpu_telemetry_recorded():
+    topo = single_switch(2, capacity=100.0)
+    recorder = UtilizationRecorder()
+    spec = _spec(compute=2.0, stages=1, n=2)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin(), recorder=recorder)
+    executor.run([_job("j0", spec, topo.servers)])
+    _, values = recorder.series("server0", "cpu", t_end=3.0, resolution=0.5)
+    assert max(values) == 1.0
+    assert values[-1] == 0.0
+
+
+def test_aux_only_stage_progresses():
+    topo = single_switch(2, capacity=100.0)
+    stage = Stage(compute_time=0.0, comm_bytes=100.0, aux_rate=50.0)
+    spec = ApplicationSpec(name="x", stages=(stage,), n_instances=2, fanout=1)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    results = executor.run([_job("j0", spec, topo.servers)])
+    # 100 bytes at 100 (net) + 50 (aux) = 150 B/s.
+    assert results["j0"].completion_time == pytest.approx(100.0 / 150.0)
+
+
+def test_job_result_fields():
+    result = JobResult(job_id="x", workload="LR", start_time=1.0, end_time=4.0)
+    assert result.completion_time == pytest.approx(3.0)

@@ -1,0 +1,76 @@
+"""Tests for cluster-setup generation (§8.2 recipe)."""
+
+import random
+
+import pytest
+
+from repro.cluster.setups import (
+    DATASET_SCALES,
+    INSTANCE_MULTIPLIERS,
+    generate_setups,
+)
+from repro.units import GBPS_56
+from repro.workloads.catalog import CATALOG
+
+
+def test_recipe_domains_match_paper():
+    assert DATASET_SCALES == (0.1, 1.0, 10.0)
+    assert INSTANCE_MULTIPLIERS == (0.5, 1.0, 2.0, 3.0, 4.0)
+
+
+def test_generates_requested_counts():
+    setups = list(generate_setups(n_setups=5, jobs_per_setup=16, seed=1))
+    assert len(setups) == 5
+    assert all(len(s.jobs) == 16 for s in setups)
+
+
+def test_draws_within_domains():
+    for setup in generate_setups(n_setups=10, seed=2):
+        for job in setup.jobs:
+            assert job.workload in CATALOG
+            assert job.dataset_scale in DATASET_SCALES
+            assert 2 <= job.n_instances <= 32
+
+
+def test_deterministic_per_seed():
+    a = list(generate_setups(n_setups=3, seed=5))
+    b = list(generate_setups(n_setups=3, seed=5))
+    assert a == b
+    c = list(generate_setups(n_setups=3, seed=6))
+    assert a != c
+
+
+def test_draws_with_replacement():
+    """'16 jobs are randomly selected by drawing, with replacement'."""
+    found_duplicate = False
+    for setup in generate_setups(n_setups=20, seed=3):
+        names = [j.workload for j in setup.jobs]
+        if len(set(names)) < len(names):
+            found_duplicate = True
+            break
+    assert found_duplicate
+
+
+def test_materialize_produces_runnable_jobs():
+    setup = next(generate_setups(n_setups=1, seed=4))
+    servers = [f"server{i}" for i in range(32)]
+    jobs = setup.materialize(servers, random.Random(0), GBPS_56)
+    assert len(jobs) == 16
+    for desc, job in zip(setup.jobs, jobs):
+        assert job.spec.n_instances == desc.n_instances
+        assert len(job.placement) == desc.n_instances
+        assert job.workload == desc.workload
+
+
+def test_materialize_respects_fanout_override():
+    setup = next(generate_setups(n_setups=1, seed=4))
+    servers = [f"server{i}" for i in range(32)]
+    jobs = setup.materialize(servers, random.Random(0), GBPS_56, fanout=2)
+    assert all(job.spec.fanout == 2 for job in jobs)
+
+
+def test_invalid_args_rejected():
+    with pytest.raises(ValueError):
+        next(generate_setups(n_setups=0))
+    with pytest.raises(ValueError):
+        next(generate_setups(jobs_per_setup=0))

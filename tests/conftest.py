@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import OfflineProfiler
+from repro.core.table import SensitivityTable
+from repro.workloads.catalog import CATALOG
+
+
+@pytest.fixture(scope="session")
+def catalog_table() -> SensitivityTable:
+    """Sensitivity table for all ten workloads (analytic profiling --
+    the simulate/analytic equivalence has its own dedicated test)."""
+    profiler = OfflineProfiler(method="analytic")
+    return profiler.build_table(CATALOG.values())
+
+
+@pytest.fixture(scope="session")
+def small_table(catalog_table: SensitivityTable) -> SensitivityTable:
+    """Subset table used by controller-focused tests."""
+    table = SensitivityTable()
+    for name in ("LR", "PR", "Sort"):
+        table.add(catalog_table.get(name))
+    return table

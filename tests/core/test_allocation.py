@@ -1,0 +1,189 @@
+"""Tests for the Eq. 2 weight optimiser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError
+from repro.core.allocation import (
+    AllocationProblem,
+    equal_split,
+    optimize_weights,
+)
+from repro.core.sensitivity import PROFILE_FRACTIONS, fit_sensitivity_model
+
+SOLVERS = ("slsqp", "kkt", "projgrad")
+
+
+def _model(name, c, aux=0.0):
+    """Hyperbolic-with-floor model: D(b) = 1-c + c/(b+aux), floored."""
+    samples = [
+        (b, max(1.0, (1 - c) + c / (b + aux))) for b in PROFILE_FRACTIONS
+    ]
+    return fit_sensitivity_model(name, samples, degree=3)
+
+
+SENSITIVE = _model("sensitive", c=0.8)
+INSENSITIVE = _model("insensitive", c=0.1, aux=0.4)
+
+
+def test_single_app_gets_everything():
+    for solver in SOLVERS + ("auto",):
+        assert optimize_weights([SENSITIVE], solver=solver) == [1.0]
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+def test_weights_sum_to_total(solver):
+    weights = optimize_weights(
+        [SENSITIVE, INSENSITIVE, SENSITIVE], total=0.9, solver=solver
+    )
+    assert sum(weights) == pytest.approx(0.9, abs=1e-6)
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+def test_sensitive_app_gets_more(solver):
+    w_sens, w_insens = optimize_weights(
+        [SENSITIVE, INSENSITIVE], solver=solver
+    )
+    assert w_sens > w_insens + 0.1
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+def test_min_weight_respected(solver):
+    weights = optimize_weights(
+        [SENSITIVE, INSENSITIVE, INSENSITIVE],
+        min_weight=0.05,
+        solver=solver,
+    )
+    assert all(w >= 0.05 - 1e-9 for w in weights)
+
+
+def test_identical_models_get_equal_weights():
+    weights = optimize_weights([SENSITIVE, SENSITIVE, SENSITIVE])
+    assert weights[0] == pytest.approx(weights[1], abs=0.02)
+    assert weights[1] == pytest.approx(weights[2], abs=0.02)
+
+
+def test_solvers_agree_on_convex_instance():
+    models = [SENSITIVE, INSENSITIVE, _model("mid", c=0.4)]
+    results = {
+        solver: optimize_weights(models, solver=solver) for solver in SOLVERS
+    }
+    problem = AllocationProblem(models=tuple(models))
+    objectives = {
+        solver: problem.objective(w) for solver, w in results.items()
+    }
+    best = min(objectives.values())
+    for solver, val in objectives.items():
+        assert val <= best + 0.02, f"{solver} objective {val} vs best {best}"
+
+
+def test_kkt_matches_slsqp_closely():
+    models = [_model(f"m{i}", c=0.1 + 0.2 * i) for i in range(4)]
+    w_kkt = optimize_weights(models, solver="kkt")
+    w_slsqp = optimize_weights(models, solver="slsqp")
+    for a, b in zip(w_kkt, w_slsqp):
+        assert a == pytest.approx(b, abs=0.05)
+
+
+def test_auto_solver_runs():
+    weights = optimize_weights([SENSITIVE, INSENSITIVE], solver="auto")
+    assert sum(weights) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_unknown_solver_rejected():
+    with pytest.raises(AllocationError):
+        optimize_weights([SENSITIVE], solver="magic")
+
+
+def test_problem_validation():
+    with pytest.raises(AllocationError):
+        AllocationProblem(models=())
+    with pytest.raises(AllocationError):
+        AllocationProblem(models=(SENSITIVE,), total=0.0)
+    with pytest.raises(AllocationError):
+        AllocationProblem(models=(SENSITIVE,), min_weight=-0.1)
+    with pytest.raises(AllocationError):
+        # 3 apps x 0.5 floor > 1.0 total.
+        AllocationProblem(
+            models=(SENSITIVE, SENSITIVE, SENSITIVE), min_weight=0.5
+        )
+
+
+def test_equal_split():
+    problem = AllocationProblem(models=(SENSITIVE, INSENSITIVE), total=0.8)
+    assert equal_split(problem) == [0.4, 0.4]
+
+
+def test_objective_evaluates_sum_of_slowdowns():
+    problem = AllocationProblem(models=(SENSITIVE, INSENSITIVE))
+    val = problem.objective([0.5, 0.5])
+    assert val == pytest.approx(
+        SENSITIVE.predict(0.5) + INSENSITIVE.predict(0.5)
+    )
+
+
+def test_skewed_beats_equal_for_mixed_sensitivities():
+    """The crux of Section 2.2: an unequal split lowers total slowdown."""
+    problem = AllocationProblem(models=(SENSITIVE, INSENSITIVE))
+    optimal = optimize_weights([SENSITIVE, INSENSITIVE])
+    assert problem.objective(optimal) < problem.objective([0.5, 0.5]) - 0.05
+
+
+@given(
+    cs=st.lists(
+        st.floats(min_value=0.05, max_value=0.9), min_size=2, max_size=6
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_optimum_never_worse_than_equal_split(cs):
+    models = [_model(f"m{i}", c=c) for i, c in enumerate(cs)]
+    problem = AllocationProblem(models=tuple(models))
+    weights = optimize_weights(models)
+    assert sum(weights) == pytest.approx(1.0, abs=1e-5)
+    assert problem.objective(weights) <= (
+        problem.objective(equal_split(problem)) + 1e-4
+    )
+
+
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    total=st.floats(min_value=0.5, max_value=1.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_feasibility_properties(n, total):
+    models = [_model(f"m{i}", c=0.1 + 0.7 * i / n) for i in range(n)]
+    weights = optimize_weights(models, total=total, min_weight=0.01)
+    assert sum(weights) == pytest.approx(total, abs=1e-5)
+    assert all(w >= 0.01 - 1e-9 for w in weights)
+
+
+def test_floor_consumes_budget_returns_equal_split():
+    models = [SENSITIVE] * 10
+    weights = optimize_weights(models, total=1.0, min_weight=0.1)
+    assert weights == pytest.approx([0.1] * 10)
+
+
+def test_kkt_handles_mixed_degrees():
+    low = fit_sensitivity_model(
+        "low", [(b, max(1.0, 0.5 + 0.5 / b)) for b in PROFILE_FRACTIONS],
+        degree=1,
+    )
+    high = fit_sensitivity_model(
+        "high", [(b, max(1.0, 0.2 + 0.8 / b)) for b in PROFILE_FRACTIONS],
+        degree=3,
+    )
+    weights = optimize_weights([low, high], solver="kkt")
+    assert sum(weights) == pytest.approx(1.0, abs=1e-5)
+    assert weights[1] > weights[0]  # steeper model earns more
+
+
+def test_vectorised_kkt_matches_scalar_objective_at_scale():
+    models = [
+        _model(f"m{i}", c=0.05 + 0.9 * (i / 39)) for i in range(40)
+    ]
+    weights = optimize_weights(models, solver="kkt", min_weight=0.005)
+    problem = AllocationProblem(
+        models=tuple(models), min_weight=0.005
+    )
+    slsqp = optimize_weights(models, solver="slsqp", min_weight=0.005)
+    assert problem.objective(weights) <= problem.objective(slsqp) * 1.02

@@ -1,0 +1,126 @@
+"""Stateful property test of the controller.
+
+Hypothesis drives arbitrary interleavings of register / deregister /
+conn_create / conn_destroy and checks the §5 invariants after every
+step:
+
+* every application keeps the PL it was assigned at registration;
+* at every port with connections, the PLs of the applications present
+  map to queues whose weights sum to C_saba;
+* ports with no connections are reset to the unprogrammed state;
+* controller port accounting matches the shadow model exactly.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.controller import SabaController
+from repro.core.profiler import OfflineProfiler
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.topology import single_switch
+from repro.workloads.catalog import CATALOG
+
+TABLE = OfflineProfiler(method="analytic").build_table(CATALOG.values())
+WORKLOADS = tuple(CATALOG)
+SERVERS = 6
+
+
+class ControllerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.controller = SabaController(TABLE)
+        fabric = FluidFabric(single_switch(SERVERS, capacity=100.0))
+        fabric.set_policy(self.controller)
+        self.fabric = fabric
+        self.registered = {}  # job_id -> assigned PL
+        self.connections = []  # (job_id, path)
+        self.counter = 0
+
+    # -- rules -----------------------------------------------------------
+
+    @rule(workload=st.sampled_from(WORKLOADS))
+    def register(self, workload):
+        job_id = f"job{self.counter}"
+        self.counter += 1
+        pl = self.controller.app_register(job_id, workload)
+        self.registered[job_id] = pl
+
+    @precondition(lambda self: self.registered)
+    @rule(data=st.data())
+    def deregister(self, data):
+        job_id = data.draw(st.sampled_from(sorted(self.registered)))
+        self.controller.app_deregister(job_id)
+        del self.registered[job_id]
+        self.connections = [
+            (j, p) for j, p in self.connections if j != job_id
+        ]
+
+    @precondition(lambda self: self.registered)
+    @rule(data=st.data(),
+          src=st.integers(min_value=0, max_value=SERVERS - 1),
+          dst=st.integers(min_value=0, max_value=SERVERS - 1))
+    def connect(self, data, src, dst):
+        if src == dst:
+            return
+        job_id = data.draw(st.sampled_from(sorted(self.registered)))
+        path = [f"server{src}->switch0", f"switch0->server{dst}"]
+        self.controller.conn_create(job_id, path)
+        self.connections.append((job_id, tuple(path)))
+
+    @precondition(lambda self: self.connections)
+    @rule(data=st.data())
+    def disconnect(self, data):
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(self.connections) - 1)
+        )
+        job_id, path = self.connections.pop(index)
+        self.controller.conn_destroy(job_id, list(path))
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def pls_are_stable(self):
+        for job_id, pl in self.registered.items():
+            assert self.controller.pl_of(job_id) == pl
+
+    @invariant()
+    def port_accounting_matches_shadow(self):
+        shadow = {}
+        for job_id, path in self.connections:
+            for lid in path:
+                shadow.setdefault(lid, {}).setdefault(job_id, 0)
+                shadow[lid][job_id] += 1
+        actual = {
+            lid: dict(counter)
+            for lid, counter in self.controller._port_apps.items()
+            if counter
+        }
+        assert actual == shadow
+
+    @invariant()
+    def active_ports_weighted_idle_ports_reset(self):
+        topo = self.fabric.topology
+        active = {}
+        for job_id, path in self.connections:
+            for lid in path:
+                active.setdefault(lid, set()).add(job_id)
+        for lid, jobs in active.items():
+            table = topo.port_table(lid)
+            total = sum(table.weights)
+            assert total == pytest.approx(1.0, abs=1e-6)
+            for job_id in jobs:
+                queue = table.queue_of(self.registered[job_id])
+                assert table.weight_of(queue) > 0.0
+
+
+TestControllerMachine = ControllerMachine.TestCase
+TestControllerMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,133 @@
+"""Tests for the Saba library (software interface + connection manager)."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.core.controller import SabaController
+from repro.core.library import CONTROLLER_ENDPOINT, SabaLibrary
+from repro.core.rpc import RpcBus
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.topology import single_switch
+
+
+@pytest.fixture()
+def setup(small_table):
+    ctrl = SabaController(small_table)
+    fabric = FluidFabric(single_switch(4, capacity=100.0))
+    fabric.set_policy(ctrl)
+    bus = RpcBus()
+    lib = SabaLibrary(fabric, ctrl, bus=bus)
+    return ctrl, fabric, bus, lib
+
+
+def test_register_deregister_roundtrip(setup):
+    ctrl, fabric, bus, lib = setup
+    pl = lib.saba_app_register("a", "LR")
+    assert pl == ctrl.pl_of("a")
+    lib.saba_app_deregister("a")
+    with pytest.raises(RegistrationError):
+        lib.saba_app_deregister("a")
+
+
+def test_double_register_rejected(setup):
+    _, _, _, lib = setup
+    lib.saba_app_register("a", "LR")
+    with pytest.raises(RegistrationError):
+        lib.saba_app_register("a", "LR")
+
+
+def test_conn_create_requires_registration(setup):
+    _, _, _, lib = setup
+    with pytest.raises(RegistrationError):
+        lib.saba_conn_create("ghost", "server0", "server1", 10.0)
+
+
+def test_figure7_interaction_sequence(setup):
+    """Figure 7: register -> conn_create -> (flow completes ->
+    conn_destroy) -> deregister, all via RPC."""
+    ctrl, fabric, bus, lib = setup
+    lib.saba_app_register("a", "LR")
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "app_register")] == 1
+    flow = lib.saba_conn_create("a", "server0", "server1", 100.0)
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "conn_create")] == 1
+    assert flow.pl == ctrl.pl_of("a")
+    fabric.run()
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "conn_destroy")] == 1
+    lib.saba_app_deregister("a")
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "app_deregister")] == 1
+
+
+def test_completion_callback_chained_after_teardown(setup):
+    ctrl, fabric, _, lib = setup
+    lib.saba_app_register("a", "LR")
+    events = []
+    lib.saba_conn_create(
+        "a", "server0", "server1", 100.0,
+        on_complete=lambda f: events.append(ctrl.stats.conn_destroys),
+    )
+    fabric.run()
+    # conn_destroy already accounted when the user callback runs.
+    assert events == [1]
+
+
+def test_connection_api_adapters(setup, small_table):
+    ctrl, fabric, _, lib = setup
+    from repro.cluster.jobs import Job
+    from repro.workloads.catalog import CATALOG
+
+    spec = CATALOG["LR"].instantiate(n_instances=2)
+    job = Job("j0", spec, "LR", ["server0", "server1"])
+    lib.job_started(job)
+    assert ctrl.stats.registrations == 1
+    flow = lib.create("j0", "server0", "server1", 10.0,
+                      on_complete=lambda f: None, coflow="j0#s0")
+    assert flow.coflow == "j0#s0"
+    fabric.run()
+    lib.job_finished(job)
+    assert ctrl.stats.deregistrations == 1
+
+
+def test_library_reuses_existing_endpoint(small_table):
+    ctrl = SabaController(small_table)
+    fabric = FluidFabric(single_switch(4, capacity=100.0))
+    fabric.set_policy(ctrl)
+    bus = RpcBus()
+    SabaLibrary(fabric, ctrl, bus=bus)
+    # Second library on the same bus must not double-register.
+    SabaLibrary(fabric, ctrl, bus=bus)
+    assert bus.has_endpoint(CONTROLLER_ENDPOINT)
+
+
+def test_flow_rate_cap_and_aux_forwarded(setup):
+    _, fabric, _, lib = setup
+    lib.saba_app_register("a", "LR")
+    flow = lib.saba_conn_create(
+        "a", "server0", "server1", 100.0, rate_cap=5.0, aux_rate=2.0
+    )
+    assert flow.rate_cap == 5.0
+    assert flow.aux_rate == 2.0
+    fabric.run()
+
+
+def test_multipath_announces_all_equal_cost_ports(small_table):
+    """Section 5 footnote 2: with multipathing, the controller learns
+    every port on every equal-cost path, not just the chosen one."""
+    from repro.simnet.topology import spine_leaf
+
+    topo = spine_leaf(n_spine=3, n_leaf=4, n_tor=4, servers_per_tor=2,
+                      capacity=100.0)
+    ctrl = SabaController(small_table)
+    fabric = FluidFabric(topo)
+    fabric.set_policy(ctrl)
+    lib = SabaLibrary(fabric, ctrl, multipath=True)
+    lib.saba_app_register("a", "LR")
+    flow = lib.saba_conn_create("a", "server0", "server7", 100.0)
+    all_paths = fabric.router.equal_cost_paths("server0", "server7")
+    announced_ports = {lid for path in all_paths for lid in path}
+    # The controller holds state for every announced port.
+    for lid in announced_ports:
+        assert "a" in ctrl._port_apps.get(lid, {})
+    assert len(announced_ports) >= len(flow.path)
+    fabric.run()
+    # Teardown cleans up every announced port.
+    assert all("a" not in c for c in ctrl._port_apps.values())

@@ -1,0 +1,60 @@
+"""Tests for the control-plane RPC bus."""
+
+import pytest
+
+from repro.core.rpc import RpcBus, RpcError
+
+
+def test_register_and_call():
+    bus = RpcBus()
+    bus.register("ctrl", {"ping": lambda value: value + 1})
+    assert bus.call("ctrl", "ping", value=41) == 42
+
+
+def test_unknown_target_and_method():
+    bus = RpcBus()
+    bus.register("ctrl", {"ping": lambda: None})
+    with pytest.raises(RpcError):
+        bus.call("nope", "ping")
+    with pytest.raises(RpcError):
+        bus.call("ctrl", "pong")
+
+
+def test_duplicate_registration_rejected():
+    bus = RpcBus()
+    bus.register("ctrl", {})
+    with pytest.raises(RpcError):
+        bus.register("ctrl", {})
+
+
+def test_unregister_then_reregister():
+    bus = RpcBus()
+    bus.register("ctrl", {"ping": lambda: 1})
+    bus.unregister("ctrl")
+    assert not bus.has_endpoint("ctrl")
+    bus.register("ctrl", {"ping": lambda: 2})
+    assert bus.call("ctrl", "ping") == 2
+
+
+def test_call_counting():
+    bus = RpcBus()
+    bus.register("a", {"x": lambda: None, "y": lambda: None})
+    bus.register("b", {"x": lambda: None})
+    bus.call("a", "x")
+    bus.call("a", "x")
+    bus.call("a", "y")
+    bus.call("b", "x")
+    assert bus.call_counts[("a", "x")] == 2
+    assert bus.calls_to("a") == 3
+    assert bus.calls_to("b") == 1
+
+
+def test_handler_exceptions_propagate():
+    bus = RpcBus()
+
+    def boom():
+        raise RuntimeError("kaput")
+
+    bus.register("ctrl", {"boom": boom})
+    with pytest.raises(RuntimeError, match="kaput"):
+        bus.call("ctrl", "boom")

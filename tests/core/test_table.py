@@ -1,0 +1,74 @@
+"""Tests for the sensitivity table and its JSON persistence."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.core.sensitivity import SensitivityModel
+from repro.core.table import SensitivityTable
+
+
+def _model(name, coeffs=(0.2, 0.8), basis="inverse"):
+    return SensitivityModel(name=name, coefficients=coeffs, basis=basis)
+
+
+def test_add_and_get():
+    table = SensitivityTable([_model("LR")])
+    assert "LR" in table
+    assert table.get("LR").name == "LR"
+    assert len(table) == 1
+
+
+def test_duplicate_add_rejected_unless_replace():
+    table = SensitivityTable([_model("LR")])
+    with pytest.raises(ProfilingError):
+        table.add(_model("LR"))
+    table.add(_model("LR", coeffs=(0.5, 0.5)), replace=True)
+    assert table.get("LR").coefficients == (0.5, 0.5)
+
+
+def test_get_missing_mentions_available():
+    table = SensitivityTable([_model("LR")])
+    with pytest.raises(ProfilingError, match="LR"):
+        table.get("Sort")
+
+
+def test_iteration_and_names():
+    table = SensitivityTable([_model("B"), _model("A")])
+    assert table.names() == ["A", "B"]
+    assert {m.name for m in table} == {"A", "B"}
+
+
+def test_json_roundtrip():
+    table = SensitivityTable(
+        [
+            _model("LR", coeffs=(0.1, 0.9, -0.05)),
+            _model("Sort", coeffs=(1.0, 0.01), basis="power"),
+        ]
+    )
+    restored = SensitivityTable.from_json(table.to_json())
+    assert restored.names() == ["LR", "Sort"]
+    lr = restored.get("LR")
+    assert lr.coefficients == (0.1, 0.9, -0.05)
+    assert lr.basis == "inverse"
+    assert restored.get("Sort").basis == "power"
+
+
+def test_file_roundtrip(tmp_path):
+    table = SensitivityTable([_model("LR")])
+    path = tmp_path / "table.json"
+    table.save(path)
+    restored = SensitivityTable.load(path)
+    assert restored.get("LR").coefficients == (0.2, 0.8)
+
+
+def test_malformed_json_raises():
+    with pytest.raises(ProfilingError):
+        SensitivityTable.from_json("not json at all {")
+
+
+def test_predictions_survive_roundtrip():
+    model = _model("LR", coeffs=(0.15, 0.7, 0.02))
+    table = SensitivityTable([model])
+    restored = SensitivityTable.from_json(table.to_json()).get("LR")
+    for b in (0.1, 0.4, 0.9):
+        assert restored.predict(b) == pytest.approx(model.predict(b))

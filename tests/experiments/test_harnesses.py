@@ -1,0 +1,171 @@
+"""Fast smoke tests of every experiment harness at micro scale.
+
+The benchmarks assert the paper's shapes at CI scale; these tests only
+pin that each harness runs end to end and returns well-formed results,
+so refactors of the underlying machinery fail fast.
+"""
+
+import pytest
+
+from repro.experiments.common import (
+    build_catalog_table,
+    geomean,
+    make_policy,
+    speedup_report,
+    standalone_times,
+)
+from repro.experiments.fig1 import run_fig1a, run_fig1b
+from repro.experiments.fig2 import run_timeline
+from repro.experiments.fig5_fig6 import run_fig5, run_fig6a
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9c
+from repro.experiments.fig10_fig11 import (
+    build_simulation,
+    profile_synthetic,
+    run_fig10,
+    run_fig11a,
+)
+from repro.experiments.fig12 import run_scenario
+from repro.workloads.catalog import CATALOG
+
+TINY_TOPO = dict(n_spine=2, n_leaf=3, n_tor=4, servers_per_tor=4)
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_standalone_times_positive():
+    times = standalone_times(["LR", "Sort"], n_instances=4)
+    assert times["LR"] > 0
+    assert times["Sort"] > 0
+
+
+def test_make_policy_variants(catalog_table):
+    for name in ("baseline", "ideal"):
+        policy, factory = make_policy(name)
+        assert factory is None
+        assert policy.name
+    policy, factory = make_policy("saba", table=catalog_table)
+    assert factory is not None
+    with pytest.raises(ValueError):
+        make_policy("saba")
+    with pytest.raises(ValueError):
+        make_policy("unknown")
+
+
+def test_speedup_report(catalog_table):
+    from repro.cluster.jobs import JobResult
+
+    base = {"a": JobResult("a", "LR", 0.0, 10.0)}
+    other = {"a": JobResult("a", "LR", 0.0, 5.0)}
+    report = speedup_report(base, other)
+    assert report.per_job["a"] == pytest.approx(2.0)
+    assert report.average == pytest.approx(2.0)
+    assert report.workload_average("LR") == pytest.approx(2.0)
+
+
+def test_fig1a_smoke():
+    rows = run_fig1a(fractions=(0.5,), method="analytic")
+    assert set(rows) == set(CATALOG)
+    assert all(r[0.5] >= 1.0 for r in rows.values())
+
+
+def test_fig1b_smoke():
+    result = run_fig1b(n_servers=4)
+    assert set(result.maxmin) == {"LR", "PR"}
+    assert all(v >= 0.99 for v in result.maxmin.values())
+    assert result.average_completion("maxmin") > 0
+
+
+def test_fig2_smoke():
+    panel = run_timeline("PR", 0.5, n_servers=4, resolution=2.0)
+    assert panel.completion_time > 0
+    assert len(panel.times) == len(panel.cpu) == len(panel.network)
+    assert 0.0 <= panel.mean_cpu() <= 1.0
+
+
+def test_fig5_smoke():
+    panels = run_fig5(workloads=("LR",), degrees=(1, 2))
+    assert set(panels["LR"].models) == {1, 2}
+
+
+def test_fig6a_smoke():
+    scores = run_fig6a(degrees=(1,))
+    assert all(0.0 <= s[1] <= 1.0 for s in scores.values())
+
+
+def test_fig8_smoke(catalog_table):
+    result = run_fig8(
+        n_setups=1, jobs_per_setup=4, n_servers=8, table=catalog_table
+    )
+    assert len(result.setup_averages) == 1
+    assert result.average_speedup > 0
+    cdf = result.cdf()
+    assert cdf[-1][1] == pytest.approx(1.0)
+
+
+def test_fig9c_smoke():
+    results = run_fig9c(degrees=(1,))
+    assert set(results) == {1}
+    assert set(results[1]) == set(CATALOG)
+
+
+def test_fig10_smoke():
+    result = run_fig10(
+        policies=("saba", "homa"),
+        topology_kwargs=TINY_TOPO,
+        n_workloads=6,
+    )
+    assert set(result.speedups) == {"saba", "homa"}
+    assert result.average("saba") > 0
+
+
+def test_fig11a_smoke():
+    result = run_fig11a(topology_kwargs=TINY_TOPO, n_shards=2)
+    assert result["centralized"] > 0
+    assert result["distributed"] > 0
+
+
+def test_fig12_single_scenario():
+    scenario = run_scenario(n_apps=5, degree=2, n_servers=8,
+                            paths_per_app=4)
+    assert scenario.calc_time >= 0
+    assert scenario.n_apps == 5
+
+
+def test_build_simulation_places_every_instance():
+    make_topology, make_jobs, specs = build_simulation(
+        n_workloads=5, topology_kwargs=TINY_TOPO
+    )
+    jobs = make_jobs()
+    assert len(jobs) == 5
+    topo = make_topology()
+    for job in jobs:
+        assert all(s in topo.servers for s in job.placement)
+
+
+def test_profile_synthetic_covers_all():
+    _, _, specs = build_simulation(n_workloads=4, topology_kwargs=TINY_TOPO)
+    table = profile_synthetic(specs, rack_nodes=6)
+    assert len(table) == 4
+
+
+def test_fig11b_smoke():
+    from repro.experiments.fig10_fig11 import run_fig11b
+
+    result = run_fig11b(queue_counts=(2, None), topology_kwargs=TINY_TOPO)
+    assert set(result) == {"2", "unlimited"}
+    assert all(v > 0 for v in result.values())
+
+
+def test_dynamism_smoke(catalog_table):
+    from repro.experiments.extension_dynamism import run_dynamism
+
+    result = run_dynamism(jobs_per_setup=3, n_servers=8, mean_gap=2.0,
+                          table=catalog_table)
+    assert len(result.per_job_speedup) == 3
+    assert result.controller_registrations == 3
+    assert result.average_speedup > 0

@@ -1,0 +1,157 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(3.0, lambda: fired.append("c"))
+    sim.schedule_at(1.0, lambda: fired.append("a"))
+    sim.schedule_at(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_simultaneous_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule_at(1.0, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_schedule_relative_delay():
+    sim = Simulator(start_time=10.0)
+    fired = []
+    sim.schedule(2.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [12.5]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator(start_time=5.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.9, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule_at(1.0, lambda: fired.append("x"))
+    event.cancel()
+    sim.schedule_at(2.0, lambda: fired.append("y"))
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, lambda: fired.append(1))
+    sim.schedule_at(5.0, lambda: fired.append(5))
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_fires_event_exactly_at_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(2.0, lambda: fired.append(2))
+    sim.run(until=2.0)
+    assert fired == [2]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(1.0, lambda: fired.append("inner"))
+
+    sim.schedule_at(1.0, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+    assert sim.now == 2.0
+
+
+def test_max_events_bound():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1.0, rearm)
+
+    sim.schedule_at(0.0, rearm)
+    sim.run(max_events=10)
+    assert sim.events_processed == 10
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule_at(1.0, lambda: None)
+    sim.schedule_at(2.0, lambda: None)
+    e1.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_advance_to_moves_clock_without_events():
+    sim = Simulator()
+    sim.advance_to(7.0)
+    assert sim.now == 7.0
+    with pytest.raises(SimulationError):
+        sim.advance_to(6.0)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_events_processed_counts_only_executed():
+    sim = Simulator()
+    e = sim.schedule_at(1.0, lambda: None)
+    e.cancel()
+    sim.schedule_at(2.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_many_events_stress():
+    sim = Simulator()
+    fired = []
+    for i in range(2000):
+        sim.schedule_at(float(i % 97) + i * 1e-6, lambda i=i: fired.append(i))
+    sim.run()
+    assert len(fired) == 2000
+    # Events fired in timestamp order.
+    times = sorted(((i % 97) + i * 1e-6, i) for i in range(2000))
+    assert fired == [i for _, i in times]
+
+
+def test_cancel_inside_callback():
+    sim = Simulator()
+    fired = []
+    later = sim.schedule_at(2.0, lambda: fired.append("later"))
+
+    def first():
+        fired.append("first")
+        later.cancel()
+
+    sim.schedule_at(1.0, first)
+    sim.run()
+    assert fired == ["first"]

@@ -1,0 +1,112 @@
+"""Tests for the fabric's validation mode and an end-to-end invariant
+sweep with every policy on a shared scenario."""
+
+import pytest
+
+from repro.baselines.homa import HomaPolicy
+from repro.baselines.infiniband import InfiniBandBaseline
+from repro.baselines.maxmin import IdealMaxMin
+from repro.baselines.sincronia import SincroniaPolicy
+from repro.errors import SimulationError
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.flows import Flow
+from repro.simnet.topology import single_switch, spine_leaf
+
+
+def test_validation_passes_on_healthy_runs():
+    fabric = FluidFabric(single_switch(4, capacity=100.0), validate=True)
+    for i in range(3):
+        fabric.start_flow(
+            Flow(src="server0", dst=f"server{i + 1}", size=100.0)
+        )
+    fabric.run()
+    assert len(fabric.completed) == 3
+
+
+def test_rogue_scheduler_is_clamped_to_feasibility():
+    """Even a broken scheduler that offers 2x capacity cannot push the
+    network over line rate: the allocator's residual guard clamps every
+    round's hand-out (and validation stays silent)."""
+
+    class RoguePolicy:
+        name = "rogue"
+
+        def attach(self, fabric):
+            pass
+
+        def scheduler_of(self, link_id):
+            class Oversubscribe:
+                def usable_capacity(self, capacity, flows):
+                    return capacity
+
+                def allocate(self, capacity, flows, demands):
+                    return [capacity * 2.0] * len(flows)  # broken
+
+            return Oversubscribe()
+
+        def on_flow_started(self, flow):
+            pass
+
+        def on_flow_finished(self, flow):
+            pass
+
+    fabric = FluidFabric(single_switch(4, capacity=100.0), validate=True)
+    fabric.set_policy(RoguePolicy())
+    flows = [
+        Flow(src="server0", dst=f"server{i + 1}", size=100.0)
+        for i in range(2)
+    ]
+    for f in flows:
+        fabric.start_flow(f)
+    fabric.recompute_rates()
+    assert sum(f.rate for f in flows) <= 100.0 * (1 + 1e-6)
+
+
+def test_invariant_checker_flags_violations():
+    fabric = FluidFabric(single_switch(4, capacity=100.0), validate=True)
+    flow = Flow(src="server0", dst="server1", size=100.0)
+    fabric.start_flow(flow)
+    fabric.recompute_rates()
+
+    flow.rate = 250.0  # force an infeasible assignment
+    with pytest.raises(SimulationError, match="over line rate"):
+        fabric._check_invariants([flow])
+
+    flow.rate = -1.0
+    with pytest.raises(SimulationError, match="negative rate"):
+        fabric._check_invariants([flow])
+
+    flow.rate = 10.0
+    flow.rate_cap = 5.0
+    with pytest.raises(SimulationError, match="rate cap"):
+        fabric._check_invariants([flow])
+
+
+@pytest.mark.parametrize(
+    "policy_factory",
+    [
+        InfiniBandBaseline,
+        IdealMaxMin,
+        HomaPolicy,
+        SincroniaPolicy,
+        lambda: InfiniBandBaseline(collapse_alpha=0.2),
+    ],
+    ids=["infiniband", "ideal", "homa", "sincronia", "heavy-collapse"],
+)
+def test_every_policy_respects_invariants_on_spine_leaf(policy_factory):
+    topo = spine_leaf(n_spine=2, n_leaf=3, n_tor=3, servers_per_tor=3,
+                      capacity=100.0)
+    fabric = FluidFabric(topo, validate=True)
+    fabric.set_policy(policy_factory())
+    servers = topo.servers
+    for i in range(12):
+        src = servers[i % len(servers)]
+        dst = servers[(i * 5 + 3) % len(servers)]
+        if src == dst:
+            continue
+        fabric.start_flow(
+            Flow(src=src, dst=dst, size=500.0 * (1 + i), app=f"a{i % 4}",
+                 coflow=f"c{i % 3}", pl=i % 4)
+        )
+    fabric.run()
+    assert not fabric.active_flows

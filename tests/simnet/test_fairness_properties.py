@@ -1,0 +1,157 @@
+"""Property tests for the network-wide allocator under WFQ and
+priority disciplines (the fair case is pinned against exact max-min in
+test_fairness.py)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.fairness import (
+    FairScheduler,
+    PriorityScheduler,
+    WFQScheduler,
+    fecn_collapse,
+    network_rates,
+)
+from repro.simnet.flows import Flow
+
+INF = float("inf")
+
+
+def _flow(path, pl=0, rate_cap=None):
+    flow = Flow(src="a", dst="b", size=1e9, pl=pl, rate_cap=rate_cap)
+    flow.path = tuple(path)
+    return flow
+
+
+def _caps(caps):
+    return lambda lid, n: caps[lid]
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_wfq_network_feasible_and_work_conserving(data):
+    """Random WFQ networks: no link over capacity, and every flow is
+    either rate-capped or blocked by a saturated link."""
+    n_links = data.draw(st.integers(min_value=1, max_value=4))
+    caps = {
+        f"L{i}": data.draw(st.floats(min_value=1.0, max_value=50.0))
+        for i in range(n_links)
+    }
+    weights = [
+        data.draw(st.floats(min_value=0.05, max_value=5.0)) for _ in range(4)
+    ]
+    flows = []
+    for _ in range(data.draw(st.integers(min_value=1, max_value=12))):
+        length = data.draw(st.integers(min_value=1, max_value=n_links))
+        start = data.draw(st.integers(min_value=0, max_value=n_links - length))
+        pl = data.draw(st.integers(min_value=0, max_value=3))
+        cap = data.draw(
+            st.one_of(st.none(), st.floats(min_value=0.5, max_value=10.0))
+        )
+        flows.append(
+            _flow([f"L{j}" for j in range(start, start + length)], pl=pl,
+                  rate_cap=cap)
+        )
+    scheduler = WFQScheduler(
+        queue_of=lambda f: f.pl, weight_of=lambda q: weights[q]
+    )
+    rates = network_rates(flows, _caps(caps), lambda lid: scheduler)
+
+    # Feasibility.
+    for lid, cap in caps.items():
+        used = sum(rates[f.flow_id] for f in flows if lid in f.path)
+        assert used <= cap * (1 + 1e-6) + 1e-9
+    # Work conservation: every flow is capped or touches a ~full link.
+    tol = max(caps.values()) * 1e-4
+    for f in flows:
+        if f.rate_cap is not None and rates[f.flow_id] >= f.rate_cap - tol:
+            continue
+        assert any(
+            sum(rates[g.flow_id] for g in flows if lid in g.path)
+            >= caps[lid] - tol
+            for lid in f.path
+        ), "flow is neither capped nor blocked"
+
+
+@given(
+    w=st.floats(min_value=0.1, max_value=0.9),
+    cap=st.floats(min_value=2.0, max_value=100.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_wfq_single_link_matches_weights(w, cap):
+    f0 = _flow(["L"], pl=0)
+    f1 = _flow(["L"], pl=1)
+    scheduler = WFQScheduler(
+        queue_of=lambda f: f.pl,
+        weight_of=lambda q: (w, 1.0 - w)[q],
+    )
+    rates = network_rates([f0, f1], _caps({"L": cap}), lambda lid: scheduler)
+    assert rates[f0.flow_id] == pytest.approx(cap * w, rel=1e-3)
+    assert rates[f1.flow_id] == pytest.approx(cap * (1 - w), rel=1e-3)
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_priority_network_serves_highest_first(data):
+    """On a single link, total throughput of class 0 can't be raised
+    by any feasible reallocation (it already gets everything it can)."""
+    cap = data.draw(st.floats(min_value=5.0, max_value=50.0))
+    n_hi = data.draw(st.integers(min_value=1, max_value=4))
+    n_lo = data.draw(st.integers(min_value=1, max_value=4))
+    hi = [_flow(["L"], pl=0) for _ in range(n_hi)]
+    lo = [_flow(["L"], pl=1) for _ in range(n_lo)]
+    scheduler = PriorityScheduler(priority_of=lambda f: f.pl)
+    rates = network_rates(hi + lo, _caps({"L": cap}), lambda lid: scheduler)
+    hi_total = sum(rates[f.flow_id] for f in hi)
+    lo_total = sum(rates[f.flow_id] for f in lo)
+    assert hi_total == pytest.approx(cap, rel=1e-6)
+    assert lo_total == pytest.approx(0.0, abs=1e-6)
+
+
+def test_efficiency_loss_derates_link_capacity():
+    """Congestion-control losses shrink the link's usable capacity by
+    the weight-proportional mix of per-queue efficiencies."""
+    f0 = _flow(["L"], pl=0)
+    f1a = _flow(["L"], pl=1)
+    f1b = _flow(["L"], pl=1)
+    scheduler = WFQScheduler(
+        queue_of=lambda f: f.pl,
+        weight_of=lambda q: 1.0,
+        efficiency_fn=fecn_collapse(0.5),
+    )
+    # Mix: (eff(1) + eff(2)) / 2 = (1 + 1/1.5) / 2 = 5/6.
+    assert scheduler.usable_capacity(100.0, [f0, f1a, f1b]) == pytest.approx(
+        100.0 * 5.0 / 6.0
+    )
+    rates = network_rates(
+        [f0, f1a, f1b], _caps({"L": 100.0}), lambda lid: scheduler
+    )
+    total = rates[f0.flow_id] + rates[f1a.flow_id] + rates[f1b.flow_id]
+    assert total == pytest.approx(100.0 * 5.0 / 6.0, rel=1e-3)
+    # Equal queue weights: each queue gets half of the usable rate.
+    assert rates[f0.flow_id] == pytest.approx(
+        rates[f1a.flow_id] + rates[f1b.flow_id], rel=1e-3
+    )
+
+
+def test_spreading_flows_across_queues_raises_usable_capacity():
+    """The CC-mitigation effect of VL separation (Figure 10's driver):
+    the same flows in more queues waste less capacity."""
+    flows = [_flow(["L"], pl=i) for i in range(4)]
+    eff = fecn_collapse(0.2)
+    spread = WFQScheduler(
+        queue_of=lambda f: f.pl, weight_of=lambda q: 1.0, efficiency_fn=eff
+    )
+    lumped = WFQScheduler(
+        queue_of=lambda f: 0, weight_of=lambda q: 1.0, efficiency_fn=eff
+    )
+    assert spread.usable_capacity(100.0, flows) > lumped.usable_capacity(
+        100.0, flows
+    ) + 20.0
+
+
+def test_fair_scheduler_efficiency_applies_to_whole_link():
+    flows = [_flow(["L"]) for _ in range(3)]
+    scheduler = FairScheduler(efficiency_fn=fecn_collapse(0.5))
+    rates = network_rates(flows, _caps({"L": 100.0}), lambda lid: scheduler)
+    assert sum(rates.values()) == pytest.approx(100.0 / 2.0, rel=1e-2)

@@ -1,0 +1,146 @@
+"""Tests for flow state and switch queue tables."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.simnet.flows import Flow
+from repro.simnet.switch import QueueTable, Switch
+
+
+# -- flows ---------------------------------------------------------------
+
+
+def test_flow_validation():
+    with pytest.raises(ValueError):
+        Flow(src="a", dst="b", size=0.0)
+    with pytest.raises(ValueError):
+        Flow(src="a", dst="a", size=1.0)
+    with pytest.raises(ValueError):
+        Flow(src="a", dst="b", size=1.0, rate_cap=0.0)
+    with pytest.raises(ValueError):
+        Flow(src="a", dst="b", size=1.0, aux_rate=-1.0)
+
+
+def test_flow_ids_unique():
+    flows = [Flow(src="a", dst="b", size=1.0) for _ in range(10)]
+    assert len({f.flow_id for f in flows}) == 10
+
+
+def test_flow_advance_and_finish():
+    flow = Flow(src="a", dst="b", size=10.0)
+    flow.rate = 2.0
+    flow.advance(3.0)
+    assert flow.remaining == pytest.approx(4.0)
+    assert flow.time_to_finish() == pytest.approx(2.0)
+    flow.advance(2.0)
+    assert flow.done
+
+
+def test_flow_advance_clamps_at_zero():
+    flow = Flow(src="a", dst="b", size=1.0)
+    flow.rate = 100.0
+    flow.advance(1.0)
+    assert flow.remaining == 0.0
+
+
+def test_flow_aux_rate_progresses_without_network():
+    flow = Flow(src="a", dst="b", size=10.0, aux_rate=5.0)
+    flow.rate = 0.0
+    assert flow.time_to_finish() == pytest.approx(2.0)
+    flow.advance(1.0)
+    assert flow.remaining == pytest.approx(5.0)
+
+
+def test_flow_drain_rate_combines_network_and_aux():
+    flow = Flow(src="a", dst="b", size=10.0, aux_rate=1.0)
+    flow.rate = 3.0
+    assert flow.drain_rate == pytest.approx(4.0)
+
+
+def test_flow_stalled_without_rate():
+    flow = Flow(src="a", dst="b", size=10.0)
+    assert flow.time_to_finish() == float("inf")
+
+
+def test_flow_demand_limit():
+    assert Flow(src="a", dst="b", size=1.0).demand_limit == float("inf")
+    assert Flow(src="a", dst="b", size=1.0, rate_cap=5.0).demand_limit == 5.0
+
+
+def test_flow_negative_advance_rejected():
+    flow = Flow(src="a", dst="b", size=1.0)
+    with pytest.raises(ValueError):
+        flow.advance(-1.0)
+
+
+def test_flow_duration():
+    flow = Flow(src="a", dst="b", size=1.0)
+    assert flow.duration is None
+    flow.start_time = 1.0
+    flow.finish_time = 3.5
+    assert flow.duration == pytest.approx(2.5)
+
+
+# -- queue tables ----------------------------------------------------------
+
+
+def test_queue_table_defaults_to_single_queue():
+    table = QueueTable(num_queues=4)
+    assert table.queue_of(None) == 0
+    assert table.queue_of(7) == 0  # unmapped PL
+    assert table.weights == [1.0] * 4
+
+
+def test_queue_table_program_and_lookup():
+    table = QueueTable(num_queues=4)
+    table.program({0: 1, 3: 2}, {1: 0.7, 2: 0.3})
+    assert table.queue_of(0) == 1
+    assert table.queue_of(3) == 2
+    assert table.weight_of(1) == pytest.approx(0.7)
+    assert table.weight_of(0) == 0.0  # unmentioned queue gets zero
+
+
+def test_queue_table_generation_bumps():
+    table = QueueTable(num_queues=2)
+    g0 = table.generation
+    table.program({}, {})
+    assert table.generation == g0 + 1
+    table.reset()
+    assert table.generation == g0 + 2
+
+
+def test_queue_table_rejects_bad_programming():
+    table = QueueTable(num_queues=2)
+    with pytest.raises(TopologyError):
+        table.program({0: 5}, {})
+    with pytest.raises(TopologyError):
+        table.program({}, {5: 1.0})
+    with pytest.raises(TopologyError):
+        table.program({}, {0: -1.0})
+
+
+def test_queue_table_default_queue_redirect():
+    table = QueueTable(num_queues=4)
+    table.default_queue = 3
+    assert table.queue_of(None) == 3
+    table.reset()
+    assert table.queue_of(None) == 0
+
+
+def test_queue_table_needs_one_queue():
+    with pytest.raises(TopologyError):
+        QueueTable(num_queues=0)
+
+
+# -- switch --------------------------------------------------------------------
+
+
+def test_switch_ports():
+    switch = Switch("s0", num_queues=4)
+    port = switch.add_port("s0->a")
+    assert port.table.num_queues == 4
+    assert switch.port("s0->a") is port
+    with pytest.raises(TopologyError):
+        switch.add_port("s0->a")
+    with pytest.raises(TopologyError):
+        switch.port("s0->b")

@@ -1,0 +1,42 @@
+"""Focused tests for link state semantics used by the profiler."""
+
+import pytest
+
+from repro.simnet.links import Link, LinkState
+
+
+def test_effective_capacity_combines_throttle_and_efficiency():
+    link = Link(link_id="a->b", src="a", dst="b", capacity=100.0)
+    state = LinkState(link=link, efficiency_fn=lambda n: 0.5)
+    state.set_throttle(0.5)
+    assert state.effective_capacity(4) == pytest.approx(25.0)
+
+
+def test_efficiency_clamped_to_unit_interval():
+    link = Link(link_id="a->b", src="a", dst="b", capacity=100.0)
+    state = LinkState(link=link, efficiency_fn=lambda n: 1.5)
+    assert state.effective_capacity(2) == pytest.approx(100.0)
+    state.efficiency_fn = lambda n: -0.5
+    assert state.effective_capacity(2) == 0.0
+
+
+def test_zero_flows_skips_efficiency():
+    link = Link(link_id="a->b", src="a", dst="b", capacity=100.0)
+    calls = []
+
+    def eff(n):
+        calls.append(n)
+        return 0.1
+
+    state = LinkState(link=link, efficiency_fn=eff)
+    assert state.effective_capacity(0) == pytest.approx(100.0)
+    assert calls == []
+
+
+def test_throttle_bounds():
+    link = Link(link_id="a->b", src="a", dst="b", capacity=100.0)
+    state = LinkState(link=link)
+    state.set_throttle(1.0)
+    assert state.throttle == 1.0
+    state.set_throttle(0.05)
+    assert state.effective_capacity(1) == pytest.approx(5.0)

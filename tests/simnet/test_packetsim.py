@@ -1,0 +1,187 @@
+"""Packet-level DRR/priority simulator, and its cross-validation
+against the fluid schedulers -- the ground truth for the repo's central
+substitution (rate sharing in place of packet queueing)."""
+
+import pytest
+
+from repro.simnet.fairness import PriorityScheduler, WFQScheduler
+from repro.simnet.flows import Flow
+from repro.simnet.packetsim import (
+    DEFAULT_PACKET_SIZE,
+    DeficitRoundRobin,
+    PortSimulator,
+    StrictPriority,
+)
+
+CAPACITY = 1e6  # 1 MB/s keeps packet counts small
+
+
+def _drr_port(weights, **kwargs):
+    return PortSimulator(DeficitRoundRobin(weights), CAPACITY, **kwargs)
+
+
+# -- DRR behaviour ----------------------------------------------------------
+
+
+def test_drr_equal_weights_equal_shares():
+    port = _drr_port([1.0, 1.0])
+    f0 = port.add_flow(queue=0)
+    f1 = port.add_flow(queue=1)
+    port.run(10.0)
+    assert port.throughput_share(f0) == pytest.approx(0.5, abs=0.02)
+    assert port.throughput_share(f1) == pytest.approx(0.5, abs=0.02)
+
+
+@pytest.mark.parametrize("w", [0.25, 0.4, 0.75])
+def test_drr_weighted_shares(w):
+    port = _drr_port([w, 1.0 - w])
+    f0 = port.add_flow(queue=0)
+    f1 = port.add_flow(queue=1)
+    port.run(20.0)
+    assert port.throughput_share(f0) == pytest.approx(w, abs=0.03)
+    assert port.throughput_share(f1) == pytest.approx(1.0 - w, abs=0.03)
+
+
+def test_drr_work_conserving_when_queue_idle():
+    port = _drr_port([0.9, 0.1])
+    # Queue 0 has no flows at all; queue 1 should get the whole line.
+    f1 = port.add_flow(queue=1)
+    port.run(5.0)
+    assert port.throughput_share(f1) == pytest.approx(1.0, abs=0.01)
+
+
+def test_drr_paced_source_leaves_bandwidth():
+    port = _drr_port([0.5, 0.5])
+    paced = port.add_flow(queue=0, rate_cap=0.1 * CAPACITY)
+    greedy = port.add_flow(queue=1)
+    port.run(20.0)
+    assert port.throughput_share(paced) == pytest.approx(0.1, abs=0.02)
+    assert port.throughput_share(greedy) == pytest.approx(0.9, abs=0.02)
+
+
+def test_drr_fair_within_queue():
+    port = _drr_port([1.0])
+    flows = [port.add_flow(queue=0) for _ in range(4)]
+    port.run(10.0)
+    shares = [port.throughput_share(f) for f in flows]
+    for s in shares:
+        assert s == pytest.approx(0.25, abs=0.02)
+
+
+def test_finite_flow_completion_time():
+    port = _drr_port([1.0, 1.0])
+    small = port.add_flow(queue=0, size=100 * DEFAULT_PACKET_SIZE)
+    port.add_flow(queue=1)
+    port.run(10.0)
+    # At half line rate: 100 packets * (pkt/(cap/2)).
+    expected = 100 * DEFAULT_PACKET_SIZE / (CAPACITY / 2)
+    assert small.finish_time == pytest.approx(expected, rel=0.05)
+
+
+def test_drr_validation_errors():
+    with pytest.raises(ValueError):
+        DeficitRoundRobin([])
+    with pytest.raises(ValueError):
+        DeficitRoundRobin([-1.0])
+    with pytest.raises(ValueError):
+        PortSimulator(DeficitRoundRobin([1.0]), capacity=0.0)
+    with pytest.raises(ValueError):
+        PortSimulator(DeficitRoundRobin([1.0]), CAPACITY, packet_size=0.0)
+
+
+# -- strict priority -------------------------------------------------------------
+
+
+def test_strict_priority_starves_lower_class():
+    port = PortSimulator(StrictPriority(2), CAPACITY)
+    hi = port.add_flow(queue=0)
+    lo = port.add_flow(queue=1)
+    port.run(5.0)
+    assert port.throughput_share(hi) == pytest.approx(1.0, abs=0.01)
+    assert port.throughput_share(lo) == pytest.approx(0.0, abs=0.01)
+
+
+def test_strict_priority_releases_after_completion():
+    port = PortSimulator(StrictPriority(2), CAPACITY)
+    hi = port.add_flow(queue=0, size=50 * DEFAULT_PACKET_SIZE)
+    lo = port.add_flow(queue=1)
+    port.run(10.0)
+    assert hi.finish_time == pytest.approx(
+        50 * DEFAULT_PACKET_SIZE / CAPACITY, rel=0.02
+    )
+    assert lo.sent > 0
+
+
+# -- cross-validation against the fluid schedulers ----------------------------------
+
+
+def _fluid_shares(scheduler, flows):
+    demands = [f.demand_limit for f in flows]
+    alloc = scheduler.allocate(CAPACITY, flows, demands)
+    return [a / CAPACITY for a in alloc]
+
+
+def test_packet_drr_matches_fluid_wfq_on_weighted_mix():
+    """The central substitution check: byte-accurate DRR converges to
+    the fluid WFQ allocation for backlogged flows."""
+    weights = [0.6, 0.3, 0.1]
+    port = _drr_port(weights)
+    packet_flows = [port.add_flow(queue=q) for q in range(3)]
+    port.run(30.0)
+
+    fluid_flows = [
+        Flow(src="a", dst="b", size=1e12, pl=q) for q in range(3)
+    ]
+    for f in fluid_flows:
+        f.path = ("L",)
+    fluid = _fluid_shares(
+        WFQScheduler(queue_of=lambda f: f.pl,
+                     weight_of=lambda q: weights[q]),
+        fluid_flows,
+    )
+    for pf, fluid_share in zip(packet_flows, fluid):
+        assert port.throughput_share(pf) == pytest.approx(
+            fluid_share, abs=0.03
+        )
+
+
+def test_packet_drr_matches_fluid_wfq_with_paced_source():
+    """Work conservation under an application-limited flow matches."""
+    weights = [0.5, 0.5]
+    port = _drr_port(weights)
+    paced = port.add_flow(queue=0, rate_cap=0.2 * CAPACITY)
+    greedy = port.add_flow(queue=1)
+    port.run(30.0)
+
+    fluid_flows = [
+        Flow(src="a", dst="b", size=1e12, pl=0, rate_cap=0.2 * CAPACITY),
+        Flow(src="a", dst="b", size=1e12, pl=1),
+    ]
+    for f in fluid_flows:
+        f.path = ("L",)
+    fluid = _fluid_shares(
+        WFQScheduler(queue_of=lambda f: f.pl,
+                     weight_of=lambda q: weights[q]),
+        fluid_flows,
+    )
+    assert port.throughput_share(paced) == pytest.approx(fluid[0], abs=0.03)
+    assert port.throughput_share(greedy) == pytest.approx(fluid[1], abs=0.03)
+
+
+def test_packet_priority_matches_fluid_priority():
+    port = PortSimulator(StrictPriority(3), CAPACITY)
+    packet_flows = [port.add_flow(queue=q) for q in (0, 1, 1)]
+    port.run(20.0)
+
+    fluid_flows = [
+        Flow(src="a", dst="b", size=1e12, pl=pl) for pl in (0, 1, 1)
+    ]
+    for f in fluid_flows:
+        f.path = ("L",)
+    fluid = _fluid_shares(
+        PriorityScheduler(priority_of=lambda f: f.pl), fluid_flows
+    )
+    for pf, fluid_share in zip(packet_flows, fluid):
+        assert port.throughput_share(pf) == pytest.approx(
+            fluid_share, abs=0.03
+        )

@@ -1,0 +1,97 @@
+"""Tests for the token-bucket rate limiter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.ratelimit import TokenBucket
+
+
+def test_starts_full_and_allows_burst():
+    bucket = TokenBucket(rate=10.0, burst=100.0)
+    assert bucket.consume(100.0, now=0.0)
+    assert not bucket.consume(1.0, now=0.0)
+
+
+def test_refills_over_time():
+    bucket = TokenBucket(rate=10.0, burst=100.0)
+    assert bucket.consume(100.0, now=0.0)
+    assert not bucket.consume(50.0, now=1.0)  # only 10 accrued
+    assert bucket.consume(50.0, now=5.0)  # 50 accrued by t=5
+
+
+def test_refill_caps_at_burst():
+    bucket = TokenBucket(rate=10.0, burst=20.0)
+    bucket.refill(1000.0)
+    assert bucket.tokens == pytest.approx(20.0)
+
+
+def test_earliest_available():
+    bucket = TokenBucket(rate=10.0, burst=100.0, initial=0.0)
+    assert bucket.earliest_available(50.0, now=0.0) == pytest.approx(5.0)
+    assert bucket.earliest_available(0.0, now=0.0) == 0.0
+
+
+def test_earliest_available_rejects_oversized():
+    bucket = TokenBucket(rate=1.0, burst=10.0)
+    with pytest.raises(ValueError):
+        bucket.earliest_available(11.0, now=0.0)
+
+
+def test_time_cannot_go_backwards():
+    bucket = TokenBucket(rate=1.0, burst=1.0)
+    bucket.refill(5.0)
+    with pytest.raises(ValueError):
+        bucket.refill(4.0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=1.0, initial=-1.0)
+
+
+def test_negative_consume_rejected():
+    bucket = TokenBucket(rate=1.0, burst=1.0)
+    with pytest.raises(ValueError):
+        bucket.consume(-1.0, now=0.0)
+
+
+@given(
+    rate=st.floats(min_value=0.1, max_value=1e6),
+    burst=st.floats(min_value=0.1, max_value=1e6),
+    amounts=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=2.0),
+            st.floats(min_value=0.0, max_value=1e3),
+        ),
+        max_size=30,
+    ),
+)
+@settings(max_examples=150)
+def test_long_run_rate_is_bounded(rate, burst, amounts):
+    """Over any schedule, delivered bytes <= burst + rate * elapsed."""
+    bucket = TokenBucket(rate=rate, burst=burst)
+    now = 0.0
+    delivered = 0.0
+    for dt, fraction in amounts:
+        now += dt
+        amount = fraction * burst / 1e3
+        if bucket.consume(amount, now):
+            delivered += amount
+    assert delivered <= burst + rate * now + 1e-6
+
+
+@given(
+    rate=st.floats(min_value=0.5, max_value=100.0),
+    amount=st.floats(min_value=0.1, max_value=50.0),
+)
+@settings(max_examples=100)
+def test_earliest_available_is_consistent(rate, amount):
+    """Consuming at the reported earliest time always succeeds."""
+    burst = 100.0
+    bucket = TokenBucket(rate=rate, burst=burst, initial=0.0)
+    when = bucket.earliest_available(amount, now=0.0)
+    assert bucket.consume(amount, now=when)

@@ -1,0 +1,90 @@
+"""Tests for shortest-path ECMP routing."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.simnet.routing import Router
+from repro.simnet.topology import Topology, single_switch, spine_leaf
+
+
+def test_single_switch_two_hop_path():
+    topo = single_switch(4)
+    router = Router(topo)
+    path = router.path_for_flow("server0", "server1", flow_id=1)
+    assert path == ["server0->switch0", "switch0->server1"]
+
+
+def test_paths_are_deterministic_per_flow():
+    topo = spine_leaf(n_spine=3, n_leaf=4, n_tor=4, servers_per_tor=2)
+    router = Router(topo)
+    p1 = router.path_for_flow("server0", "server7", flow_id=42)
+    p2 = router.path_for_flow("server0", "server7", flow_id=42)
+    assert p1 == p2
+
+
+def test_ecmp_spreads_flows():
+    topo = spine_leaf(n_spine=4, n_leaf=4, n_tor=4, servers_per_tor=2)
+    router = Router(topo)
+    paths = {
+        tuple(router.path_for_flow("server0", "server7", flow_id=i))
+        for i in range(64)
+    }
+    assert len(paths) > 1  # multiple equal-cost paths in use
+
+
+def test_all_equal_cost_paths_same_length():
+    topo = spine_leaf(n_spine=3, n_leaf=4, n_tor=4, servers_per_tor=2)
+    router = Router(topo)
+    paths = router.equal_cost_paths("server0", "server7")
+    lengths = {len(p) for p in paths}
+    assert len(lengths) == 1
+
+
+def test_paths_are_link_connected():
+    topo = spine_leaf(n_spine=2, n_leaf=3, n_tor=3, servers_per_tor=2)
+    router = Router(topo)
+    for flow_id in range(10):
+        path = router.path_for_flow("server0", "server5", flow_id=flow_id)
+        # consecutive links chain: dst of link i == src of link i+1
+        for a, b in zip(path, path[1:]):
+            assert topo.link(a).dst == topo.link(b).src
+        assert topo.link(path[0]).src == "server0"
+        assert topo.link(path[-1]).dst == "server5"
+
+
+def test_no_route_raises():
+    topo = Topology()
+    topo.add_server("a")
+    topo.add_server("b")  # not connected
+    router = Router(topo)
+    with pytest.raises(RoutingError):
+        router.equal_cost_paths("a", "b")
+
+
+def test_same_endpoint_raises():
+    topo = single_switch(2)
+    router = Router(topo)
+    with pytest.raises(RoutingError):
+        router.equal_cost_paths("server0", "server0")
+
+
+def test_unknown_endpoint_raises():
+    topo = single_switch(2)
+    router = Router(topo)
+    with pytest.raises(RoutingError):
+        router.equal_cost_paths("server0", "ghost")
+
+
+def test_max_equal_paths_cap():
+    topo = spine_leaf(n_spine=8, n_leaf=8, n_tor=4, servers_per_tor=2)
+    router = Router(topo, max_equal_paths=3)
+    paths = router.equal_cost_paths("server0", "server7")
+    assert 1 <= len(paths) <= 3
+
+
+def test_cache_hit_returns_same_object():
+    topo = single_switch(3)
+    router = Router(topo)
+    a = router.equal_cost_paths("server0", "server1")
+    b = router.equal_cost_paths("server0", "server1")
+    assert a is b

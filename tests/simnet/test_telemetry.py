@@ -1,0 +1,83 @@
+"""Tests for the utilization recorder."""
+
+import pytest
+
+from repro.simnet.telemetry import UtilizationRecorder
+
+
+def test_network_series_step_semantics():
+    rec = UtilizationRecorder()
+    rec.record_network("s0", 0.0, 0.5)
+    rec.record_network("s0", 2.0, 1.0)
+    times, values = rec.series("s0", "network", t_end=3.0, resolution=1.0)
+    assert times == [0.0, 1.0, 2.0, 3.0]
+    assert values == [0.5, 0.5, 1.0, 1.0]
+
+
+def test_cpu_busy_intervals():
+    rec = UtilizationRecorder()
+    rec.cpu_busy("s0", 0.0, True)
+    rec.cpu_busy("s0", 5.0, False)
+    rec.cpu_busy("s0", 8.0, True)
+    _, values = rec.series("s0", "cpu", t_end=9.0, resolution=1.0)
+    assert values[:5] == [1.0] * 5
+    assert values[5:8] == [0.0] * 3
+    assert values[8:] == [1.0, 1.0]
+
+
+def test_value_before_first_sample_is_zero():
+    rec = UtilizationRecorder()
+    rec.record_network("s0", 5.0, 1.0)
+    _, values = rec.series("s0", "network", t_end=6.0, resolution=1.0)
+    assert values[0] == 0.0
+    assert values[-1] == 1.0
+
+
+def test_utilization_clamped_to_unit_interval():
+    rec = UtilizationRecorder()
+    rec.record_network("s0", 0.0, 1.7)
+    rec.record_network("s0", 1.0, -0.2)
+    _, values = rec.series("s0", "network", t_end=1.0, resolution=1.0)
+    assert values == [1.0, 0.0]
+
+
+def test_same_timestamp_overwrites():
+    rec = UtilizationRecorder()
+    rec.record_network("s0", 1.0, 0.3)
+    rec.record_network("s0", 1.0, 0.9)
+    _, values = rec.series("s0", "network", t_end=1.0, resolution=1.0)
+    assert values[-1] == 0.9
+
+
+def test_out_of_order_samples_rejected():
+    rec = UtilizationRecorder()
+    rec.record_network("s0", 2.0, 0.5)
+    with pytest.raises(ValueError):
+        rec.record_network("s0", 1.0, 0.5)
+
+
+def test_unknown_metric_rejected():
+    rec = UtilizationRecorder()
+    with pytest.raises(ValueError):
+        rec.series("s0", "disk", t_end=1.0)
+
+
+def test_bad_resolution_rejected():
+    rec = UtilizationRecorder()
+    with pytest.raises(ValueError):
+        rec.series("s0", "cpu", t_end=1.0, resolution=0.0)
+
+
+def test_servers_listing():
+    rec = UtilizationRecorder()
+    rec.record_network("b", 0.0, 0.1)
+    rec.cpu_busy("a", 0.0, True)
+    assert rec.servers() == ["a", "b"]
+
+
+def test_mean_utilization():
+    rec = UtilizationRecorder()
+    rec.cpu_busy("s0", 0.0, True)
+    rec.cpu_busy("s0", 5.0, False)
+    mean = rec.mean_utilization("s0", "cpu", t_end=10.0)
+    assert mean == pytest.approx(0.5, abs=0.05)

@@ -1,0 +1,183 @@
+"""Tests for topology construction and link state."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.simnet.links import Link, LinkState
+from repro.simnet.topology import Topology, single_switch, spine_leaf
+from repro.units import GBPS_56
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link(link_id="x", src="a", dst="b", capacity=0.0)
+    with pytest.raises(ValueError):
+        Link(link_id="x", src="a", dst="a", capacity=1.0)
+
+
+def test_link_reverse_id():
+    link = Link(link_id="a->b", src="a", dst="b", capacity=1.0)
+    assert link.reverse_id() == "b->a"
+
+
+def test_link_state_throttle():
+    link = Link(link_id="a->b", src="a", dst="b", capacity=100.0)
+    state = LinkState(link=link)
+    assert state.effective_capacity(1) == 100.0
+    state.set_throttle(0.25)
+    assert state.effective_capacity(1) == 25.0
+    with pytest.raises(ValueError):
+        state.set_throttle(0.0)
+    with pytest.raises(ValueError):
+        state.set_throttle(1.5)
+
+
+def test_link_state_efficiency_fn():
+    link = Link(link_id="a->b", src="a", dst="b", capacity=100.0)
+    state = LinkState(link=link, efficiency_fn=lambda n: 1.0 - 0.1 * (n > 1))
+    assert state.effective_capacity(1) == pytest.approx(100.0)
+    assert state.effective_capacity(5) == pytest.approx(90.0)
+
+
+def test_single_switch_shape():
+    topo = single_switch(8)
+    assert len(topo.servers) == 8
+    assert len(topo.switches) == 1
+    # 8 duplex server links = 16 directed links.
+    assert len(topo.links) == 16
+    nic = topo.nic_link("server3")
+    assert nic.src == "server3"
+    assert nic.capacity == GBPS_56
+
+
+def test_single_switch_rejects_tiny():
+    with pytest.raises(TopologyError):
+        single_switch(1)
+
+
+def test_duplicate_node_rejected():
+    topo = Topology()
+    topo.add_server("a")
+    with pytest.raises(TopologyError):
+        topo.add_server("a")
+    with pytest.raises(TopologyError):
+        topo.add_switch("a")
+
+
+def test_duplicate_link_rejected():
+    topo = Topology()
+    topo.add_server("a")
+    topo.add_switch("s")
+    topo.add_link("a", "s", 1.0)
+    with pytest.raises(TopologyError):
+        topo.add_link("a", "s", 1.0)
+
+
+def test_port_tables_exist_for_all_links():
+    topo = single_switch(4)
+    for link_id in topo.links:
+        table = topo.port_table(link_id)
+        assert table.num_queues >= 1
+
+
+def test_switch_of_link():
+    topo = single_switch(4)
+    assert topo.switch_of_link("switch0->server0") is not None
+    assert topo.switch_of_link("server0->switch0") is None
+
+
+def test_uniform_throttle_both_directions():
+    topo = single_switch(4)
+    topo.set_uniform_throttle(["server0", "server1"], 0.5)
+    assert topo.link_states["server0->switch0"].throttle == 0.5
+    assert topo.link_states["switch0->server0"].throttle == 0.5
+    assert topo.link_states["server2->switch0"].throttle == 1.0
+    topo.clear_throttles()
+    assert topo.link_states["server0->switch0"].throttle == 1.0
+
+
+def test_spine_leaf_paper_scale_counts():
+    topo = spine_leaf()  # paper defaults
+    assert len(topo.servers) == 108 * 18 == 1944
+    spines = [s for s in topo.switches if s.startswith("spine")]
+    leaves = [s for s in topo.switches if s.startswith("leaf")]
+    tors = [s for s in topo.switches if s.startswith("tor")]
+    assert len(spines) == 54
+    assert len(leaves) == 102
+    assert len(tors) == 108
+
+
+def test_spine_leaf_small_connectivity():
+    topo = spine_leaf(n_spine=2, n_leaf=4, n_tor=4, servers_per_tor=2)
+    assert len(topo.servers) == 8
+    # Every server has an egress NIC.
+    for server in topo.servers:
+        assert topo.nic_link(server).src == server
+    # Every ToR has at least two leaf uplinks.
+    for t in range(4):
+        uplinks = [
+            dst for dst in topo.neighbors(f"tor{t}") if dst.startswith("leaf")
+        ]
+        assert len(uplinks) >= 2
+
+
+def test_unknown_node_queries_raise():
+    topo = single_switch(2)
+    with pytest.raises(TopologyError):
+        topo.neighbors("nope")
+    with pytest.raises(TopologyError):
+        topo.link("nope")
+    with pytest.raises(TopologyError):
+        topo.nic_link("nope")
+    with pytest.raises(TopologyError):
+        topo.port_table("nope")
+
+
+def test_fat_tree_counts():
+    from repro.simnet.topology import fat_tree
+
+    topo = fat_tree(4)
+    assert len(topo.servers) == 16  # k^3/4
+    cores = [s for s in topo.switches if s.startswith("core")]
+    assert len(cores) == 4  # (k/2)^2
+    edges = [s for s in topo.switches if "edge" in s]
+    aggs = [s for s in topo.switches if "agg" in s]
+    assert len(edges) == len(aggs) == 8  # k pods x k/2
+
+
+def test_fat_tree_full_bisection_routing():
+    from repro.simnet.routing import Router
+    from repro.simnet.topology import fat_tree
+
+    topo = fat_tree(4)
+    router = Router(topo)
+    # Cross-pod path: server -> edge -> agg -> core -> agg -> edge -> server.
+    path = router.path_for_flow("server0", "server15", flow_id=3)
+    assert len(path) == 6
+    # Intra-edge path is two hops.
+    path = router.path_for_flow("server0", "server1", flow_id=3)
+    assert len(path) == 2
+
+
+def test_fat_tree_rejects_odd_arity():
+    from repro.simnet.topology import fat_tree
+
+    with pytest.raises(TopologyError):
+        fat_tree(3)
+    with pytest.raises(TopologyError):
+        fat_tree(0)
+
+
+def test_fat_tree_runs_traffic():
+    from repro.simnet.fabric import FluidFabric
+    from repro.simnet.flows import Flow
+    from repro.simnet.topology import fat_tree
+
+    topo = fat_tree(4, capacity=100.0)
+    fabric = FluidFabric(topo, validate=True)
+    for i in range(8):
+        fabric.start_flow(
+            Flow(src=f"server{i}", dst=f"server{15 - i}", size=100.0)
+        )
+    fabric.run()
+    assert len(fabric.completed) == 8

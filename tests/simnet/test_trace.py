@@ -1,0 +1,96 @@
+"""Tests for flow-trace export and the statistics toolkit."""
+
+import pytest
+
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.flows import Flow
+from repro.simnet.topology import single_switch
+from repro.simnet.trace import (
+    FctSummary,
+    cdf_points,
+    flow_records,
+    percentile,
+    read_csv,
+    summarize_fct,
+    write_csv,
+    write_json,
+)
+
+
+@pytest.fixture()
+def completed_fabric():
+    fabric = FluidFabric(single_switch(4, capacity=100.0))
+    for i in range(3):
+        fabric.start_flow(
+            Flow(src="server0", dst=f"server{i + 1}", size=100.0 * (i + 1),
+                 app=f"app{i % 2}", pl=i, coflow=f"c{i}")
+        )
+    fabric.run()
+    return fabric
+
+
+def test_flow_records_complete(completed_fabric):
+    records = flow_records(completed_fabric)
+    assert len(records) == 3
+    for record in records:
+        assert record["duration"] > 0
+        assert record["mean_rate"] == pytest.approx(
+            record["size"] / record["duration"]
+        )
+
+
+def test_csv_roundtrip(completed_fabric, tmp_path):
+    records = flow_records(completed_fabric)
+    path = tmp_path / "trace.csv"
+    assert write_csv(records, path) == 3
+    restored = read_csv(path)
+    assert len(restored) == 3
+    assert restored[0]["size"] == records[0]["size"]
+    assert restored[0]["app"] == records[0]["app"]
+
+
+def test_json_export(completed_fabric, tmp_path):
+    path = tmp_path / "trace.json"
+    assert write_json(flow_records(completed_fabric), path) == 3
+    assert path.read_text().startswith("[")
+
+
+def test_percentile_interpolation():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_cdf_points():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)),
+                      (3.0, pytest.approx(1.0))]
+    assert cdf_points([]) == []
+
+
+def test_summarize_fct(completed_fabric):
+    records = flow_records(completed_fabric)
+    summary = summarize_fct(records)
+    assert isinstance(summary, FctSummary)
+    assert summary.count == 3
+    assert summary.p50 <= summary.p90 <= summary.p99 <= summary.max
+
+
+def test_summarize_fct_per_app(completed_fabric):
+    records = flow_records(completed_fabric)
+    summary = summarize_fct(records, app="app0")
+    assert summary.count == 2  # flows 0 and 2
+
+
+def test_summarize_fct_empty():
+    with pytest.raises(ValueError):
+        summarize_fct([])

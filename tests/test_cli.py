@@ -1,0 +1,40 @@
+"""In-process tests of the CLI argument handling (light commands)."""
+
+import pytest
+
+from repro.__main__ import COMMANDS, main
+
+
+def test_list_returns_zero(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig1a", "fig8", "fig12", "report"):
+        assert name in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_fig1a_command(capsys):
+    assert main(["fig1a"]) == 0
+    out = capsys.readouterr().out
+    assert "LR" in out and "Sort" in out
+
+
+def test_fig5_command(capsys):
+    assert main(["fig5"]) == 0
+    assert "R2" in capsys.readouterr().out
+
+
+def test_report_command(tmp_path, capsys):
+    assert main(["report", "--out", str(tmp_path)]) == 0
+    assert (tmp_path / "fig1a.json").exists()
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_every_command_registered():
+    for name in ("fig1a", "fig1b", "fig2", "fig5", "fig6", "fig8",
+                 "fig9", "fig10", "fig11", "fig12", "report"):
+        assert name in COMMANDS

@@ -1,0 +1,22 @@
+"""Run the doctests embedded in module documentation."""
+
+import doctest
+
+import pytest
+
+import repro.simnet.engine
+import repro.simnet.fairness
+import repro.simnet.topology
+
+MODULES = [
+    repro.simnet.engine,
+    repro.simnet.fairness,
+    repro.simnet.topology,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "expected at least one doctest"

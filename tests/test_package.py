@@ -1,0 +1,60 @@
+"""Package-level smoke tests: public API surface, units, CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import units
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_units_roundtrip():
+    assert units.to_gbps(units.gbps(56.0)) == pytest.approx(56.0)
+    assert units.gbps(8.0) == pytest.approx(1e9)
+    assert units.mbps(8.0) == pytest.approx(1e6)
+    assert units.GBPS_56 == pytest.approx(units.gbps(56))
+    assert units.GB == 1024 * units.MB == 1024 * 1024 * units.KB
+
+
+def test_error_hierarchy():
+    from repro import errors
+
+    for name in (
+        "TopologyError",
+        "RoutingError",
+        "SimulationError",
+        "AllocationError",
+        "ProfilingError",
+        "RegistrationError",
+        "ClusteringError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_cli_list():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert out.returncode == 0
+    assert "fig8" in out.stdout
+
+
+def test_cli_fig5():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "fig5"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert out.returncode == 0
+    assert "R2" in out.stdout

@@ -1,0 +1,85 @@
+"""Property test: the event-driven simulation equals the closed-form
+stage model on isolated runs, across randomized applications.
+
+This is the load-bearing equivalence of the whole reproduction: the
+profiler, the calibration tests and the fast analytic sweeps all rely
+on ``ApplicationSpec.analytic_completion_time`` describing exactly
+what the fabric executes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.maxmin import IdealMaxMin
+from repro.cluster.jobs import Job
+from repro.cluster.runtime import CoRunExecutor
+from repro.simnet.topology import single_switch
+from repro.workloads.model import ApplicationSpec, Stage
+
+CAPACITY = 1000.0
+
+
+@st.composite
+def applications(draw):
+    n_stages = draw(st.integers(min_value=1, max_value=4))
+    stages = []
+    for _ in range(n_stages):
+        # Zero or physically-scaled values: durations far below the
+        # fabric's nanosecond completion horizon are not meaningful.
+        compute = draw(st.one_of(
+            st.just(0.0), st.floats(min_value=0.01, max_value=20.0)
+        ))
+        comm = draw(st.one_of(
+            st.just(0.0), st.floats(min_value=1.0, max_value=5e4)
+        ))
+        overlap = draw(st.sampled_from([0.0, 0.25, 0.5, 0.9, 1.0]))
+        cap = draw(st.one_of(
+            st.none(),
+            st.floats(min_value=0.05 * CAPACITY, max_value=CAPACITY),
+        ))
+        aux = draw(st.sampled_from([0.0, 0.1 * CAPACITY, 0.4 * CAPACITY]))
+        if compute == 0.0 and comm == 0.0:
+            compute = 1.0
+        stages.append(Stage(compute_time=compute, comm_bytes=comm,
+                            overlap=overlap, rate_cap=cap, aux_rate=aux))
+    n_instances = draw(st.integers(min_value=2, max_value=6))
+    fanout = draw(st.integers(min_value=1, max_value=3))
+    barrier = draw(st.booleans())
+    return ApplicationSpec(
+        name="prop", stages=tuple(stages), n_instances=n_instances,
+        fanout=fanout, barrier=barrier,
+    )
+
+
+@given(
+    spec=applications(),
+    fraction=st.sampled_from([0.1, 0.25, 0.5, 1.0]),
+)
+@settings(max_examples=80, deadline=None)
+def test_simulated_equals_analytic_in_isolation(spec, fraction):
+    topo = single_switch(spec.n_instances, capacity=CAPACITY)
+    servers = topo.servers[: spec.n_instances]
+    topo.set_uniform_throttle(servers, fraction)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    job = Job("j", spec, "prop", list(servers))
+    measured = executor.run([job])["j"].completion_time
+    expected = spec.analytic_completion_time(fraction, CAPACITY)
+    assert measured == pytest.approx(expected, rel=1e-6, abs=1e-9)
+
+
+@given(spec=applications())
+@settings(max_examples=40, deadline=None)
+def test_slowdown_curve_matches_profiler_samples(spec):
+    """The profiler's measured samples sit exactly on the analytic
+    slowdown curve for any application shape."""
+    from repro.core.profiler import OfflineProfiler
+
+    profiler = OfflineProfiler(
+        fractions=(0.25, 0.75), method="simulate",
+        link_capacity=CAPACITY, degree=1,
+    )
+    samples, _ = profiler.measure_samples(spec)
+    for b, d in samples:
+        assert d == pytest.approx(
+            spec.slowdown_at(b, CAPACITY), rel=1e-6
+        )

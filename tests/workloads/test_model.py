@@ -1,0 +1,160 @@
+"""Tests for the staged application model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.model import ApplicationSpec, Stage
+
+
+def test_stage_validation():
+    with pytest.raises(ValueError):
+        Stage(compute_time=-1.0)
+    with pytest.raises(ValueError):
+        Stage(compute_time=1.0, comm_bytes=-1.0)
+    with pytest.raises(ValueError):
+        Stage(compute_time=1.0, overlap=1.5)
+    with pytest.raises(ValueError):
+        Stage(compute_time=1.0, comm_bytes=1.0, rate_cap=0.0)
+    with pytest.raises(ValueError):
+        Stage(compute_time=1.0, comm_bytes=1.0, aux_rate=-1.0)
+
+
+def test_flow_release_offset():
+    assert Stage(compute_time=10.0, overlap=0.0).flow_release_offset() == 10.0
+    assert Stage(compute_time=10.0, overlap=1.0).flow_release_offset() == 0.0
+    assert Stage(compute_time=10.0, overlap=0.25).flow_release_offset() == 7.5
+
+
+def test_stage_duration_compute_only():
+    stage = Stage(compute_time=5.0)
+    assert stage.duration_at(1.0) == 5.0
+
+
+def test_stage_duration_sequential_comm():
+    stage = Stage(compute_time=5.0, comm_bytes=10.0, overlap=0.0)
+    assert stage.duration_at(2.0) == pytest.approx(10.0)  # 5 + 10/2
+
+
+def test_stage_duration_overlapped_comm_hidden():
+    stage = Stage(compute_time=5.0, comm_bytes=10.0, overlap=1.0)
+    assert stage.duration_at(10.0) == pytest.approx(5.0)  # comm 1s hidden
+
+
+def test_stage_duration_overlapped_comm_exposed():
+    stage = Stage(compute_time=5.0, comm_bytes=100.0, overlap=1.0)
+    assert stage.duration_at(10.0) == pytest.approx(10.0)
+
+
+def test_stage_duration_with_rate_cap():
+    stage = Stage(compute_time=0.0, comm_bytes=10.0, rate_cap=2.0)
+    assert stage.duration_at(100.0) == pytest.approx(5.0)
+
+
+def test_stage_duration_with_aux_rate():
+    stage = Stage(compute_time=0.0, comm_bytes=10.0, aux_rate=3.0)
+    assert stage.duration_at(2.0) == pytest.approx(2.0)  # 10/(2+3)
+
+
+def test_stage_duration_zero_bandwidth_aux_only():
+    stage = Stage(compute_time=0.0, comm_bytes=10.0, aux_rate=5.0)
+    assert stage.duration_at(0.0) == pytest.approx(2.0)
+
+
+def test_spec_validation():
+    stage = Stage(compute_time=1.0)
+    with pytest.raises(ValueError):
+        ApplicationSpec(name="x", stages=())
+    with pytest.raises(ValueError):
+        ApplicationSpec(name="x", stages=(stage,), n_instances=0)
+    with pytest.raises(ValueError):
+        ApplicationSpec(name="x", stages=(stage,), fanout=0)
+
+
+def test_peers_ring_structure():
+    spec = ApplicationSpec(
+        name="x", stages=(Stage(compute_time=1.0),), n_instances=5, fanout=2
+    )
+    assert spec.peers_of(0) == [1, 2]
+    assert spec.peers_of(4) == [0, 1]
+    # Every instance receives from exactly fanout peers.
+    inbound = {i: 0 for i in range(5)}
+    for i in range(5):
+        for p in spec.peers_of(i):
+            inbound[p] += 1
+    assert all(v == 2 for v in inbound.values())
+
+
+def test_fanout_capped_by_instances():
+    spec = ApplicationSpec(
+        name="x", stages=(Stage(compute_time=1.0),), n_instances=3, fanout=10
+    )
+    assert spec.effective_fanout() == 2
+    assert spec.peers_of(0) == [1, 2]
+
+
+def test_single_instance_has_no_peers():
+    spec = ApplicationSpec(
+        name="x", stages=(Stage(compute_time=1.0),), n_instances=1
+    )
+    assert spec.peers_of(0) == []
+
+
+def test_analytic_completion_time_sums_stages():
+    stages = (
+        Stage(compute_time=2.0, comm_bytes=8.0),
+        Stage(compute_time=3.0),
+    )
+    spec = ApplicationSpec(name="x", stages=stages, n_instances=4)
+    assert spec.analytic_completion_time(1.0, 4.0) == pytest.approx(
+        (2.0 + 2.0) + 3.0
+    )
+
+
+def test_analytic_rejects_bad_fraction():
+    spec = ApplicationSpec(
+        name="x", stages=(Stage(compute_time=1.0),), n_instances=2
+    )
+    with pytest.raises(ValueError):
+        spec.analytic_completion_time(0.0, 1.0)
+    with pytest.raises(ValueError):
+        spec.analytic_completion_time(1.1, 1.0)
+
+
+@given(
+    compute=st.floats(min_value=0.1, max_value=100.0),
+    comm=st.floats(min_value=0.0, max_value=1e3),
+    overlap=st.floats(min_value=0.0, max_value=1.0),
+    b1=st.floats(min_value=0.05, max_value=1.0),
+    b2=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=200)
+def test_slowdown_monotone_in_bandwidth(compute, comm, overlap, b1, b2):
+    """Less bandwidth can never shorten a stage."""
+    stage = Stage(compute_time=compute, comm_bytes=comm, overlap=overlap)
+    spec = ApplicationSpec(name="x", stages=(stage,), n_instances=2)
+    lo, hi = min(b1, b2), max(b1, b2)
+    assert spec.analytic_completion_time(lo, 10.0) >= (
+        spec.analytic_completion_time(hi, 10.0) - 1e-9
+    )
+
+
+def test_scaled_copy():
+    stage = Stage(compute_time=2.0, comm_bytes=10.0, overlap=0.5,
+                  rate_cap=3.0, aux_rate=1.0)
+    spec = ApplicationSpec(name="x", stages=(stage,), n_instances=2)
+    scaled = spec.scaled(name_suffix="-big", compute_scale=2.0, comm_scale=3.0)
+    assert scaled.name == "x-big"
+    assert scaled.stages[0].compute_time == 4.0
+    assert scaled.stages[0].comm_bytes == 30.0
+    assert scaled.stages[0].rate_cap == 3.0
+    assert scaled.stages[0].aux_rate == 1.0
+
+
+def test_totals():
+    stages = (
+        Stage(compute_time=2.0, comm_bytes=5.0),
+        Stage(compute_time=3.0, comm_bytes=7.0),
+    )
+    spec = ApplicationSpec(name="x", stages=stages, n_instances=2)
+    assert spec.total_compute == 5.0
+    assert spec.total_comm_bytes == 12.0

@@ -1,0 +1,58 @@
+"""Tests for the synthetic simulator workloads (Section 8.1)."""
+
+import pytest
+
+from repro.units import GBPS_56
+from repro.workloads.synthetic import synthetic_workloads
+
+
+def test_default_count_is_twenty():
+    specs = synthetic_workloads()
+    assert len(specs) == 20
+    assert specs[0].name == "SYN00"
+    assert specs[-1].name == "SYN19"
+
+
+def test_deterministic():
+    a = synthetic_workloads()
+    b = synthetic_workloads()
+    assert [s.stages for s in a] == [s.stages for s in b]
+
+
+def test_sensitivity_spans_wide_range():
+    """'The amount of computation, communication, and the number of
+    stages varies across the workloads to emulate varying degrees of
+    bandwidth sensitivity.'"""
+    specs = synthetic_workloads()
+    slowdowns = [s.slowdown_at(0.25, GBPS_56) for s in specs]
+    assert min(slowdowns) < 1.2
+    assert max(slowdowns) > 2.5
+
+
+def test_ordered_by_increasing_comm_ratio():
+    specs = synthetic_workloads()
+    ratios = [
+        s.stages[0].comm_bytes / (s.stages[0].compute_time * GBPS_56)
+        for s in specs
+    ]
+    assert ratios == sorted(ratios)
+
+
+def test_stage_counts_vary():
+    specs = synthetic_workloads()
+    assert len({len(s.stages) for s in specs}) > 3
+
+
+def test_instance_count_configurable():
+    specs = synthetic_workloads(n_instances=18)
+    assert all(s.n_instances == 18 for s in specs)
+
+
+def test_single_workload():
+    specs = synthetic_workloads(count=1)
+    assert len(specs) == 1
+
+
+def test_rejects_zero_count():
+    with pytest.raises(ValueError):
+        synthetic_workloads(count=0)
