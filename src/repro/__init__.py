@@ -38,6 +38,7 @@ The package is organised as follows:
 
 from repro._version import __version__
 
+from repro.obs import NULL_OBSERVER, MetricsRegistry, Observer
 from repro.core.sensitivity import SensitivityModel, fit_sensitivity_model
 from repro.core.profiler import OfflineProfiler, ProfileResult
 from repro.core.table import SensitivityTable
@@ -46,6 +47,9 @@ from repro.core.library import SabaLibrary
 
 __all__ = [
     "__version__",
+    "Observer",
+    "NULL_OBSERVER",
+    "MetricsRegistry",
     "SensitivityModel",
     "fit_sensitivity_model",
     "OfflineProfiler",

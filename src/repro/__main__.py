@@ -7,6 +7,7 @@ Usage::
     python -m repro fig8 --setups 20
     python -m repro fig10 --full-scale
     python -m repro fig12 --sizes 10 100 500
+    python -m repro obs summarize run.jsonl
 
 Each subcommand prints the paper-style rows/series of one table or
 figure.  The pytest benchmarks (``pytest benchmarks/
@@ -133,6 +134,25 @@ def _fig12(args) -> None:
               f"max {max(times):.3f}s over {len(times)} scenarios")
 
 
+def _obs(args) -> None:
+    import json
+
+    from repro.obs.summary import format_summary, summarize_file
+
+    try:
+        summary = summarize_file(args.trace)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such trace: {args.trace}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"error: {args.trace} is not a JSONL event trace ({exc})"
+        )
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
+
+
 def _report(args) -> None:
     from repro.experiments.report import generate_reports
 
@@ -145,6 +165,7 @@ def _report(args) -> None:
 
 COMMANDS = {
     "report": _report,
+    "obs": _obs,
     "fig1a": _fig1a,
     "fig1b": _fig1b,
     "fig2": _fig2,
@@ -166,6 +187,16 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
     for name in COMMANDS:
+        if name == "obs":
+            p = sub.add_parser(
+                name, help="observability tools (trace summaries)"
+            )
+            p.add_argument("action", choices=["summarize"],
+                           help="what to do with the trace")
+            p.add_argument("trace", help="JSONL event trace path")
+            p.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+            continue
         p = sub.add_parser(name, help=f"run the {name} experiment")
         if name == "fig8":
             p.add_argument("--setups", type=int, default=10)

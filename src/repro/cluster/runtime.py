@@ -20,6 +20,13 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Protocol, Sequence
 
 from repro.errors import SimulationError
+from repro.obs.events import (
+    JOB_FINISHED,
+    JOB_STARTED,
+    STAGE_FINISHED,
+    STAGE_STARTED,
+    Observer,
+)
 from repro.cluster.jobs import Job, JobResult
 from repro.simnet.fabric import FabricPolicy, FluidFabric
 from repro.simnet.flows import Flow
@@ -125,6 +132,15 @@ class _JobExecution:
 
     def _launch(self) -> None:
         self._start_time = self._fabric.sim.now
+        obs = self._fabric.observer
+        if obs.enabled:
+            obs.metrics.counter("cluster.jobs_started").inc()
+            obs.emit(
+                JOB_STARTED, self._start_time, job=self._job.job_id,
+                workload=self._job.workload,
+                n_instances=self._job.spec.n_instances,
+                stages=len(self._job.spec.stages),
+            )
         self._connections.job_started(self._job)
         if self._job.spec.barrier:
             self._begin_stage(0)
@@ -146,6 +162,13 @@ class _JobExecution:
         self._stage_index = index
         stage = spec.stages[index]
         now = self._fabric.sim.now
+        obs = self._fabric.observer
+        if obs.enabled:
+            obs.emit(
+                STAGE_STARTED, now, job=self._job.job_id, stage=index,
+                compute_time=stage.compute_time,
+                comm_bytes=stage.comm_bytes,
+            )
         self._flows_pending = 0
         self._flows_released = False
         has_comm = stage.comm_bytes > 0 and spec.n_instances > 1
@@ -223,12 +246,30 @@ class _JobExecution:
             return
         if not self._flows_released or self._flows_pending > 0:
             return
+        obs = self._fabric.observer
+        if obs.enabled and self._stage_index >= 0:
+            obs.emit(
+                STAGE_FINISHED, self._fabric.sim.now,
+                job=self._job.job_id, stage=self._stage_index,
+            )
         self._begin_stage(self._stage_index + 1)
 
     def _finish(self) -> None:
         assert self._start_time is not None
         self._connections.job_finished(self._job)
-        self._on_done(self._job, self._start_time, self._fabric.sim.now)
+        now = self._fabric.sim.now
+        obs = self._fabric.observer
+        if obs.enabled:
+            obs.metrics.counter("cluster.jobs_finished").inc()
+            obs.metrics.histogram("cluster.job_seconds").observe(
+                now - self._start_time
+            )
+            obs.emit(
+                JOB_FINISHED, now, job=self._job.job_id,
+                workload=self._job.workload,
+                duration=now - self._start_time,
+            )
+        self._on_done(self._job, self._start_time, now)
 
 
 class _InstanceExecution:
@@ -256,6 +297,14 @@ class _InstanceExecution:
         has_comm = stage.comm_bytes > 0 and spec.n_instances > 1
         self._compute_pending = stage.compute_time > 0
         sim = parent._fabric.sim
+        obs = parent._fabric.observer
+        if obs.enabled:
+            obs.emit(
+                STAGE_STARTED, sim.now, job=parent._job.job_id,
+                instance=self._instance, stage=index,
+                compute_time=stage.compute_time,
+                comm_bytes=stage.comm_bytes,
+            )
         if self._compute_pending:
             self._mark_cpu(True)
             sim.schedule(stage.compute_time, self._compute_done)
@@ -328,6 +377,13 @@ class _InstanceExecution:
             return
         if not self._flows_released or self._flows_pending > 0:
             return
+        obs = self._parent._fabric.observer
+        if obs.enabled and self._stage_index >= 0:
+            obs.emit(
+                STAGE_FINISHED, self._parent._fabric.sim.now,
+                job=self._parent._job.job_id, instance=self._instance,
+                stage=self._stage_index,
+            )
         self.begin(self._stage_index + 1)
 
 
@@ -343,16 +399,20 @@ class CoRunExecutor:
         ] = None,
         recorder: Optional[UtilizationRecorder] = None,
         completion_quantum: float = 0.0,
+        observer: Optional[Observer] = None,
     ) -> None:
         """``completion_quantum`` batches near-simultaneous flow
         completions (see :class:`FluidFabric`); large co-run
         experiments set it a few orders of magnitude below stage
-        durations."""
+        durations.  ``observer`` (:mod:`repro.obs`) sees the whole
+        run: job/stage lifecycle, flow events, engine counters."""
         self.topology = topology
         self.fabric = FluidFabric(
             topology, recorder=recorder,
             completion_quantum=completion_quantum,
+            observer=observer,
         )
+        self.observer = self.fabric.observer
         self.recorder = recorder
         if policy is not None:
             self.fabric.set_policy(policy)

@@ -86,19 +86,29 @@ def optimize_weights(
     total: float = 1.0,
     min_weight: float = DEFAULT_MIN_WEIGHT,
     solver: str = "auto",
+    stats: Optional[dict] = None,
 ) -> List[float]:
-    """Solve Eq. 2; returns one weight per model, summing to ``total``."""
+    """Solve Eq. 2; returns one weight per model, summing to ``total``.
+
+    ``stats``, when given, is filled in place with solver telemetry:
+    ``{"solver": <name actually used>, "iterations": <int>}`` --
+    consumed by the observability layer's ``solve.end`` events.
+    """
     if solver not in _SOLVERS:
         raise AllocationError(f"unknown solver {solver!r}; use one of {_SOLVERS}")
     problem = AllocationProblem(
         models=tuple(models), total=total, min_weight=min_weight
     )
+    if stats is None:
+        stats = {}
     n = len(problem.models)
     if n == 1:
+        stats.update(solver="direct", iterations=0)
         return [problem.total]
     if problem.min_weight * n >= problem.total - 1e-9:
         # The floor consumes the whole budget: the equal split is the
         # only feasible point.
+        stats.update(solver="equal", iterations=0)
         return equal_split(problem)
     if solver == "auto":
         hi = problem.total - (n - 1) * problem.min_weight
@@ -108,10 +118,10 @@ def optimize_weights(
         )
         solver = "kkt" if convex else "slsqp"
     if solver == "kkt":
-        return _solve_kkt(problem)
+        return _solve_kkt(problem, stats)
     if solver == "projgrad":
-        return _solve_projected_gradient(problem)
-    return _solve_slsqp(problem)
+        return _solve_projected_gradient(problem, stats=stats)
+    return _solve_slsqp(problem, stats)
 
 
 # -- KKT water-filling ---------------------------------------------------------
@@ -174,14 +184,21 @@ def _weights_at_lambda(
     return w
 
 
-def _solve_kkt(problem: AllocationProblem) -> List[float]:
+def _solve_kkt(
+    problem: AllocationProblem, stats: Optional[dict] = None
+) -> List[float]:
     """Bisection on the shared marginal ``lambda`` (vectorised)."""
+    if stats is None:
+        stats = {}
     n = len(problem.models)
     lo_w = problem.min_weight
     hi_w = problem.total - (n - 1) * problem.min_weight
     batch = _ModelBatch(problem.models)
+    probes = 0
 
     def excess(lam: float) -> float:
+        nonlocal probes
+        probes += 1
         return float(
             _weights_at_lambda(batch, lam, lo_w, hi_w).sum()
         ) - problem.total
@@ -190,6 +207,7 @@ def _solve_kkt(problem: AllocationProblem) -> List[float]:
     # lambda every app drops to the floor.
     if excess(0.0) <= 0.0:
         # All models (near-)insensitive: fall back to an equal split.
+        stats.update(solver="equal", iterations=probes)
         return equal_split(problem)
     lam_hi = 1.0
     for _ in range(60):
@@ -207,13 +225,16 @@ def _solve_kkt(problem: AllocationProblem) -> List[float]:
         excess, 0.0, lam_hi, xtol=1e-6, rtol=1e-6, maxiter=60
     )
     weights = _weights_at_lambda(batch, lam_star, lo_w, hi_w)
+    stats.update(solver="kkt", iterations=probes)
     return _renormalise([float(w) for w in weights], problem)
 
 
 # -- SLSQP -----------------------------------------------------------------------
 
 
-def _solve_slsqp(problem: AllocationProblem) -> List[float]:
+def _solve_slsqp(
+    problem: AllocationProblem, stats: Optional[dict] = None
+) -> List[float]:
     from scipy import optimize  # local import: keep scipy optional at import time
 
     n = len(problem.models)
@@ -238,6 +259,8 @@ def _solve_slsqp(problem: AllocationProblem) -> List[float]:
     )
     if not result.success and not np.isfinite(result.fun):
         raise AllocationError(f"SLSQP failed: {result.message}")
+    if stats is not None:
+        stats.update(solver="slsqp", iterations=int(result.nit))
     return _renormalise([float(w) for w in result.x], problem)
 
 
@@ -269,7 +292,10 @@ def _solve_projected_gradient(
     problem: AllocationProblem,
     iters: int = 400,
     lr: float = 0.05,
+    stats: Optional[dict] = None,
 ) -> List[float]:
+    if stats is not None:
+        stats.update(solver="projgrad", iterations=iters)
     n = len(problem.models)
     x = np.full(n, problem.total / n)
     best = x.copy()

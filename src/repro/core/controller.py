@@ -36,6 +36,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import RegistrationError
+from repro.obs.events import (
+    APP_DEREGISTERED,
+    APP_REGISTERED,
+    CONN_CREATED,
+    CONN_DESTROYED,
+    NULL_OBSERVER,
+    PORT_PROGRAMMED,
+    PORT_RESET,
+    REALLOCATION,
+    SOLVE_BEGIN,
+    SOLVE_END,
+    Observer,
+)
 from repro.core.allocation import DEFAULT_MIN_WEIGHT, optimize_weights
 from repro.core.clustering import PLHierarchy
 from repro.core.sensitivity import SensitivityModel
@@ -82,6 +95,7 @@ class SabaController:
         use_weight_cache: bool = True,
         use_group_models: bool = False,
         seed: int = 0,
+        observer: Optional[Observer] = None,
     ) -> None:
         """
         Args:
@@ -104,6 +118,9 @@ class SabaController:
             reserved_queue: statically reserved queue index for
                 non-Saba-compliant traffic; weights leave it
                 ``1 - c_saba`` of the capacity.
+            observer: observability sink (:mod:`repro.obs`); emits
+                registration, solve, and port-programming events.  The
+                no-op default costs nothing.
             use_weight_cache: memoise Eq. 2 per application multiset.
             use_group_models: solve Eq. 2 with PL-group centroid models
                 instead of per-application models (the information a
@@ -121,6 +138,7 @@ class SabaController:
         self.reserved_queue = reserved_queue
         self.use_weight_cache = use_weight_cache
         self.use_group_models = use_group_models
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self._rng = random.Random(seed)
 
         self.stats = ControllerStats()
@@ -162,6 +180,13 @@ class SabaController:
         self._apps[job_id] = workload
         self.stats.registrations += 1
         self._assign_pl(job_id)
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("controller.registrations").inc()
+            obs.emit(
+                APP_REGISTERED, self._sim_now(), job=job_id,
+                workload=workload, pl=self._pl_of[job_id],
+            )
         self._reallocate_ports(self._port_apps.keys())
         return self._pl_of[job_id]
 
@@ -173,6 +198,10 @@ class SabaController:
         for counter in self._port_apps.values():
             counter.pop(job_id, None)
         self._release_pl(job_id)
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("controller.deregistrations").inc()
+            obs.emit(APP_DEREGISTERED, self._sim_now(), job=job_id)
         self._reallocate_ports(self._port_apps.keys())
 
     def conn_create(self, job_id: str, path: Sequence[str]) -> None:
@@ -184,6 +213,13 @@ class SabaController:
         self.stats.conn_creates += 1
         for link_id in path:
             self._port_apps.setdefault(link_id, Counter())[job_id] += 1
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("controller.conn_creates").inc()
+            obs.emit(
+                CONN_CREATED, self._sim_now(), job=job_id,
+                links=list(path),
+            )
         self._reallocate_ports(path)
 
     def conn_destroy(self, job_id: str, path: Sequence[str]) -> None:
@@ -197,6 +233,13 @@ class SabaController:
                 del counter[job_id]
             if not counter:
                 del self._port_apps[link_id]
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("controller.conn_destroys").inc()
+            obs.emit(
+                CONN_DESTROYED, self._sim_now(), job=job_id,
+                links=list(path),
+            )
         self._reallocate_ports(path)
 
     def pl_of(self, job_id: str) -> int:
@@ -331,11 +374,27 @@ class SabaController:
 
     # -- allocation ---------------------------------------------------------------
 
+    def _sim_now(self) -> float:
+        """Simulated timestamp for event records (0 when detached)."""
+        return self._fabric.sim.now if self._fabric is not None else 0.0
+
     def _reallocate_ports(self, link_ids) -> None:
         t0 = time.perf_counter()
-        for link_id in list(link_ids):
+        link_ids = list(link_ids)
+        for link_id in link_ids:
             self._reallocate_port(link_id)
-        self.stats.calc_times.append(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        self.stats.calc_times.append(elapsed)
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("controller.reallocations").inc()
+            obs.metrics.histogram("controller.realloc_seconds").observe(
+                elapsed
+            )
+            obs.emit(
+                REALLOCATION, self._sim_now(), ports=len(link_ids),
+                duration=elapsed,
+            )
         if self._fabric is not None:
             self._fabric.invalidate_rates()
 
@@ -344,8 +403,12 @@ class SabaController:
             return
         counter = self._port_apps.get(link_id)
         qtable = self._fabric.topology.port_table(link_id)
+        obs = self.observer
         if not counter:
             qtable.reset()
+            if obs.enabled:
+                obs.emit(PORT_RESET, self._sim_now(), link=link_id,
+                         generation=qtable.generation)
             return
         self.stats.port_allocations += 1
         apps = sorted(counter)
@@ -378,6 +441,12 @@ class SabaController:
         qtable.program(pl_to_queue, queue_weights)
         if self.reserved_queue is not None:
             qtable.default_queue = self.reserved_queue
+        if obs.enabled:
+            obs.metrics.counter("controller.ports_programmed").inc()
+            obs.emit(
+                PORT_PROGRAMMED, self._sim_now(), link=link_id,
+                apps=len(apps), **qtable.snapshot(),
+            )
 
     def _weights_for(self, apps: Sequence[str]) -> List[float]:
         """Eq. 2 over the applications at one port (cached)."""
@@ -385,16 +454,45 @@ class SabaController:
         order = sorted(range(len(apps)), key=lambda i: models[i].name)
         key = tuple(models[i].name for i in order)
         weights_sorted = self._weight_cache.get(key) if self.use_weight_cache else None
+        obs = self.observer
         if weights_sorted is None:
             self.stats.optimizer_calls += 1
+            ordered_models = [models[i] for i in order]
+            solve_stats: Optional[dict] = None
+            if obs.enabled:
+                solve_stats = {}
+                obs.emit(
+                    SOLVE_BEGIN, self._sim_now(), apps=len(apps),
+                    solver=self.solver,
+                )
+            t0 = time.perf_counter()
             weights_sorted = optimize_weights(
-                [models[i] for i in order],
+                ordered_models,
                 total=self.c_saba,
                 min_weight=min(self.min_weight, self.c_saba / (2 * len(apps))),
                 solver=self.solver,
+                stats=solve_stats,
             )
+            if obs.enabled:
+                elapsed = time.perf_counter() - t0
+                objective = sum(
+                    m.predict(w)
+                    for m, w in zip(ordered_models, weights_sorted)
+                )
+                obs.metrics.counter("controller.solver_calls").inc()
+                obs.metrics.histogram("controller.solve_seconds").observe(
+                    elapsed
+                )
+                obs.emit(
+                    SOLVE_END, self._sim_now(), apps=len(apps),
+                    solver=(solve_stats or {}).get("solver", self.solver),
+                    iterations=(solve_stats or {}).get("iterations"),
+                    objective=objective, duration=elapsed,
+                )
             if self.use_weight_cache:
                 self._weight_cache[key] = weights_sorted
+        elif obs.enabled:
+            obs.metrics.counter("controller.solver_cache_hits").inc()
         weights = [0.0] * len(apps)
         for rank, i in enumerate(order):
             weights[i] = weights_sorted[rank]

@@ -33,7 +33,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import time
+
 from repro.errors import RegistrationError
+from repro.obs.events import (
+    APP_DEREGISTERED,
+    APP_REGISTERED,
+    CONN_CREATED,
+    CONN_DESTROYED,
+    NULL_OBSERVER,
+    PORT_PROGRAMMED,
+    REALLOCATION,
+    SOLVE_END,
+    Observer,
+)
 from repro.core.allocation import DEFAULT_MIN_WEIGHT, optimize_weights
 from repro.core.clustering import PLHierarchy, kmeans
 from repro.core.controller import DEFAULT_C_SABA
@@ -138,6 +151,7 @@ class DistributedControllerGroup:
         min_weight: float = DEFAULT_MIN_WEIGHT,
         solver: str = "auto",
         collapse_alpha: Optional[float] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         if n_shards < 1:
             raise RegistrationError(f"n_shards must be >= 1: {n_shards}")
@@ -147,6 +161,7 @@ class DistributedControllerGroup:
         self.min_weight = min_weight
         self.solver = solver
         self.collapse_alpha = collapse_alpha
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.stats = DistributedStats()
         self._shards = [
             _ControllerShard(i, db.replicate()) for i in range(n_shards)
@@ -174,6 +189,11 @@ class DistributedControllerGroup:
         pl = self.db.pl_of(workload)
         self._apps[job_id] = workload
         self.stats.registrations += 1
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("distributed.registrations").inc()
+            obs.emit(APP_REGISTERED, self._sim_now(), job=job_id,
+                     workload=workload, pl=pl)
         return pl
 
     def app_deregister(self, job_id: str) -> None:
@@ -183,6 +203,9 @@ class DistributedControllerGroup:
         for shard in self._shards:
             for counter in shard.port_apps.values():
                 counter.pop(job_id, None)
+        obs = self.observer
+        if obs.enabled:
+            obs.emit(APP_DEREGISTERED, self._sim_now(), job=job_id)
 
     def conn_create(self, job_id: str, path: Sequence[str]) -> None:
         if job_id not in self._apps:
@@ -196,8 +219,19 @@ class DistributedControllerGroup:
         self.stats.conn_destroys += 1
         self._walk_path(path, job_id, delta=-1)
 
+    def _sim_now(self) -> float:
+        """Simulated timestamp for event records (0 when detached)."""
+        return self._fabric.sim.now if self._fabric is not None else 0.0
+
     def _walk_path(self, path: Sequence[str], job_id: str, delta: int) -> None:
         """Hop from shard to shard along the path (Section 5.4)."""
+        obs = self.observer
+        if obs.enabled:
+            t0 = time.perf_counter()
+            obs.emit(
+                CONN_CREATED if delta > 0 else CONN_DESTROYED,
+                self._sim_now(), job=job_id, links=list(path),
+            )
         previous_shard: Optional[int] = None
         for link_id in path:
             shard_id = self._shard_of_link(link_id)
@@ -215,6 +249,12 @@ class DistributedControllerGroup:
                 self._reset_port(link_id)
             else:
                 self._reallocate_port(shard, link_id)
+        if obs.enabled:
+            obs.metrics.counter("distributed.reallocations").inc()
+            obs.emit(
+                REALLOCATION, self._sim_now(), ports=len(path),
+                duration=time.perf_counter() - t0,
+            )
         if self._fabric is not None:
             self._fabric.invalidate_rates()
 
@@ -256,21 +296,50 @@ class DistributedControllerGroup:
             queue = pl_to_queue[pl]
             queue_weights[queue] = queue_weights.get(queue, 0.0) + weight
         qtable.program(pl_to_queue, queue_weights)
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("distributed.ports_programmed").inc()
+            obs.emit(
+                PORT_PROGRAMMED, self._sim_now(), link=link_id,
+                shard=shard.shard_id, apps=len(apps), **qtable.snapshot(),
+            )
 
     def _weights_for(self, pls: Sequence[int]) -> List[float]:
         """Eq. 2 over PL-centroid models (the database's knowledge)."""
         order = sorted(range(len(pls)), key=lambda i: pls[i])
         key = tuple(pls[i] for i in order)
         weights_sorted = self._weight_cache.get(key)
+        obs = self.observer
         if weights_sorted is None:
             models = [self.db.pl_models[pls[i]] for i in order]
+            solve_stats: Optional[dict] = {} if obs.enabled else None
+            t0 = time.perf_counter()
             weights_sorted = optimize_weights(
                 models,
                 total=self.c_saba,
                 min_weight=min(self.min_weight, self.c_saba / (2 * len(pls))),
                 solver=self.solver,
+                stats=solve_stats,
             )
+            if obs.enabled:
+                elapsed = time.perf_counter() - t0
+                obs.metrics.counter("distributed.solver_calls").inc()
+                obs.metrics.histogram("distributed.solve_seconds").observe(
+                    elapsed
+                )
+                obs.emit(
+                    SOLVE_END, self._sim_now(), apps=len(pls),
+                    solver=(solve_stats or {}).get("solver", self.solver),
+                    iterations=(solve_stats or {}).get("iterations"),
+                    objective=sum(
+                        m.predict(w)
+                        for m, w in zip(models, weights_sorted)
+                    ),
+                    duration=elapsed,
+                )
             self._weight_cache[key] = weights_sorted
+        elif obs.enabled:
+            obs.metrics.counter("distributed.solver_cache_hits").inc()
         weights = [0.0] * len(pls)
         for rank, i in enumerate(order):
             weights[i] = weights_sorted[rank]

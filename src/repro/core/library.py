@@ -30,6 +30,13 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.errors import RegistrationError
+from repro.obs.events import (
+    LIB_CONN_OPENED,
+    LIB_DEREGISTERED,
+    LIB_REGISTERED,
+    NULL_OBSERVER,
+    Observer,
+)
 from repro.cluster.jobs import Job
 from repro.core.controller import SabaController
 from repro.core.rpc import RpcBus
@@ -49,6 +56,7 @@ class SabaLibrary:
         bus: Optional[RpcBus] = None,
         multipath: bool = False,
         fail_open: bool = False,
+        observer: Optional[Observer] = None,
     ) -> None:
         """``multipath`` announces *every* equal-cost path of a new
         connection to the controller, not just the one its flow takes:
@@ -69,6 +77,13 @@ class SabaLibrary:
         self._bus = bus if bus is not None else RpcBus()
         self._multipath = multipath
         self._fail_open = fail_open
+        # Default to the fabric's observer so one Observer wired into
+        # the executor also sees the library's view of the control
+        # plane.
+        self._observer = (
+            observer if observer is not None
+            else getattr(fabric, "observer", NULL_OBSERVER)
+        )
         self.dropped_control_messages = 0
         if not self._bus.has_endpoint(CONTROLLER_ENDPOINT):
             self._bus.register(CONTROLLER_ENDPOINT, controller.rpc_methods())
@@ -92,10 +107,11 @@ class SabaLibrary:
         controller: SabaController,
         bus: Optional[RpcBus] = None,
         multipath: bool = False,
+        observer: Optional[Observer] = None,
     ) -> Callable[[FluidFabric], "SabaLibrary"]:
         """Connections-factory for :class:`CoRunExecutor`."""
         return lambda fabric: cls(fabric, controller, bus=bus,
-                                  multipath=multipath)
+                                  multipath=multipath, observer=observer)
 
     @property
     def bus(self) -> RpcBus:
@@ -115,6 +131,13 @@ class SabaLibrary:
             "app_register", job_id=job_id, workload=workload
         )
         self._pl_of[job_id] = pl
+        obs = self._observer
+        if obs.enabled:
+            obs.metrics.counter("library.registrations").inc()
+            obs.emit(
+                LIB_REGISTERED, self._fabric.sim.now, job=job_id,
+                workload=workload, pl=pl,
+            )
         return pl
 
     def saba_app_deregister(self, job_id: str) -> None:
@@ -123,6 +146,9 @@ class SabaLibrary:
         if self._pl_of[job_id] is not None:
             self._call_controller("app_deregister", job_id=job_id)
         del self._pl_of[job_id]
+        obs = self._observer
+        if obs.enabled:
+            obs.emit(LIB_DEREGISTERED, self._fabric.sim.now, job=job_id)
 
     def saba_conn_create(
         self,
@@ -176,6 +202,14 @@ class SabaLibrary:
         if managed:
             self._call_controller(
                 "conn_create", job_id=job_id, path=announced
+            )
+        obs = self._observer
+        if obs.enabled:
+            obs.metrics.counter("library.conns_opened").inc()
+            obs.emit(
+                LIB_CONN_OPENED, self._fabric.sim.now, job=job_id,
+                flow_id=flow.flow_id, src=src, dst=dst, size=size, pl=pl,
+                managed=managed,
             )
         return self._fabric.start_flow(flow, on_complete=_teardown)
 

@@ -69,6 +69,7 @@ def make_policy(
     name: str,
     table: Optional[SensitivityTable] = None,
     collapse_alpha: Optional[float] = DEFAULT_COLLAPSE_ALPHA,
+    observer=None,
     **controller_kwargs,
 ):
     """Build ``(policy, connections_factory)`` for a policy name.
@@ -77,7 +78,9 @@ def make_policy(
     (ideal max-min), or ``"saba"`` (needs ``table``).  Testbed-style
     comparisons keep ``collapse_alpha`` so Saba runs on the same
     congestion-control substrate as the baseline; pass ``None`` for
-    the idealized simulation studies.
+    the idealized simulation studies.  ``observer`` attaches an
+    :class:`repro.obs.Observer` to the Saba controller so its solve
+    and port-programming decisions are traced.
     """
     if name == "baseline":
         return InfiniBandBaseline(
@@ -88,6 +91,8 @@ def make_policy(
     if name == "saba":
         if table is None:
             raise ValueError("saba policy needs a sensitivity table")
+        if observer is not None:
+            controller_kwargs.setdefault("observer", observer)
         controller = SabaController(
             table, collapse_alpha=collapse_alpha, **controller_kwargs
         )
@@ -101,14 +106,21 @@ def run_jobs(
     policy,
     connections_factory=None,
     recorder=None,
+    observer=None,
 ) -> Dict[str, JobResult]:
-    """Run one co-run to completion."""
+    """Run one co-run to completion.
+
+    ``observer`` threads a shared :class:`repro.obs.Observer` through
+    the executor, fabric, and engine; pass the same observer to
+    :func:`make_policy` to capture the controller's decisions too.
+    """
     executor = CoRunExecutor(
         topology,
         policy=policy,
         connections_factory=connections_factory,
         recorder=recorder,
         completion_quantum=EXPERIMENT_QUANTUM,
+        observer=observer,
     )
     return executor.run(jobs)
 

@@ -1,0 +1,279 @@
+"""Metrics registry: counters, gauges, and streaming histograms.
+
+The observability layer (:mod:`repro.obs`) separates *events* (discrete,
+timestamped records published on the :class:`~repro.obs.events.EventBus`)
+from *metrics* (aggregates that are cheap to update on hot paths and are
+snapshotted once at the end of a run).  Four metric kinds cover the
+instrumentation in this repository:
+
+* :class:`Counter` -- monotonically increasing totals (reallocations,
+  solver invocations, flows started);
+* :class:`Gauge` -- last-write-wins values (engine horizon, events
+  processed);
+* :class:`TimeWeightedGauge` -- a gauge whose mean is weighted by how
+  long each value was held on the *simulated* clock, computed as the
+  exact integral of the piecewise-constant series (per-port
+  utilization);
+* :class:`StreamingHistogram` -- p50/p95/p99 estimates over an unbounded
+  stream without storing samples, via geometrically spaced buckets
+  (solver latency, flow completion times).
+
+All metrics live in a :class:`MetricsRegistry`, which hands out
+get-or-create handles by name and serialises everything with
+:meth:`MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class TimeWeightedGauge:
+    """A gauge whose mean weighs each value by how long it was held.
+
+    ``set(value, time)`` records that the gauge held ``value`` from
+    ``time`` until the next ``set``.  The series is piecewise constant,
+    so :meth:`mean` is the exact integral divided by the observed span
+    -- the same semantics as
+    :meth:`repro.simnet.telemetry.UtilizationRecorder.mean_utilization`.
+
+    >>> g = TimeWeightedGauge()
+    >>> g.set(1.0, time=0.0)
+    >>> g.set(0.0, time=1.0)
+    >>> g.mean(until=4.0)
+    0.25
+    """
+
+    __slots__ = ("_start", "_last_time", "_last_value", "_integral")
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._last_time = 0.0
+        self._last_value = 0.0
+        self._integral = 0.0
+
+    def set(self, value: float, time: float) -> None:
+        if self._start is None:
+            self._start = float(time)
+        else:
+            if time < self._last_time:
+                raise ValueError(
+                    f"time-weighted gauge updates must be time-ordered: "
+                    f"{time} < {self._last_time}"
+                )
+            self._integral += self._last_value * (time - self._last_time)
+        self._last_time = float(time)
+        self._last_value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The most recently set value."""
+        return self._last_value
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean over [first set, ``until``].
+
+        ``until`` defaults to the last update; the final value is held
+        constant up to ``until``.  Returns 0.0 before any update.
+        """
+        if self._start is None:
+            return 0.0
+        if until is None:
+            until = self._last_time
+        if until < self._last_time:
+            raise ValueError(f"until={until} precedes last update")
+        span = until - self._start
+        if span <= 0.0:
+            return self._last_value
+        integral = self._integral + self._last_value * (until - self._last_time)
+        return integral / span
+
+
+class StreamingHistogram:
+    """Percentiles over a stream without storing the samples.
+
+    Values land in geometrically spaced buckets (ratio ``growth``
+    between consecutive bucket bounds), so memory is O(log(max/min))
+    and any quantile is recoverable to a relative error of about
+    ``sqrt(growth) - 1`` (~2.5 % at the default growth of 1.05) -- the
+    HDR-histogram idea, sized for latency-style distributions.
+
+    Only non-negative values are accepted (the instrumented quantities
+    are durations, rates, and counts).
+    """
+
+    __slots__ = ("_growth", "_log_growth", "_min_value", "_buckets",
+                 "count", "total", "_min", "_max")
+
+    def __init__(self, growth: float = 1.05, min_value: float = 1e-9) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1: {growth}")
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be > 0: {min_value}")
+        self._growth = growth
+        self._log_growth = math.log(growth)
+        self._min_value = min_value
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0: {value}")
+        self.count += 1
+        self.total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if value < self._min_value:
+            index = 0
+        else:
+            index = 1 + int(math.log(value / self._min_value)
+                            / self._log_growth)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-th percentile, q in [0, 100]."""
+        if not self.count:
+            raise ValueError("quantile of an empty histogram")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100]: {q}")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        cumulative = 0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                if index == 0:
+                    estimate = 0.0
+                else:
+                    lo = self._min_value * self._growth ** (index - 1)
+                    hi = lo * self._growth
+                    estimate = math.sqrt(lo * hi)  # geometric midpoint
+                # The recorded extremes are exact; clamp into them.
+                return min(max(estimate, self._min), self._max)
+        raise AssertionError("unreachable: rank exceeds count")
+
+    def snapshot(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(50),
+            "p95": self.quantile(95),
+            "p99": self.quantile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named get-or-create store for all metric kinds.
+
+    Names are free-form dotted strings (``"controller.solve_seconds"``).
+    Requesting an existing name with a different kind raises
+    ``ValueError`` -- a metric's type is part of its contract.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind, *args, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(*args, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def time_gauge(self, name: str) -> TimeWeightedGauge:
+        return self._get_or_create(name, TimeWeightedGauge)
+
+    def histogram(self, name: str, **kwargs) -> StreamingHistogram:
+        return self._get_or_create(name, StreamingHistogram, **kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as a JSON-ready nested dict, keyed by kind."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "time_gauges": {}, "histograms": {},
+        }
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, TimeWeightedGauge):
+                out["time_gauges"][name] = {
+                    "value": metric.value, "mean": metric.mean(),
+                }
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            elif isinstance(metric, StreamingHistogram):
+                out["histograms"][name] = metric.snapshot()
+        return out

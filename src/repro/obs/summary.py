@@ -1,0 +1,164 @@
+"""Post-hoc trace analysis behind ``python -m repro obs summarize``.
+
+Reads a JSONL event trace (see :mod:`repro.obs.export`) and reduces it
+to the numbers an operator debugging an allocation run wants first:
+how often the controller re-allocated, how long Eq. 2 solves took
+(p50/p95/p99), how utilized each port was over time, and per-job
+completion times.
+
+The summarizer is deliberately independent of the live metrics
+registry: it recomputes everything from the trace alone, so traces from
+old runs (or other machines) stay analysable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Union
+
+from repro.obs import events as ev
+from repro.obs.export import read_trace
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Linear-interpolated percentile over a fully stored sample."""
+    if not values:
+        raise ValueError("percentile of no values")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro obs summarize`` prints, as plain data."""
+
+    n_events: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    reallocations: int = 0
+    ports_programmed: int = 0
+    solver: Dict[str, float] = field(default_factory=dict)
+    port_mean_utilization: Dict[str, float] = field(default_factory=dict)
+    job_completion: Dict[str, float] = field(default_factory=dict)
+    sim_span: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_events": self.n_events,
+            "counts": dict(self.counts),
+            "reallocations": self.reallocations,
+            "ports_programmed": self.ports_programmed,
+            "solver": dict(self.solver),
+            "port_mean_utilization": dict(self.port_mean_utilization),
+            "job_completion": dict(self.job_completion),
+            "sim_span": self.sim_span,
+        }
+
+
+def summarize_trace(records: Iterable[Mapping[str, object]]) -> TraceSummary:
+    """Reduce a loaded trace to a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    solve_durations: List[float] = []
+    # link -> parallel (time, utilization) step series
+    port_series: Dict[str, List[tuple]] = {}
+    t_min = math.inf
+    t_max = -math.inf
+    for record in records:
+        etype = str(record.get("type", "?"))
+        time = float(record.get("time", 0.0))
+        summary.n_events += 1
+        summary.counts[etype] = summary.counts.get(etype, 0) + 1
+        t_min = min(t_min, time)
+        t_max = max(t_max, time)
+        if etype == ev.SOLVE_END:
+            duration = record.get("duration")
+            if duration is not None:
+                solve_durations.append(float(duration))
+        elif etype == ev.PORT_UTILIZATION:
+            link = str(record.get("link"))
+            port_series.setdefault(link, []).append(
+                (time, float(record.get("utilization", 0.0)))
+            )
+        elif etype == ev.JOB_FINISHED:
+            job = str(record.get("job"))
+            duration = record.get("duration")
+            if duration is not None:
+                summary.job_completion[job] = float(duration)
+    summary.reallocations = summary.counts.get(ev.REALLOCATION, 0)
+    summary.ports_programmed = summary.counts.get(ev.PORT_PROGRAMMED, 0)
+    if summary.n_events:
+        summary.sim_span = t_max - t_min
+    if solve_durations:
+        summary.solver = {
+            "count": float(len(solve_durations)),
+            "mean": sum(solve_durations) / len(solve_durations),
+            "p50": _percentile(solve_durations, 50),
+            "p95": _percentile(solve_durations, 95),
+            "p99": _percentile(solve_durations, 99),
+            "max": max(solve_durations),
+        }
+    for link, series in port_series.items():
+        summary.port_mean_utilization[link] = _step_mean(series, t_max)
+    return summary
+
+
+def _step_mean(series: List[tuple], t_end: float) -> float:
+    """Time-weighted mean of a piecewise-constant (time, value) series
+    over [first sample, t_end]; the last value holds until ``t_end``."""
+    if not series:
+        return 0.0
+    span = t_end - series[0][0]
+    if span <= 0.0:
+        return series[-1][1]
+    integral = 0.0
+    for i, (t, value) in enumerate(series):
+        seg_end = series[i + 1][0] if i + 1 < len(series) else t_end
+        integral += value * max(0.0, min(seg_end, t_end) - t)
+    return integral / span
+
+
+def summarize_file(path: Union[str, Path]) -> TraceSummary:
+    """Load a JSONL trace and summarize it."""
+    return summarize_trace(read_trace(path))
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """Human-readable rendering (the CLI's default output)."""
+    lines = [
+        f"events            {summary.n_events}",
+        f"simulated span    {summary.sim_span:.3f}s",
+        f"reallocations     {summary.reallocations}",
+        f"ports programmed  {summary.ports_programmed}",
+    ]
+    if summary.solver:
+        s = summary.solver
+        lines.append(
+            "solver latency    "
+            f"n={int(s['count'])} p50={s['p50'] * 1e3:.3f}ms "
+            f"p95={s['p95'] * 1e3:.3f}ms p99={s['p99'] * 1e3:.3f}ms "
+            f"max={s['max'] * 1e3:.3f}ms"
+        )
+    if summary.job_completion:
+        lines.append("job completion times:")
+        for job in sorted(summary.job_completion):
+            lines.append(f"  {job:20s} {summary.job_completion[job]:10.3f}s")
+    if summary.port_mean_utilization:
+        lines.append("per-port mean utilization:")
+        for link in sorted(summary.port_mean_utilization):
+            lines.append(
+                f"  {link:28s} {summary.port_mean_utilization[link]:6.1%}"
+            )
+    if summary.counts:
+        lines.append("event counts:")
+        for etype in sorted(summary.counts):
+            lines.append(f"  {etype:20s} {summary.counts[etype]}")
+    return "\n".join(lines)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.events import NULL_OBSERVER, SIM_RUN, Observer
 
 
 @dataclass(order=True)
@@ -50,11 +51,18 @@ class Simulator:
     [1.0, 2.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        observer: Optional[Observer] = None,
+    ) -> None:
         self._now = float(start_time)
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        #: Observability sink; the no-op default costs one attribute
+        #: check per ``run`` (never per event).
+        self.observer = observer if observer is not None else NULL_OBSERVER
 
     @property
     def now(self) -> float:
@@ -124,6 +132,22 @@ class Simulator:
             fired += 1
         if until is not None and self._now < until:
             self._now = until
+        if self.observer.enabled:
+            self.report_metrics(fired=fired)
+
+    def report_metrics(self, fired: Optional[int] = None) -> None:
+        """Publish the engine's counters to the attached observer."""
+        obs = self.observer
+        if not obs.enabled:
+            return
+        obs.metrics.gauge("sim.events_processed").set(self._events_processed)
+        obs.metrics.gauge("sim.horizon").set(self._now)
+        obs.emit(
+            SIM_RUN, self._now,
+            events_processed=self._events_processed,
+            horizon=self._now,
+            fired=fired,
+        )
 
     def advance_to(self, time: float) -> None:
         """Move the clock forward without running events.

@@ -20,6 +20,13 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.errors import SimulationError
+from repro.obs.events import (
+    FLOW_FINISHED,
+    FLOW_STARTED,
+    NULL_OBSERVER,
+    PORT_UTILIZATION,
+    Observer,
+)
 from repro.simnet.engine import Simulator
 from repro.simnet.fairness import FairScheduler, LinkScheduler, network_rates
 from repro.simnet.flows import Flow
@@ -79,12 +86,15 @@ class FluidFabric:
         recorder: Optional[UtilizationRecorder] = None,
         validate: bool = False,
         completion_quantum: float = 0.0,
+        observer: Optional[Observer] = None,
     ) -> None:
         """
         Args:
             topology: the network to simulate.
             simulator: shared event engine (one is created if absent).
             recorder: optional utilization telemetry sink.
+            observer: observability sink (:mod:`repro.obs`); the no-op
+                default keeps all instrumentation dormant.
             validate: after every rate recomputation, assert the
                 physical invariants (no link over its line rate, no
                 negative or cap-exceeding flow rate).  Costs a pass
@@ -103,8 +113,17 @@ class FluidFabric:
             raise SimulationError("completion_quantum must be >= 0")
         self.topology = topology
         self.router = Router(topology)
-        self.sim = simulator if simulator is not None else Simulator()
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.sim = (
+            simulator if simulator is not None
+            else Simulator(observer=self.observer)
+        )
+        if self.observer.enabled and not self.sim.observer.enabled:
+            # Adopt a shared engine into this fabric's observer so
+            # ``sim.*`` metrics land in the same registry.
+            self.sim.observer = self.observer
         self.recorder = recorder
+        self._last_port_util: Dict[str, float] = {}
         self.validate = validate
         self.completion_quantum = completion_quantum
         self.policy: FabricPolicy = _DefaultPolicy()
@@ -157,6 +176,14 @@ class FluidFabric:
             )
         self.policy.on_flow_started(flow)
         self._rates_dirty = True
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("fabric.flows_started").inc()
+            obs.emit(
+                FLOW_STARTED, self.sim.now, flow_id=flow.flow_id,
+                app=flow.app, pl=flow.pl, src=flow.src, dst=flow.dst,
+                size=flow.size,
+            )
         return flow
 
     def _finish_flow(self, flow: Flow) -> None:
@@ -164,6 +191,17 @@ class FluidFabric:
         flow.rate = 0.0
         del self._active[flow.flow_id]
         self.completed.append(flow)
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("fabric.flows_finished").inc()
+            obs.metrics.histogram("fabric.fct_seconds").observe(
+                flow.duration or 0.0
+            )
+            obs.emit(
+                FLOW_FINISHED, self.sim.now, flow_id=flow.flow_id,
+                app=flow.app, pl=flow.pl, size=flow.size,
+                duration=flow.duration,
+            )
         self.policy.on_flow_finished(flow)
         for callback in self._completion_callbacks.pop(flow.flow_id, []):
             callback(flow)
@@ -188,6 +226,9 @@ class FluidFabric:
         if self.validate:
             self._check_invariants(flows)
         self._sample_network_telemetry()
+        if self.observer.enabled:
+            self.observer.metrics.counter("fabric.rate_recomputes").inc()
+            self._emit_port_utilization(flows)
 
     def _check_invariants(self, flows: List[Flow]) -> None:
         """Physical sanity of the current rate assignment."""
@@ -212,6 +253,45 @@ class FluidFabric:
                 raise SimulationError(
                     f"link {lid} over line rate: {used} > {line_rate}"
                 )
+
+    def _emit_port_utilization(self, flows: List[Flow]) -> None:
+        """Publish per-port utilization changes (observer enabled only).
+
+        Rates are piecewise constant between events, so emitting on
+        change yields an *exact* step series per port; the summarizer
+        integrates it into time-weighted means.
+        """
+        obs = self.observer
+        now = self.sim.now
+        used: Dict[str, float] = {}
+        flow_count: Dict[str, int] = {}
+        for flow in flows:
+            for lid in flow.path:
+                used[lid] = used.get(lid, 0.0) + flow.rate
+                flow_count[lid] = flow_count.get(lid, 0) + 1
+        # Links that just drained must emit a final zero sample.
+        watched = set(used) | {
+            lid for lid, u in self._last_port_util.items() if u > 0.0
+        }
+        for lid in sorted(watched):
+            capacity = self.topology.link_states[lid].link.capacity
+            util = used.get(lid, 0.0) / capacity
+            if abs(util - self._last_port_util.get(lid, 0.0)) <= 1e-12:
+                continue
+            self._last_port_util[lid] = util
+            obs.metrics.time_gauge(f"port.{lid}.utilization").set(util, now)
+            obs.emit(
+                PORT_UTILIZATION, now, link=lid, utilization=util,
+                flows=flow_count.get(lid, 0),
+            )
+
+    def queue_occupancy(self, link_id: str) -> Dict[int, int]:
+        """Active flows per queue at ``link_id``'s output port."""
+        qtable = self.topology.port_table(link_id)
+        return qtable.occupancy(
+            flow.pl for flow in self._active.values()
+            if link_id in flow.path
+        )
 
     def _sample_network_telemetry(self) -> None:
         if self.recorder is None:
@@ -264,6 +344,7 @@ class FluidFabric:
             if until is not None and next_t > until:
                 self._advance_flows(until - self.sim.now)
                 self.sim.advance_to(until)
+                self.sim.report_metrics()
                 return self.sim.now
             if next_t == float("inf"):
                 raise SimulationError(
@@ -294,6 +375,7 @@ class FluidFabric:
                 flow.remaining = 0.0
                 self._finish_flow(flow)
             events += 1
+        self.sim.report_metrics()
         return self.sim.now
 
     def _advance_flows(self, dt: float) -> None:

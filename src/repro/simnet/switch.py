@@ -99,6 +99,23 @@ class QueueTable:
         self.default_queue = 0
         self.generation += 1
 
+    def snapshot(self) -> Dict[str, object]:
+        """The programmed state as plain data (for event records)."""
+        return {
+            "mapping": dict(self._pl_to_queue),
+            "weights": list(self._weights),
+            "default_queue": self.default_queue,
+            "generation": self.generation,
+        }
+
+    def occupancy(self, pls: Iterable[Optional[int]]) -> Dict[int, int]:
+        """Flows-per-queue histogram for the given priority levels."""
+        counts: Dict[int, int] = {}
+        for pl in pls:
+            queue = self.queue_of(pl)
+            counts[queue] = counts.get(queue, 0) + 1
+        return counts
+
 
 @dataclass
 class OutputPort:

@@ -43,6 +43,25 @@ class _StepSeries:
         idx = bisect_right(self.times, time) - 1
         return self.values[idx]
 
+    def integral(self, t_start: float, t_end: float) -> float:
+        """Exact integral of the step series over [t_start, t_end].
+
+        The series is 0 before its first sample; the last value holds
+        forever after.
+        """
+        if t_end <= t_start:
+            return 0.0
+        total = 0.0
+        for i, t in enumerate(self.times):
+            seg_start = max(t, t_start)
+            seg_end = (
+                self.times[i + 1] if i + 1 < len(self.times) else t_end
+            )
+            seg_end = min(seg_end, t_end)
+            if seg_end > seg_start:
+                total += self.values[i] * (seg_end - seg_start)
+        return total
+
 
 class UtilizationRecorder:
     """Records per-server network and CPU utilization in [0, 1]."""
@@ -101,8 +120,18 @@ class UtilizationRecorder:
         return times, values
 
     def mean_utilization(self, server: str, metric: str, t_end: float) -> float:
-        """Time-weighted mean utilization over [0, t_end]."""
-        times, values = self.series(server, metric, t_end, resolution=max(t_end / 2000.0, 1e-6))
-        if not values:
-            return 0.0
-        return sum(values) / len(values)
+        """Time-weighted mean utilization over [0, t_end].
+
+        Computed as the exact integral of the piecewise-constant sample
+        series divided by ``t_end`` -- no resampling grid, so unevenly
+        spaced samples carry exactly their holding time's weight.
+        """
+        if metric == "network":
+            series = self._network.get(server, _StepSeries())
+        elif metric == "cpu":
+            series = self._cpu.get(server, _StepSeries())
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        if t_end <= 0.0:
+            return series.value_at(0.0)
+        return series.integral(0.0, t_end) / t_end

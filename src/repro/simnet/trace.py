@@ -68,6 +68,14 @@ def write_json(records: Iterable[Dict[str, object]],
     return len(records)
 
 
+def read_json(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read a JSON trace back (inverse of :func:`write_json`)."""
+    records = json.loads(Path(path).read_text())
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: expected a JSON list of flow records")
+    return records
+
+
 def read_csv(path: Union[str, Path]) -> List[Dict[str, object]]:
     """Read a trace back; numeric fields are parsed."""
     numeric = {"flow_id", "pl", "size", "start_time", "finish_time",

@@ -1,0 +1,110 @@
+"""Tests for the event bus, records, and the observer pair."""
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventBus,
+    EventRecord,
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+)
+
+
+def test_publish_returns_record_with_monotonic_seq():
+    bus = EventBus()
+    first = bus.publish(ev.FLOW_STARTED, time=1.0, flow_id=1)
+    second = bus.publish(ev.FLOW_FINISHED, time=1.0, flow_id=1)
+    assert isinstance(first, EventRecord)
+    assert second.seq == first.seq + 1
+    assert bus.total_published == 2
+
+
+def test_subscribers_see_records_in_order():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.publish(ev.FLOW_STARTED, time=0.0, flow_id=1)
+    bus.publish(ev.FLOW_FINISHED, time=2.0, flow_id=1, duration=2.0)
+    assert [r.type for r in seen] == [ev.FLOW_STARTED, ev.FLOW_FINISHED]
+    assert seen[1].fields["duration"] == 2.0
+
+
+def test_type_filter_and_unsubscribe():
+    bus = EventBus()
+    seen = []
+    unsubscribe = bus.subscribe(seen.append, types=[ev.SOLVE_END])
+    bus.publish(ev.SOLVE_BEGIN, time=0.0)
+    bus.publish(ev.SOLVE_END, time=0.0, duration=0.01)
+    assert [r.type for r in seen] == [ev.SOLVE_END]
+    unsubscribe()
+    bus.publish(ev.SOLVE_END, time=1.0, duration=0.02)
+    assert len(seen) == 1
+    unsubscribe()  # idempotent
+
+
+def test_strict_bus_rejects_unknown_types():
+    bus = EventBus()
+    with pytest.raises(ValueError):
+        bus.publish("made.up", time=0.0)
+    with pytest.raises(ValueError):
+        bus.subscribe(lambda r: None, types=["made.up"])
+
+
+def test_lenient_bus_accepts_custom_types():
+    bus = EventBus(strict=False)
+    record = bus.publish("made.up", time=0.0, x=1)
+    assert record.type == "made.up"
+
+
+def test_fields_cannot_shadow_envelope():
+    bus = EventBus()
+    # "type"/"time" are caught by Python itself (duplicate keyword);
+    # "seq" is the envelope key that could otherwise slip through.
+    with pytest.raises(ValueError):
+        bus.publish(ev.FLOW_STARTED, time=0.0, seq=99)
+    with pytest.raises(TypeError):
+        bus.publish(ev.FLOW_STARTED, 0.0, type="oops")
+
+
+def test_record_to_dict_is_flat():
+    record = EventRecord(
+        type=ev.PORT_PROGRAMMED, time=3.0, seq=7,
+        fields={"link": "a->b", "weights": [0.5, 0.5]},
+    )
+    assert record.to_dict() == {
+        "type": ev.PORT_PROGRAMMED, "time": 3.0, "seq": 7,
+        "link": "a->b", "weights": [0.5, 0.5],
+    }
+
+
+def test_event_counts_by_type():
+    bus = EventBus()
+    bus.publish(ev.REALLOCATION, time=0.0)
+    bus.publish(ev.REALLOCATION, time=1.0)
+    bus.publish(ev.SOLVE_END, time=1.0)
+    assert bus.counts[ev.REALLOCATION] == 2
+    assert bus.counts[ev.SOLVE_END] == 1
+
+
+def test_taxonomy_names_are_namespaced():
+    for name in EVENT_TYPES:
+        assert "." in name
+
+
+def test_observer_emits_to_its_bus():
+    observer = Observer()
+    seen = []
+    observer.bus.subscribe(seen.append)
+    observer.emit(ev.JOB_STARTED, time=0.0, job="j1")
+    assert observer.enabled
+    assert seen[0].fields["job"] == "j1"
+
+
+def test_null_observer_is_inert():
+    assert isinstance(NULL_OBSERVER, NullObserver)
+    assert not NULL_OBSERVER.enabled
+    assert NULL_OBSERVER.emit(ev.JOB_STARTED, time=0.0, job="j1") is None
+    assert NULL_OBSERVER.bus.total_published == 0

@@ -1,0 +1,135 @@
+"""Tests for counters, gauges, time-weighted gauges, and histograms."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+    TimeWeightedGauge,
+)
+
+
+def test_counter_increments():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    gauge = Gauge()
+    gauge.set(4.0)
+    gauge.set(1.5)
+    assert gauge.value == 1.5
+
+
+def test_time_weighted_gauge_exact_mean():
+    gauge = TimeWeightedGauge()
+    gauge.set(1.0, time=0.0)
+    gauge.set(0.0, time=2.0)   # held 1.0 for 2s
+    gauge.set(0.5, time=3.0)   # held 0.0 for 1s
+    # Held 0.5 from t=3 to t=5.
+    assert gauge.mean(until=5.0) == pytest.approx(
+        (1.0 * 2 + 0.0 * 1 + 0.5 * 2) / 5.0
+    )
+    assert gauge.value == 0.5
+
+
+def test_time_weighted_gauge_uneven_spacing():
+    gauge = TimeWeightedGauge()
+    gauge.set(0.8, time=0.0)
+    gauge.set(0.2, time=0.25)
+    assert gauge.mean(until=1.0) == pytest.approx(0.35, abs=1e-12)
+
+
+def test_time_weighted_gauge_edge_cases():
+    gauge = TimeWeightedGauge()
+    assert gauge.mean() == 0.0
+    gauge.set(3.0, time=1.0)
+    assert gauge.mean() == 3.0  # zero span -> current value
+    with pytest.raises(ValueError):
+        gauge.set(1.0, time=0.5)
+    with pytest.raises(ValueError):
+        gauge.mean(until=0.0)
+
+
+def test_histogram_percentiles_within_relative_error():
+    hist = StreamingHistogram()
+    values = [0.001 * (i + 1) for i in range(1000)]  # 1ms .. 1s
+    for value in values:
+        hist.observe(value)
+    assert hist.count == 1000
+    assert hist.min == pytest.approx(0.001)
+    assert hist.max == pytest.approx(1.0)
+    assert hist.mean == pytest.approx(sum(values) / 1000)
+    for q, exact in ((50, 0.500), (95, 0.950), (99, 0.990)):
+        assert hist.quantile(q) == pytest.approx(exact, rel=0.06)
+
+
+def test_histogram_identical_values():
+    hist = StreamingHistogram()
+    for _ in range(10):
+        hist.observe(0.25)
+    for q in (0, 50, 99, 100):
+        assert hist.quantile(q) == pytest.approx(0.25, rel=0.06)
+
+
+def test_histogram_subnormal_and_zero_values():
+    hist = StreamingHistogram(min_value=1e-9)
+    hist.observe(0.0)
+    hist.observe(1e-12)
+    assert hist.quantile(50) == 0.0
+
+
+def test_histogram_validation():
+    hist = StreamingHistogram()
+    with pytest.raises(ValueError):
+        hist.observe(-1.0)
+    with pytest.raises(ValueError):
+        hist.quantile(50)
+    hist.observe(1.0)
+    with pytest.raises(ValueError):
+        hist.quantile(101)
+    with pytest.raises(ValueError):
+        StreamingHistogram(growth=1.0)
+    with pytest.raises(ValueError):
+        StreamingHistogram(min_value=0.0)
+
+
+def test_histogram_snapshot_keys():
+    hist = StreamingHistogram()
+    assert hist.snapshot() == {"count": 0}
+    hist.observe(2.0)
+    snap = hist.snapshot()
+    assert snap["count"] == 1
+    assert set(snap) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+
+
+def test_registry_get_or_create_and_type_clash():
+    registry = MetricsRegistry()
+    counter = registry.counter("a.b")
+    assert registry.counter("a.b") is counter
+    assert "a.b" in registry
+    assert len(registry) == 1
+    with pytest.raises(ValueError):
+        registry.gauge("a.b")
+
+
+def test_registry_snapshot_structure():
+    registry = MetricsRegistry()
+    registry.counter("flows").inc(3)
+    registry.gauge("horizon").set(12.0)
+    registry.time_gauge("util").set(0.5, time=0.0)
+    registry.time_gauge("util").set(0.0, time=2.0)
+    registry.histogram("latency").observe(0.01)
+    snap = registry.snapshot()
+    assert snap["counters"]["flows"] == 3
+    assert snap["gauges"]["horizon"] == 12.0
+    assert snap["time_gauges"]["util"]["value"] == 0.0
+    assert snap["time_gauges"]["util"]["mean"] == pytest.approx(0.5)
+    assert snap["histograms"]["latency"]["count"] == 1
+    assert registry.names() == ["flows", "horizon", "latency", "util"]

@@ -79,5 +79,36 @@ def test_mean_utilization():
     rec = UtilizationRecorder()
     rec.cpu_busy("s0", 0.0, True)
     rec.cpu_busy("s0", 5.0, False)
+    # Exact integral: busy for 5 of 10 seconds, no resampling error.
     mean = rec.mean_utilization("s0", "cpu", t_end=10.0)
-    assert mean == pytest.approx(0.5, abs=0.05)
+    assert mean == pytest.approx(0.5, abs=1e-12)
+
+
+def test_mean_utilization_uneven_samples_exact():
+    """Unevenly spaced samples carry exactly their holding time.
+
+    A grid-resampled mean would weight the 0.8 sample by a whole grid
+    cell; the exact integral gives 0.8*0.25 + 0.2*0.75 = 0.35.
+    """
+    rec = UtilizationRecorder()
+    rec.record_network("s0", 0.0, 0.8)
+    rec.record_network("s0", 0.25, 0.2)
+    mean = rec.mean_utilization("s0", "network", t_end=1.0)
+    assert mean == pytest.approx(0.35, abs=1e-12)
+
+
+def test_mean_utilization_counts_leading_idle():
+    rec = UtilizationRecorder()
+    rec.record_network("s0", 5.0, 1.0)
+    # Idle (0.0) for the first 5 s, then saturated for 5 s.
+    assert rec.mean_utilization("s0", "network", t_end=10.0) == \
+        pytest.approx(0.5, abs=1e-12)
+
+
+def test_mean_utilization_degenerate_span():
+    rec = UtilizationRecorder()
+    rec.cpu_busy("s0", 0.0, True)
+    assert rec.mean_utilization("s0", "cpu", t_end=0.0) == 1.0
+    assert rec.mean_utilization("missing", "cpu", t_end=10.0) == 0.0
+    with pytest.raises(ValueError):
+        rec.mean_utilization("s0", "disk", t_end=1.0)

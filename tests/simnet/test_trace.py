@@ -11,6 +11,7 @@ from repro.simnet.trace import (
     flow_records,
     percentile,
     read_csv,
+    read_json,
     summarize_fct,
     write_csv,
     write_json,
@@ -55,6 +56,29 @@ def test_json_export(completed_fabric, tmp_path):
     assert path.read_text().startswith("[")
 
 
+def test_json_roundtrip(completed_fabric, tmp_path):
+    records = flow_records(completed_fabric)
+    path = tmp_path / "trace.json"
+    write_json(records, path)
+    assert read_json(path) == records
+
+
+def test_read_json_rejects_non_list(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"not": "a list"}')
+    with pytest.raises(ValueError):
+        read_json(path)
+
+
+def test_empty_trace_roundtrips(tmp_path):
+    csv_path = tmp_path / "empty.csv"
+    json_path = tmp_path / "empty.json"
+    assert write_csv([], csv_path) == 0
+    assert write_json([], json_path) == 0
+    assert read_csv(csv_path) == []
+    assert read_json(json_path) == []
+
+
 def test_percentile_interpolation():
     values = [1.0, 2.0, 3.0, 4.0]
     assert percentile(values, 0) == 1.0
@@ -94,3 +118,21 @@ def test_summarize_fct_per_app(completed_fabric):
 def test_summarize_fct_empty():
     with pytest.raises(ValueError):
         summarize_fct([])
+
+
+def test_summarize_fct_single_flow():
+    record = {"duration": 2.5, "app": "a"}
+    summary = summarize_fct([record])
+    assert summary.count == 1
+    assert summary.mean == summary.p50 == summary.p99 == summary.max == 2.5
+
+
+def test_duplicate_durations_percentiles_and_cdf():
+    values = [1.0, 1.0, 1.0, 3.0]
+    assert percentile(values, 50) == 1.0
+    assert percentile(values, 75) == pytest.approx(1.5)
+    assert percentile(values, 100) == 3.0
+    points = cdf_points(values)
+    # Duplicates each contribute a step; the last 1.0 reaches 0.75.
+    assert points[2] == (1.0, pytest.approx(0.75))
+    assert points[-1] == (3.0, pytest.approx(1.0))

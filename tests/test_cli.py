@@ -1,5 +1,7 @@
 """In-process tests of the CLI argument handling (light commands)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import COMMANDS, main
@@ -36,5 +38,57 @@ def test_report_command(tmp_path, capsys):
 
 def test_every_command_registered():
     for name in ("fig1a", "fig1b", "fig2", "fig5", "fig6", "fig8",
-                 "fig9", "fig10", "fig11", "fig12", "report"):
+                 "fig9", "fig10", "fig11", "fig12", "report", "obs"):
         assert name in COMMANDS
+
+
+@pytest.fixture()
+def small_trace(tmp_path):
+    """A hand-rolled JSONL trace with the event kinds the CLI renders."""
+    from repro.obs import events as ev
+    from repro.obs.events import Observer
+    from repro.obs.export import attach_trace_writer
+
+    path = tmp_path / "run.jsonl"
+    observer = Observer()
+    with attach_trace_writer(observer, path):
+        observer.emit(ev.SOLVE_END, time=0.0, solver="kkt", iterations=3,
+                      duration=0.002)
+        observer.emit(ev.REALLOCATION, time=0.0, ports=1, duration=0.003)
+        observer.emit(ev.PORT_PROGRAMMED, time=0.0, link="sw->a")
+        observer.emit(ev.JOB_FINISHED, time=9.0, job="j0", workload="LR",
+                      duration=9.0)
+    return path
+
+
+def test_obs_summarize_command(small_trace, capsys):
+    assert main(["obs", "summarize", str(small_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "reallocations     1" in out
+    assert "solver latency" in out
+    assert "j0" in out
+
+
+def test_obs_summarize_json_output(small_trace, capsys):
+    assert main(["obs", "summarize", "--json", str(small_trace)]) == 0
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed["n_events"] == 4
+    assert parsed["reallocations"] == 1
+    assert parsed["job_completion"] == {"j0": 9.0}
+
+
+def test_obs_rejects_unknown_action(small_trace):
+    with pytest.raises(SystemExit):
+        main(["obs", "frobnicate", str(small_trace)])
+
+
+def test_obs_missing_trace_is_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="no such trace"):
+        main(["obs", "summarize", str(tmp_path / "nope.jsonl")])
+
+
+def test_obs_malformed_trace_is_clean_error(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(SystemExit, match="not a JSONL event trace"):
+        main(["obs", "summarize", str(path)])
