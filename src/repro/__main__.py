@@ -153,6 +153,82 @@ def _obs(args) -> None:
         print(format_summary(summary))
 
 
+def _sweep(args) -> None:
+    import json
+
+    from repro.sweep import (
+        RetryPolicy, SweepCache, SweepError, SweepRunner, default_cache,
+    )
+    from repro.sweep.registry import REGISTRY, get_experiment
+
+    if args.experiment == "list":
+        for name, exp in REGISTRY.items():
+            print(f"{name:16s} {exp.help}")
+        print(f"{'bench':16s} serial-vs-parallel wall-time benchmark")
+        return
+
+    if args.experiment == "bench":
+        from repro.sweep.bench import run_bench, write_bench
+
+        progress = None if args.quiet else print
+        payload = run_bench(
+            workloads=args.workloads,
+            fractions=args.fractions,
+            n_nodes=args.nodes if args.nodes is not None else 32,
+            jobs=args.jobs,
+            progress=progress,
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        if args.out:
+            write_bench(payload, args.out)
+            print(f"wrote {args.out}", file=sys.stderr)
+        if not payload["identical_results"]:
+            raise SystemExit("error: serial and parallel tables differ")
+        return
+
+    try:
+        experiment = get_experiment(args.experiment)
+        if args.no_cache:
+            cache = None
+        elif args.cache_dir:
+            cache = SweepCache(dir=args.cache_dir)
+        else:
+            cache = default_cache()
+        runner = SweepRunner(
+            jobs=args.jobs,
+            cache=cache,
+            timeout=args.timeout,
+            retry=RetryPolicy(max_attempts=args.retries),
+            error_policy=args.error_policy,
+            progress=None if args.quiet else (
+                lambda msg: print(msg, file=sys.stderr)
+            ),
+        )
+        options = {
+            "setups": args.setups, "method": args.method,
+            "workloads": args.workloads, "nodes": args.nodes,
+            "degree": args.degree,
+        }
+        result = runner.run(experiment.build(options))
+    except SweepError as exc:
+        raise SystemExit(f"error: {exc}")
+    if result.failures:
+        for outcome in result.failures:
+            print(f"FAILED {outcome.name}: {outcome.error}",
+                  file=sys.stderr)
+        raise SystemExit(
+            f"error: {len(result.failures)} task(s) failed; "
+            "no result to render"
+        )
+    print(experiment.render(result.value))
+    if args.manifest:
+        with open(args.manifest, "w") as handle:
+            json.dump(result.manifest.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote manifest to {args.manifest}", file=sys.stderr)
+
+
 def _report(args) -> None:
     from repro.experiments.report import generate_reports
 
@@ -166,6 +242,7 @@ def _report(args) -> None:
 COMMANDS = {
     "report": _report,
     "obs": _obs,
+    "sweep": _sweep,
     "fig1a": _fig1a,
     "fig1b": _fig1b,
     "fig2": _fig2,
@@ -196,6 +273,50 @@ def main(argv=None) -> int:
             p.add_argument("trace", help="JSONL event trace path")
             p.add_argument("--json", action="store_true",
                            help="machine-readable output")
+            continue
+        if name == "sweep":
+            p = sub.add_parser(
+                name,
+                help="run an experiment as a cached, parallel sweep",
+            )
+            p.add_argument(
+                "experiment",
+                help="experiment name, 'list', or 'bench'",
+            )
+            p.add_argument("--jobs", default="1",
+                           help="worker processes, or 'auto' (default 1)")
+            p.add_argument("--cache-dir", default=None,
+                           help="on-disk cache directory (default: "
+                                "$REPRO_SWEEP_CACHE_DIR, else memory-only)")
+            p.add_argument("--no-cache", action="store_true",
+                           help="recompute every task")
+            p.add_argument("--timeout", type=float, default=None,
+                           help="per-task wall-clock limit in seconds "
+                                "(enforced with --jobs >= 2)")
+            p.add_argument("--retries", type=int, default=3,
+                           help="max attempts per task (default 3)")
+            p.add_argument("--error-policy", default="fail-fast",
+                           choices=["fail-fast", "collect"])
+            p.add_argument("--manifest", default=None,
+                           help="write the run manifest JSON here")
+            p.add_argument("--quiet", action="store_true",
+                           help="suppress progress narration")
+            p.add_argument("--setups", type=int, default=None,
+                           help="fig8: number of cluster setups")
+            p.add_argument("--method", default=None,
+                           choices=["simulate", "analytic"],
+                           help="profiling method override")
+            p.add_argument("--workloads", nargs="+", default=None,
+                           help="restrict to these catalog workloads")
+            p.add_argument("--nodes", type=int, default=None,
+                           help="profiling pod size override")
+            p.add_argument("--degree", type=int, default=None,
+                           help="polynomial degree override")
+            p.add_argument("--fractions", type=float, nargs="+",
+                           default=None,
+                           help="bench: bandwidth fractions to profile")
+            p.add_argument("--out", default=None,
+                           help="bench: also write the JSON payload here")
             continue
         p = sub.add_parser(name, help=f"run the {name} experiment")
         if name == "fig8":

@@ -38,9 +38,39 @@ from repro.core.sensitivity import (
 )
 from repro.core.table import SensitivityTable
 from repro.simnet.topology import single_switch
+from repro.sweep.task import SweepSpec, Task
 from repro.units import GBPS_56
 from repro.workloads.catalog import PROFILER_NODES, WorkloadTemplate
 from repro.workloads.model import ApplicationSpec
+
+
+def measure_point(
+    spec: ApplicationSpec,
+    fraction: float,
+    link_capacity: float = GBPS_56,
+    method: str = "simulate",
+) -> float:
+    """Completion time of ``spec`` alone with NICs capped at ``fraction``.
+
+    One (workload, bandwidth-fraction) point of the profiling grid --
+    the unit of work the sweep runner fans out across processes, so it
+    must stay module-level and depend only on its arguments.
+    """
+    if method == "analytic":
+        return spec.analytic_completion_time(fraction, link_capacity)
+    topo = single_switch(spec.n_instances, capacity=link_capacity,
+                         name="profiler-pod")
+    servers = topo.servers[: spec.n_instances]
+    topo.set_uniform_throttle(servers, fraction)
+    executor = CoRunExecutor(topo, policy=IdealMaxMin())
+    job = Job(
+        job_id=f"profile:{spec.name}",
+        spec=spec,
+        workload=spec.name,
+        placement=list(servers),
+    )
+    results = executor.run([job])
+    return results[job.job_id].completion_time
 
 
 @dataclass(frozen=True)
@@ -53,12 +83,26 @@ class ProfileResult:
     completion_times: Tuple[Tuple[float, float], ...]
     wall_time: float
 
-    def slowdown_at(self, fraction: float) -> float:
-        """Measured slowdown at a profiled fraction."""
-        for b, d in self.samples:
-            if abs(b - fraction) < 1e-9:
-                return d
-        raise ProfilingError(f"fraction {fraction} was not profiled")
+    def slowdown_at(self, fraction: float, tol: float = 1e-6) -> float:
+        """Measured slowdown at a profiled fraction.
+
+        ``tol`` is the absolute tolerance for matching ``fraction``
+        against the profiled grid (fractions often arrive through
+        arithmetic like ``1 - 0.75``, which is not bit-exact).
+
+        Raises:
+            ProfilingError: no profiled fraction lies within ``tol``;
+                the message lists the fractions that were profiled.
+        """
+        best = min(self.samples, key=lambda s: abs(s[0] - fraction))
+        if abs(best[0] - fraction) <= tol:
+            return best[1]
+        available = ", ".join(f"{b:g}" for b, _ in self.samples)
+        raise ProfilingError(
+            f"fraction {fraction:g} was not profiled for "
+            f"{self.workload!r} (tolerance {tol:g}); "
+            f"available fractions: {available}"
+        )
 
 
 class OfflineProfiler:
@@ -95,21 +139,9 @@ class OfflineProfiler:
         self, spec: ApplicationSpec, fraction: float
     ) -> float:
         """Run ``spec`` in isolation with NICs capped at ``fraction``."""
-        if self.method == "analytic":
-            return spec.analytic_completion_time(fraction, self.link_capacity)
-        topo = single_switch(spec.n_instances, capacity=self.link_capacity,
-                             name="profiler-pod")
-        servers = topo.servers[: spec.n_instances]
-        topo.set_uniform_throttle(servers, fraction)
-        executor = CoRunExecutor(topo, policy=IdealMaxMin())
-        job = Job(
-            job_id=f"profile:{spec.name}",
-            spec=spec,
-            workload=spec.name,
-            placement=list(servers),
-        )
-        results = executor.run([job])
-        return results[job.job_id].completion_time
+        return measure_point(spec, fraction,
+                             link_capacity=self.link_capacity,
+                             method=self.method)
 
     def measure_samples(
         self, spec: ApplicationSpec
@@ -155,14 +187,100 @@ class OfflineProfiler:
         )
         return self.profile_spec(spec)
 
+    # -- sweep integration -----------------------------------------------
+
+    def point_task(self, spec: ApplicationSpec, fraction: float) -> Task:
+        """The sweep task for one (application, fraction) grid point."""
+        return Task(
+            name=f"profile:{spec.name}:b={fraction:g}",
+            fn=measure_point,
+            params={
+                "spec": spec,
+                "fraction": fraction,
+                "link_capacity": self.link_capacity,
+                "method": self.method,
+            },
+        )
+
+    def sweep_spec(
+        self,
+        templates: Iterable[WorkloadTemplate],
+        dataset_scale: float = 1.0,
+        n_instances: Optional[int] = None,
+    ) -> SweepSpec:
+        """The profiling campaign as a declarative sweep grid.
+
+        One task per (workload, bandwidth fraction); the reduction
+        converts each workload's completion times to slowdowns
+        against its own unthrottled run, fits the Eq. 1 model, and
+        assembles the :class:`SensitivityTable` -- exactly what
+        :meth:`build_table` returns, but with every grid point
+        independently schedulable and cacheable.
+        """
+        n = n_instances if n_instances is not None else self.n_nodes
+        specs = [
+            t.instantiate(dataset_scale=dataset_scale, n_instances=n,
+                          link_capacity=self.link_capacity)
+            for t in templates
+        ]
+        if not specs:
+            raise ProfilingError("no templates to profile")
+        tasks = [
+            self.point_task(spec, fraction)
+            for spec in specs
+            for fraction in self.fractions
+        ]
+        fractions, degree = self.fractions, self.degree
+
+        def reduce_to_table(results: dict) -> SensitivityTable:
+            table = SensitivityTable()
+            for spec in specs:
+                times = [
+                    (f, results[f"profile:{spec.name}:b={f:g}"])
+                    for f in fractions
+                ]
+                baseline = dict(times)[1.0]
+                if baseline <= 0:
+                    raise ProfilingError(
+                        f"{spec.name}: zero completion time at full "
+                        "bandwidth"
+                    )
+                samples = [(f, t / baseline) for f, t in times]
+                table.add(fit_sensitivity_model(spec.name, samples,
+                                                degree=degree))
+            return table
+
+        return SweepSpec(
+            name="profile-catalog",
+            tasks=tuple(tasks),
+            reduce=reduce_to_table,
+            config={
+                "workloads": [s.name for s in specs],
+                "fractions": list(fractions),
+                "degree": degree,
+                "method": self.method,
+                "n_instances": n,
+                "dataset_scale": dataset_scale,
+            },
+        )
+
     def build_table(
-        self, templates: Iterable[WorkloadTemplate]
+        self,
+        templates: Iterable[WorkloadTemplate],
+        runner: Optional["SweepRunner"] = None,
     ) -> SensitivityTable:
-        """Profile every template and assemble the sensitivity table."""
-        table = SensitivityTable()
-        for template in templates:
-            table.add(self.profile(template).model)
-        return table
+        """Profile every template and assemble the sensitivity table.
+
+        The campaign runs as a sweep (:meth:`sweep_spec`): by default
+        serially in-process, or under a caller-provided
+        :class:`~repro.sweep.runner.SweepRunner` for parallelism and
+        result caching.
+        """
+        if runner is None:
+            from repro.sweep.runner import SweepRunner
+
+            runner = SweepRunner(jobs=1)
+        return runner.run(self.sweep_spec(templates)).value
 
     def profiling_cost(self, result: ProfileResult) -> float:
         """Total machine-time cost of one profiling campaign, in

@@ -39,3 +39,7 @@ class RegistrationError(ReproError):
 
 class ClusteringError(ReproError):
     """Clustering inputs are invalid (empty set, bad cluster count)."""
+
+
+class SweepError(ReproError):
+    """A sweep was misconfigured or a task failed under fail-fast."""

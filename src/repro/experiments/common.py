@@ -19,11 +19,13 @@ from repro.units import GBPS_56
 from repro.workloads.catalog import CATALOG, PROFILER_NODES
 
 
-#: Completion-batching quantum for the co-run experiments (simulated
-#: seconds).  Stage durations are tens of seconds, so the bounded
-#: per-completion error stays below ~1-2 % while a stage's staggered
-#: flow completions cost a handful of rate recomputations instead of
-#: hundreds.
+#: Default completion-batching quantum for the co-run experiments
+#: (simulated seconds).  Stage durations are tens of seconds, so the
+#: bounded per-completion error stays below ~1-2 % while a stage's
+#: staggered flow completions cost a handful of rate recomputations
+#: instead of hundreds.  Every harness threads it through as an
+#: explicit ``completion_quantum`` parameter so sweep tasks (and the
+#: bench) can vary it and measure the accuracy/speed trade-off.
 EXPERIMENT_QUANTUM = 0.1
 
 
@@ -39,11 +41,27 @@ def build_catalog_table(
     degree: int = 3,
     method: str = "simulate",
     workloads: Optional[Iterable[str]] = None,
+    runner: Optional["SweepRunner"] = None,
 ) -> SensitivityTable:
-    """Profile the Table-1 workloads (k=3 by default, as in §8.2)."""
+    """Profile the Table-1 workloads (k=3 by default, as in §8.2).
+
+    Runs as a sweep through the shared result cache
+    (:func:`repro.sweep.default_cache`), so the many experiment
+    modules that each call this no longer silently re-profile the
+    whole catalog: repeated calls in one process reuse the profiling
+    points from memory, and setting :data:`repro.sweep.CACHE_DIR_ENV`
+    extends the reuse across processes.  The cache keys on each
+    point's full configuration plus the package version, so a code
+    bump recomputes.  Pass ``runner`` to control jobs/caching
+    explicitly.
+    """
+    from repro.sweep import default_runner
+
+    if runner is None:
+        runner = default_runner()
     profiler = OfflineProfiler(degree=degree, method=method)
     names = list(workloads) if workloads is not None else list(CATALOG)
-    return profiler.build_table([CATALOG[n] for n in names])
+    return profiler.build_table([CATALOG[n] for n in names], runner=runner)
 
 
 def standalone_times(
@@ -107,19 +125,22 @@ def run_jobs(
     connections_factory=None,
     recorder=None,
     observer=None,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
 ) -> Dict[str, JobResult]:
     """Run one co-run to completion.
 
     ``observer`` threads a shared :class:`repro.obs.Observer` through
     the executor, fabric, and engine; pass the same observer to
     :func:`make_policy` to capture the controller's decisions too.
+    ``completion_quantum`` overrides the default completion-batching
+    quantum (:data:`EXPERIMENT_QUANTUM`).
     """
     executor = CoRunExecutor(
         topology,
         policy=policy,
         connections_factory=connections_factory,
         recorder=recorder,
-        completion_quantum=EXPERIMENT_QUANTUM,
+        completion_quantum=completion_quantum,
         observer=observer,
     )
     return executor.run(jobs)

@@ -47,6 +47,7 @@ def run_dynamism(
     seed: int = 99,
     collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
     table: Optional[SensitivityTable] = None,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
 ) -> DynamismResult:
     """One staggered-arrival co-run, baseline vs Saba.
 
@@ -76,7 +77,7 @@ def run_dynamism(
         )
         executor = CoRunExecutor(
             topo, policy=policy, connections_factory=connections_factory,
-            completion_quantum=EXPERIMENT_QUANTUM,
+            completion_quantum=completion_quantum,
         )
         return executor.run(jobs, start_times=list(start_times))
 

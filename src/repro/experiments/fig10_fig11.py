@@ -35,6 +35,7 @@ from repro.core.profiler import OfflineProfiler
 from repro.core.table import SensitivityTable
 from repro.experiments.common import EXPERIMENT_QUANTUM, geomean
 from repro.simnet.topology import Topology, spine_leaf
+from repro.sweep import SweepRunner, SweepSpec, Task, default_runner
 from repro.workloads.model import ApplicationSpec
 from repro.workloads.synthetic import synthetic_workloads
 
@@ -130,13 +131,119 @@ class Fig10Result:
         return geomean(list(self.speedups[policy].values()))
 
 
-def _run_policy(make_topology, make_jobs, policy, connections_factory=None):
+def _run_policy(make_topology, make_jobs, policy, connections_factory=None,
+                completion_quantum=EXPERIMENT_QUANTUM):
     executor = CoRunExecutor(
         make_topology(), policy=policy,
         connections_factory=connections_factory,
-        completion_quantum=EXPERIMENT_QUANTUM,
+        completion_quantum=completion_quantum,
     )
     return executor.run(make_jobs())
+
+
+def _make_sim_policy(name, table, collapse_alpha, num_pls=None):
+    """(policy, connections_factory) for a simulation-study policy."""
+    if name == "baseline":
+        return InfiniBandBaseline(collapse_alpha=collapse_alpha), None
+    if name == "saba":
+        kwargs = {} if num_pls is None else {"num_pls": num_pls}
+        controller = SabaController(table, collapse_alpha=collapse_alpha,
+                                    **kwargs)
+        return controller, SabaLibrary.factory(controller)
+    if name == "ideal-maxmin":
+        return IdealMaxMin(), None
+    if name == "homa":
+        return HomaPolicy(collapse_alpha=collapse_alpha), None
+    if name == "sincronia":
+        return SincroniaPolicy(collapse_alpha=collapse_alpha), None
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def run_policy_point(
+    policy_name: str,
+    table: SensitivityTable,
+    collapse_alpha: float = SIM_COLLAPSE_ALPHA,
+    seed: int = 11,
+    topology_kwargs: Optional[dict] = None,
+    n_workloads: int = 20,
+    num_queues: int = 8,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
+) -> Dict[str, float]:
+    """Completion time per job for one policy on the simulated fabric.
+
+    The per-policy unit of work of the Figure 10 sweep: module-level,
+    driven only by picklable arguments, and deterministic in ``seed``
+    (``build_simulation`` re-derives the same placement in every
+    worker process).
+    """
+    make_topology, make_jobs, _ = build_simulation(
+        n_workloads=n_workloads, topology_kwargs=topology_kwargs,
+        seed=seed, num_queues=num_queues,
+    )
+    policy, factory = _make_sim_policy(policy_name, table, collapse_alpha)
+    results = _run_policy(make_topology, make_jobs, policy, factory,
+                          completion_quantum)
+    return {job_id: res.completion_time for job_id, res in results.items()}
+
+
+def fig10_sweep_spec(
+    policies: Sequence[str] = ("saba", "ideal-maxmin", "homa", "sincronia"),
+    collapse_alpha: float = SIM_COLLAPSE_ALPHA,
+    table: Optional[SensitivityTable] = None,
+    seed: int = 11,
+    topology_kwargs: Optional[dict] = None,
+    n_workloads: int = 20,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
+) -> SweepSpec:
+    """Figure 10 as a sweep: one simulator run per policy.
+
+    The baseline is a task like any other, so all five simulator runs
+    proceed in parallel; the reduction divides per-job completion
+    times to produce the speedup table.
+    """
+    if table is None:
+        _, _, specs = build_simulation(
+            n_workloads=n_workloads, topology_kwargs=topology_kwargs,
+            seed=seed,
+        )
+        table = profile_synthetic(specs)
+    policies = tuple(policies)
+    common = {
+        "table": table,
+        "collapse_alpha": collapse_alpha,
+        "seed": seed,
+        "topology_kwargs": topology_kwargs,
+        "n_workloads": n_workloads,
+        "completion_quantum": completion_quantum,
+    }
+    tasks = [
+        Task(name=f"fig10:{name}", fn=run_policy_point,
+             params=dict(common, policy_name=name))
+        for name in ("baseline",) + policies
+    ]
+
+    def reduce_to_result(results: Dict[str, Dict[str, float]]) -> Fig10Result:
+        baseline = results["fig10:baseline"]
+        return Fig10Result(speedups={
+            name: {
+                job_id: baseline[job_id] / t
+                for job_id, t in results[f"fig10:{name}"].items()
+            }
+            for name in policies
+        })
+
+    return SweepSpec(
+        name="fig10",
+        tasks=tuple(tasks),
+        reduce=reduce_to_result,
+        config={
+            "policies": list(policies), "seed": seed,
+            "collapse_alpha": collapse_alpha,
+            "n_workloads": n_workloads,
+            "topology_kwargs": dict(topology_kwargs or {}),
+            "completion_quantum": completion_quantum,
+        },
+    )
 
 
 def run_fig10(
@@ -146,6 +253,8 @@ def run_fig10(
     seed: int = 11,
     topology_kwargs: Optional[dict] = None,
     n_workloads: int = 20,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig10Result:
     """Speedup of each policy over the InfiniBand baseline (Figure 10).
 
@@ -155,38 +264,20 @@ def run_fig10(
     control loss applies per queue/class.  Ideal max-min is the
     explicit upper bound and stays loss-free (per-flow round-robin
     queues).
+
+    Validation of unknown policy names happens eagerly here (before
+    any simulator run), then the per-policy runs execute as a sweep.
     """
-    make_topology, make_jobs, specs = build_simulation(
-        n_workloads=n_workloads, topology_kwargs=topology_kwargs, seed=seed
-    )
-    if table is None:
-        table = profile_synthetic(specs)
-    baseline = _run_policy(
-        make_topology, make_jobs,
-        InfiniBandBaseline(collapse_alpha=collapse_alpha),
-    )
-    speedups: Dict[str, Dict[str, float]] = {}
     for name in policies:
-        connections_factory = None
-        if name == "saba":
-            controller = SabaController(table, collapse_alpha=collapse_alpha)
-            policy = controller
-            connections_factory = SabaLibrary.factory(controller)
-        elif name == "ideal-maxmin":
-            policy = IdealMaxMin()
-        elif name == "homa":
-            policy = HomaPolicy(collapse_alpha=collapse_alpha)
-        elif name == "sincronia":
-            policy = SincroniaPolicy(collapse_alpha=collapse_alpha)
-        else:
-            raise ValueError(f"unknown policy {name!r}")
-        results = _run_policy(make_topology, make_jobs, policy,
-                              connections_factory)
-        speedups[name] = {
-            job_id: baseline[job_id].completion_time / res.completion_time
-            for job_id, res in results.items()
-        }
-    return Fig10Result(speedups=speedups)
+        _make_sim_policy(name, table=SensitivityTable(),
+                         collapse_alpha=collapse_alpha)
+    runner = runner if runner is not None else default_runner()
+    spec = fig10_sweep_spec(
+        policies=policies, collapse_alpha=collapse_alpha, table=table,
+        seed=seed, topology_kwargs=topology_kwargs,
+        n_workloads=n_workloads, completion_quantum=completion_quantum,
+    )
+    return runner.run(spec).value
 
 
 def run_fig11a(
@@ -194,6 +285,7 @@ def run_fig11a(
     collapse_alpha: float = SIM_COLLAPSE_ALPHA,
     seed: int = 11,
     topology_kwargs: Optional[dict] = None,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
 ) -> Dict[str, float]:
     """Centralized vs distributed controller (Figure 11a).
 
@@ -206,12 +298,14 @@ def run_fig11a(
     baseline = _run_policy(
         make_topology, make_jobs,
         InfiniBandBaseline(collapse_alpha=collapse_alpha),
+        completion_quantum=completion_quantum,
     )
 
     centralized = SabaController(table, collapse_alpha=collapse_alpha)
     central_res = _run_policy(
         make_topology, make_jobs, centralized,
         SabaLibrary.factory(centralized),
+        completion_quantum=completion_quantum,
     )
 
     db = MappingDatabase(table)
@@ -221,6 +315,7 @@ def run_fig11a(
     dist_res = _run_policy(
         make_topology, make_jobs, distributed,
         SabaLibrary.factory(distributed),  # type: ignore[arg-type]
+        completion_quantum=completion_quantum,
     )
 
     def avg(results):
@@ -240,6 +335,7 @@ def run_fig11b(
     collapse_alpha: float = SIM_COLLAPSE_ALPHA,
     seed: int = 11,
     topology_kwargs: Optional[dict] = None,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
 ) -> Dict[str, float]:
     """Average speedup vs number of per-port queues (Figure 11b).
 
@@ -257,6 +353,7 @@ def run_fig11b(
         baseline = _run_policy(
             make_topology, make_jobs,
             InfiniBandBaseline(collapse_alpha=collapse_alpha),
+            completion_quantum=completion_quantum,
         )
         controller = SabaController(
             table,
@@ -266,6 +363,7 @@ def run_fig11b(
         saba = _run_policy(
             make_topology, make_jobs, controller,
             SabaLibrary.factory(controller),
+            completion_quantum=completion_quantum,
         )
         label = "unlimited" if q is None else str(q)
         results[label] = geomean([

@@ -18,10 +18,11 @@ against slowdown samples *measured* at the runtime configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.profiler import OfflineProfiler
 from repro.core.sensitivity import SensitivityModel, fit_sensitivity_model, r_squared
+from repro.sweep import SweepRunner, SweepSpec, default_runner
 from repro.workloads.catalog import CATALOG, PROFILER_NODES
 
 DATASET_SCALES = (0.1, 1.0, 10.0)
@@ -36,43 +37,115 @@ class Fig5Panel:
     r2: Dict[int, float]
 
 
+def _profile_grid_tasks(
+    profiler: OfflineProfiler, workloads: Sequence[str]
+) -> List:
+    """One measurement task per (workload, fraction) at the reference
+    shape.  Task names (and therefore cache keys) are shared with the
+    catalog-profiling sweep, so a warm profile cache serves Figure 5/6
+    for free."""
+    return [
+        profiler.point_task(CATALOG[name].instantiate(), fraction)
+        for name in workloads
+        for fraction in profiler.fractions
+    ]
+
+
+def _samples_of(
+    results: Dict[str, float],
+    name: str,
+    fractions: Sequence[float],
+) -> List[Tuple[float, float]]:
+    times = [(f, results[f"profile:{name}:b={f:g}"]) for f in fractions]
+    baseline = dict(times)[1.0]
+    return [(f, t / baseline) for f, t in times]
+
+
+def fig5_sweep_spec(
+    workloads: Sequence[str] = ("SQL", "LR"),
+    degrees: Sequence[int] = (1, 2, 3),
+    method: str = "analytic",
+) -> SweepSpec:
+    """Figure 5's measurement grid as a sweep."""
+    profiler = OfflineProfiler(method=method)
+    workloads = tuple(workloads)
+    degrees = tuple(degrees)
+
+    def reduce_to_panels(results: Dict[str, float]) -> Dict[str, Fig5Panel]:
+        panels: Dict[str, Fig5Panel] = {}
+        for name in workloads:
+            samples = _samples_of(results, name, profiler.fractions)
+            models = {
+                k: fit_sensitivity_model(name, samples, degree=k)
+                for k in degrees
+            }
+            panels[name] = Fig5Panel(
+                workload=name,
+                samples=tuple(samples),
+                models=models,
+                r2={k: r_squared(m, samples) for k, m in models.items()},
+            )
+        return panels
+
+    return SweepSpec(
+        name="fig5",
+        tasks=tuple(_profile_grid_tasks(profiler, workloads)),
+        reduce=reduce_to_panels,
+        config={"workloads": list(workloads), "degrees": list(degrees),
+                "method": method},
+    )
+
+
 def run_fig5(
     workloads: Sequence[str] = ("SQL", "LR"),
     degrees: Sequence[int] = (1, 2, 3),
     method: str = "analytic",
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Fig5Panel]:
     """Samples and fitted models for the Figure 5 panels."""
+    runner = runner if runner is not None else default_runner()
+    return runner.run(fig5_sweep_spec(workloads, degrees, method)).value
+
+
+def fig6a_sweep_spec(
+    degrees: Sequence[int] = (1, 2, 3),
+    method: str = "analytic",
+) -> SweepSpec:
+    """Figure 6a's measurement grid as a sweep."""
     profiler = OfflineProfiler(method=method)
-    panels: Dict[str, Fig5Panel] = {}
-    for name in workloads:
-        samples, _ = profiler.measure_samples(CATALOG[name].instantiate())
-        models = {
-            k: fit_sensitivity_model(name, samples, degree=k) for k in degrees
-        }
-        panels[name] = Fig5Panel(
-            workload=name,
-            samples=tuple(samples),
-            models=models,
-            r2={k: r_squared(m, samples) for k, m in models.items()},
-        )
-    return panels
+    degrees = tuple(degrees)
+    names = tuple(CATALOG)
+
+    def reduce_to_scores(
+        results: Dict[str, float]
+    ) -> Dict[str, Dict[int, float]]:
+        scores: Dict[str, Dict[int, float]] = {}
+        for name in names:
+            samples = _samples_of(results, name, profiler.fractions)
+            scores[name] = {
+                k: r_squared(
+                    fit_sensitivity_model(name, samples, degree=k), samples
+                )
+                for k in degrees
+            }
+        return scores
+
+    return SweepSpec(
+        name="fig6a",
+        tasks=tuple(_profile_grid_tasks(profiler, names)),
+        reduce=reduce_to_scores,
+        config={"degrees": list(degrees), "method": method},
+    )
 
 
 def run_fig6a(
     degrees: Sequence[int] = (1, 2, 3),
     method: str = "analytic",
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[int, float]]:
     """R^2 per workload per polynomial degree (Figure 6a)."""
-    profiler = OfflineProfiler(method=method)
-    scores: Dict[str, Dict[int, float]] = {}
-    for name, template in CATALOG.items():
-        samples, _ = profiler.measure_samples(template.instantiate())
-        scores[name] = {
-            k: r_squared(fit_sensitivity_model(name, samples, degree=k),
-                         samples)
-            for k in degrees
-        }
-    return scores
+    runner = runner if runner is not None else default_runner()
+    return runner.run(fig6a_sweep_spec(degrees, method)).value
 
 
 def _predictive_r2(

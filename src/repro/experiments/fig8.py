@@ -24,6 +24,7 @@ from repro.core.library import SabaLibrary
 from repro.core.table import SensitivityTable
 from repro.experiments.common import EXPERIMENT_QUANTUM, build_catalog_table, geomean
 from repro.simnet.topology import single_switch
+from repro.sweep import SweepRunner, SweepSpec, Task, default_runner
 from repro.units import GBPS_56
 from repro.workloads.catalog import CATALOG
 
@@ -55,8 +56,13 @@ def run_setup_pair(
     collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
     placement_seed: int = 0,
     saba_kwargs: Optional[dict] = None,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
 ) -> Dict[str, float]:
-    """Run one cluster setup under baseline and Saba; per-job speedups."""
+    """Run one cluster setup under baseline and Saba; per-job speedups.
+
+    Module-level and driven entirely by its (picklable) arguments: one
+    setup is the unit of work the Figure 8 sweep fans out.
+    """
 
     def materialize(topology):
         rng = random.Random(placement_seed + setup.setup_id)
@@ -66,7 +72,7 @@ def run_setup_pair(
     baseline = CoRunExecutor(
         base_topo,
         policy=InfiniBandBaseline(collapse_alpha=collapse_alpha),
-        completion_quantum=EXPERIMENT_QUANTUM,
+        completion_quantum=completion_quantum,
     ).run(materialize(base_topo))
 
     saba_topo = single_switch(n_servers)
@@ -77,13 +83,76 @@ def run_setup_pair(
         saba_topo,
         policy=controller,
         connections_factory=SabaLibrary.factory(controller),
-        completion_quantum=EXPERIMENT_QUANTUM,
+        completion_quantum=completion_quantum,
     ).run(materialize(saba_topo))
 
     return {
         job_id: baseline[job_id].completion_time / saba[job_id].completion_time
         for job_id in baseline
     }
+
+
+def fig8_sweep_spec(
+    n_setups: int = 500,
+    jobs_per_setup: int = 16,
+    n_servers: int = 32,
+    seed: int = 2023,
+    collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
+    table: Optional[SensitivityTable] = None,
+    degree: int = 3,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
+) -> SweepSpec:
+    """The Figure 8 grid as a sweep: one task per cluster setup."""
+    if table is None:
+        table = build_catalog_table(degree=degree, method="analytic")
+    setups = list(generate_setups(
+        n_setups=n_setups, jobs_per_setup=jobs_per_setup, seed=seed,
+        max_instances=n_servers,
+    ))
+    tasks = [
+        Task(
+            name=f"fig8:setup{setup.setup_id}",
+            fn=run_setup_pair,
+            params={
+                "setup": setup,
+                "table": table,
+                "n_servers": n_servers,
+                "collapse_alpha": collapse_alpha,
+                "completion_quantum": completion_quantum,
+            },
+        )
+        for setup in setups
+    ]
+
+    def reduce_to_result(results: Dict[str, Dict[str, float]]) -> Fig8Result:
+        per_job: Dict[str, List[float]] = {name: [] for name in CATALOG}
+        setup_averages: List[float] = []
+        for setup in setups:
+            speedups = results[f"fig8:setup{setup.setup_id}"]
+            for desc in setup.jobs:
+                per_job[desc.workload].append(speedups[desc.job_id])
+            setup_averages.append(geomean(list(speedups.values())))
+        per_workload = {
+            name: geomean(values)
+            for name, values in per_job.items() if values
+        }
+        return Fig8Result(
+            per_workload_speedup=per_workload,
+            setup_averages=setup_averages,
+            per_job_speedups=per_job,
+        )
+
+    return SweepSpec(
+        name="fig8",
+        tasks=tuple(tasks),
+        reduce=reduce_to_result,
+        config={
+            "n_setups": n_setups, "jobs_per_setup": jobs_per_setup,
+            "n_servers": n_servers, "seed": seed,
+            "collapse_alpha": collapse_alpha, "degree": degree,
+            "completion_quantum": completion_quantum,
+        },
+    )
 
 
 def run_fig8(
@@ -94,27 +163,14 @@ def run_fig8(
     collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
     table: Optional[SensitivityTable] = None,
     degree: int = 3,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig8Result:
     """The full Figure 8 experiment."""
-    if table is None:
-        table = build_catalog_table(degree=degree, method="analytic")
-    per_job: Dict[str, List[float]] = {name: [] for name in CATALOG}
-    setup_averages: List[float] = []
-    for setup in generate_setups(
-        n_setups=n_setups, jobs_per_setup=jobs_per_setup, seed=seed,
-        max_instances=n_servers,
-    ):
-        speedups = run_setup_pair(
-            setup, table, n_servers=n_servers, collapse_alpha=collapse_alpha
-        )
-        for desc in setup.jobs:
-            per_job[desc.workload].append(speedups[desc.job_id])
-        setup_averages.append(geomean(list(speedups.values())))
-    per_workload = {
-        name: geomean(values) for name, values in per_job.items() if values
-    }
-    return Fig8Result(
-        per_workload_speedup=per_workload,
-        setup_averages=setup_averages,
-        per_job_speedups=per_job,
+    runner = runner if runner is not None else default_runner()
+    spec = fig8_sweep_spec(
+        n_setups=n_setups, jobs_per_setup=jobs_per_setup,
+        n_servers=n_servers, seed=seed, collapse_alpha=collapse_alpha,
+        table=table, degree=degree, completion_quantum=completion_quantum,
     )
+    return runner.run(spec).value

@@ -45,12 +45,13 @@ def _speedups(
     n_servers: int,
     dataset_scale: float,
     collapse_alpha: float,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
 ) -> Dict[str, float]:
     base_topo = single_switch(n_servers)
     baseline = CoRunExecutor(
         base_topo,
         policy=InfiniBandBaseline(collapse_alpha=collapse_alpha),
-        completion_quantum=EXPERIMENT_QUANTUM,
+        completion_quantum=completion_quantum,
     ).run(_homogeneous_jobs(n_servers, dataset_scale))
     saba_topo = single_switch(n_servers)
     controller = SabaController(table, collapse_alpha=collapse_alpha)
@@ -58,7 +59,7 @@ def _speedups(
         saba_topo,
         policy=controller,
         connections_factory=SabaLibrary.factory(controller),
-        completion_quantum=EXPERIMENT_QUANTUM,
+        completion_quantum=completion_quantum,
     ).run(_homogeneous_jobs(n_servers, dataset_scale))
     return {
         name: baseline[name].completion_time / saba[name].completion_time
@@ -70,12 +71,15 @@ def run_fig9a(
     scales: Sequence[float] = (0.1, 1.0, 10.0),
     collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
     table: Optional[SensitivityTable] = None,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
 ) -> Dict[float, Dict[str, float]]:
     """Study 1: speedup per workload per runtime dataset scale."""
     if table is None:
         table = build_catalog_table(method="analytic")
     return {
-        s: _speedups(table, PROFILER_NODES, s, collapse_alpha) for s in scales
+        s: _speedups(table, PROFILER_NODES, s, collapse_alpha,
+                     completion_quantum)
+        for s in scales
     }
 
 
@@ -83,6 +87,7 @@ def run_fig9b(
     multipliers: Sequence[float] = (0.5, 1.0, 2.0, 3.0, 4.0),
     collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
     table: Optional[SensitivityTable] = None,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
 ) -> Dict[float, Dict[str, float]]:
     """Study 2: speedup per workload per runtime node count."""
     if table is None:
@@ -90,19 +95,22 @@ def run_fig9b(
     results = {}
     for m in multipliers:
         n = max(2, round(m * PROFILER_NODES))
-        results[m] = _speedups(table, n, 1.0, collapse_alpha)
+        results[m] = _speedups(table, n, 1.0, collapse_alpha,
+                               completion_quantum)
     return results
 
 
 def run_fig9c(
     degrees: Sequence[int] = (1, 2, 3),
     collapse_alpha: float = DEFAULT_COLLAPSE_ALPHA,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
 ) -> Dict[int, Dict[str, float]]:
     """Study 3: speedup per workload per profiler polynomial degree."""
     results = {}
     for k in degrees:
         table = build_catalog_table(degree=k, method="analytic")
-        results[k] = _speedups(table, PROFILER_NODES, 1.0, collapse_alpha)
+        results[k] = _speedups(table, PROFILER_NODES, 1.0, collapse_alpha,
+                               completion_quantum)
     return results
 
 

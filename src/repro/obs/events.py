@@ -47,6 +47,15 @@ JOB_STARTED = "job.started"
 JOB_FINISHED = "job.finished"
 STAGE_STARTED = "stage.started"
 STAGE_FINISHED = "stage.finished"
+# Sweep orchestration (repro.sweep).  Sweeps happen in wall-clock, not
+# simulated, time: their ``time`` field is seconds since sweep start.
+SWEEP_STARTED = "sweep.started"
+SWEEP_FINISHED = "sweep.finished"
+SWEEP_TASK_STARTED = "sweep.task_started"
+SWEEP_TASK_FINISHED = "sweep.task_finished"
+SWEEP_TASK_RETRIED = "sweep.task_retried"
+SWEEP_TASK_FAILED = "sweep.task_failed"
+SWEEP_CACHE_HIT = "sweep.cache_hit"
 
 #: Every event type the instrumentation emits.  Buses are strict by
 #: default: publishing an unknown type raises, catching taxonomy typos
@@ -57,6 +66,9 @@ EVENT_TYPES = frozenset({
     REALLOCATION, SOLVE_BEGIN, SOLVE_END, PORT_PROGRAMMED, PORT_RESET,
     LIB_REGISTERED, LIB_DEREGISTERED, LIB_CONN_OPENED,
     JOB_STARTED, JOB_FINISHED, STAGE_STARTED, STAGE_FINISHED,
+    SWEEP_STARTED, SWEEP_FINISHED, SWEEP_TASK_STARTED,
+    SWEEP_TASK_FINISHED, SWEEP_TASK_RETRIED, SWEEP_TASK_FAILED,
+    SWEEP_CACHE_HIT,
 })
 
 

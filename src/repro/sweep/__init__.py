@@ -1,0 +1,66 @@
+"""Parallel experiment orchestration with caching and fault tolerance.
+
+The paper's evaluation is a pile of embarrassingly-parallel grids --
+the profiler's (workload x bandwidth-fraction) matrix (Section 4.1),
+Figure 8's 500 randomized cluster setups, Figure 10's per-policy
+simulator runs.  This package turns each grid point into a named,
+picklable, seed-carrying :class:`Task`, fans tasks out over worker
+processes, caches their results content-addressed on disk, and
+reduces them in deterministic order, so ``--jobs N`` and ``--jobs 1``
+produce bit-identical tables.
+
+* :mod:`repro.sweep.task` -- :class:`Task` / :class:`SweepSpec` model,
+  canonical config hashing, deterministic seed derivation.
+* :mod:`repro.sweep.cache` -- :class:`SweepCache`, keyed by (task
+  name, config hash, code version from :mod:`repro._version`).
+* :mod:`repro.sweep.runner` -- :class:`SweepRunner`: process-pool
+  fan-out, serial fallback, per-task timeout, bounded retry with
+  backoff, fail-fast vs collect error policies, :mod:`repro.obs`
+  events/metrics/manifests, progress narration.
+* :mod:`repro.sweep.registry` -- the named experiments behind
+  ``python -m repro sweep <experiment>``.
+* :mod:`repro.sweep.bench` -- serial-vs-parallel wall-time benchmark
+  (``python -m repro sweep bench``), emitting ``BENCH_sweep.json``.
+
+Typical use::
+
+    from repro.sweep import SweepCache, SweepRunner
+    from repro.core.profiler import OfflineProfiler
+    from repro.workloads.catalog import CATALOG
+
+    spec = OfflineProfiler().sweep_spec(CATALOG.values())
+    runner = SweepRunner(jobs=4, cache=SweepCache(dir=".sweep-cache"))
+    table = runner.run(spec).value        # a SensitivityTable
+"""
+
+from repro.errors import SweepError
+from repro.sweep.cache import CACHE_DIR_ENV, SweepCache, cache_key, default_cache
+from repro.sweep.runner import (
+    ERROR_POLICIES,
+    RetryPolicy,
+    SweepResult,
+    SweepRunner,
+    TaskOutcome,
+    default_runner,
+    resolve_jobs,
+)
+from repro.sweep.task import SweepSpec, Task, config_hash, derive_seed
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "ERROR_POLICIES",
+    "RetryPolicy",
+    "SweepCache",
+    "SweepError",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "Task",
+    "TaskOutcome",
+    "cache_key",
+    "config_hash",
+    "default_cache",
+    "default_runner",
+    "derive_seed",
+    "resolve_jobs",
+]

@@ -1,0 +1,107 @@
+"""Serial-vs-parallel wall-time benchmark (``python -m repro sweep bench``).
+
+Runs the same profiling sweep twice -- ``jobs=1`` in-process, then
+``jobs=N`` over the process pool -- with caching disabled in both
+runs, and reports the speedup plus a bit-identity check of the two
+fitted tables.  The grid defaults to chunky points (the full catalog
+simulated at 32 nodes) so per-task work dominates process-pool
+overhead; CI runs a reduced grid and uploads the JSON artifact.
+
+The committed ``BENCH_sweep.json`` at the repo root is a snapshot of
+this output; regenerate it with ``python -m repro sweep bench --out
+BENCH_sweep.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, Optional, Sequence, Union
+
+from repro.core.profiler import PROFILE_FRACTIONS, OfflineProfiler
+from repro.obs.export import code_version
+from repro.sweep.runner import SweepRunner, resolve_jobs
+from repro.workloads.catalog import CATALOG
+
+#: Bench grid default: profile at 32 nodes with the event-driven
+#: simulator.  At the reference 8-node pod a point costs ~3 ms and
+#: pool overhead eats the win; at 32 nodes each point is >10 ms of
+#: real simulation and the fan-out pays off on multi-core runners.
+BENCH_NODES = 32
+
+
+def run_bench(
+    workloads: Optional[Sequence[str]] = None,
+    fractions: Optional[Sequence[float]] = None,
+    n_nodes: int = BENCH_NODES,
+    jobs: Union[int, str] = "auto",
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Time the profiling sweep serially and in parallel.
+
+    Returns the ``BENCH_sweep.json`` payload.  Caching is off in both
+    runs so the comparison measures execution, not lookup; the two
+    tables are compared through their canonical JSON to assert
+    bit-identity.
+    """
+    names = list(workloads) if workloads is not None else list(CATALOG)
+    grid = (tuple(fractions) if fractions is not None
+            else PROFILE_FRACTIONS)
+    if 1.0 not in grid:  # the profiler adds the unthrottled baseline
+        grid = grid + (1.0,)
+    profiler = OfflineProfiler(
+        fractions=grid,
+        # A degree-k fit needs k+1 samples; cap k so heavily reduced
+        # grids (CI) still fit.
+        degree=min(3, len(set(grid)) - 1),
+        n_nodes=n_nodes,
+        method="simulate",
+    )
+    spec = profiler.sweep_spec([CATALOG[n] for n in names])
+    n_jobs = resolve_jobs(jobs)
+
+    def narrate(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    narrate(f"bench: {len(spec)} tasks "
+            f"({len(names)} workloads x {len(profiler.fractions)} "
+            f"fractions at {n_nodes} nodes)")
+
+    serial = SweepRunner(jobs=1, cache=None).run(spec)
+    narrate(f"bench: serial done in {serial.wall_seconds:.2f}s")
+    parallel = SweepRunner(jobs=n_jobs, cache=None).run(spec)
+    narrate(f"bench: jobs={n_jobs} done in {parallel.wall_seconds:.2f}s")
+
+    identical = (
+        serial.value.to_json() == parallel.value.to_json()
+    )
+    speedup = (
+        serial.wall_seconds / parallel.wall_seconds
+        if parallel.wall_seconds > 0 else float("inf")
+    )
+    return {
+        "bench": "sweep.profile-catalog",
+        "created_unix": time.time(),
+        "code_version": code_version(),
+        "cpu_count": os.cpu_count(),
+        "grid": {
+            "workloads": names,
+            "fractions": [float(f) for f in profiler.fractions],
+            "n_nodes": n_nodes,
+            "method": "simulate",
+        },
+        "n_tasks": len(spec),
+        "jobs": n_jobs,
+        "serial_seconds": round(serial.wall_seconds, 4),
+        "parallel_seconds": round(parallel.wall_seconds, 4),
+        "speedup": round(speedup, 3),
+        "identical_results": identical,
+    }
+
+
+def write_bench(payload: Dict[str, Any], out: str) -> None:
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

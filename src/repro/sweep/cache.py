@@ -1,0 +1,176 @@
+"""Content-addressed result cache for sweep tasks.
+
+A task's cache key is the SHA-256 of ``(task name, config hash, code
+version)`` -- the config hash already covers the task's function and
+parameters (:meth:`repro.sweep.task.Task.config_key`), and the code
+version comes from :mod:`repro._version`, so bumping the package
+version invalidates every cached result without touching the cache
+directory.
+
+Two layers:
+
+* an in-process dictionary, always on -- repeated sweeps inside one
+  Python process (every figure harness calling
+  ``build_catalog_table``) reuse results with zero I/O;
+* an optional on-disk layer (``dir=...``): one pickle per key under
+  two-level fan-out directories (``ab/cdef....pkl``), plus a small
+  JSON sidecar describing what produced the entry so a cache
+  directory stays inspectable with ``ls`` and ``jq``.
+
+Disk writes are atomic (write to a temp name, then ``os.replace``),
+so concurrent sweep processes sharing a cache directory can only ever
+observe complete entries.  Corrupt or unreadable entries are treated
+as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.sweep.task import Task
+
+#: Environment variable that switches the process-default cache
+#: (:func:`default_cache`) from memory-only to disk-backed.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
+
+_MISS = object()
+
+
+def _package_version() -> str:
+    # Read at call time (not import time) so a monkeypatched or
+    # upgraded version is picked up by subsequent key computations.
+    from repro._version import __version__
+
+    return __version__
+
+
+def cache_key(task: Task, version: Optional[str] = None) -> str:
+    """Content address of ``task``'s result under code ``version``."""
+    version = version if version is not None else _package_version()
+    text = f"{task.name}\x00{task.config_key()}\x00{version}"
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class SweepCache:
+    """Memory + optional disk cache for task results.
+
+    >>> cache = SweepCache()          # memory-only
+    >>> cache.hits, cache.misses
+    (0, 0)
+    """
+
+    def __init__(self, dir: Optional[Union[str, Path]] = None) -> None:
+        self.dir = Path(dir) if dir is not None else None
+        self._memory: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- key layout ---------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        assert self.dir is not None
+        return self.dir / key[:2] / f"{key}.pkl"
+
+    def _meta_path(self, key: str) -> Path:
+        assert self.dir is not None
+        return self.dir / key[:2] / f"{key}.json"
+
+    # -- lookup / store -----------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; ``value`` is ``None`` on a miss."""
+        if key in self._memory:
+            self.hits += 1
+            return True, self._memory[key]
+        if self.dir is not None:
+            value = self._read_disk(key)
+            if value is not _MISS:
+                self._memory[key] = value
+                self.hits += 1
+                return True, value
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any,
+            meta: Optional[Mapping[str, Any]] = None) -> None:
+        self._memory[key] = value
+        if self.dir is None:
+            return
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, pickle.dumps(value, protocol=4))
+        if meta is not None:
+            text = json.dumps(dict(meta), indent=2, sort_keys=True,
+                              default=repr)
+            self._atomic_write(self._meta_path(key), (text + "\n").encode())
+
+    def _read_disk(self, key: str) -> Any:
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return _MISS
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance --------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct entries (memory union disk)."""
+        keys = set(self._memory)
+        if self.dir is not None and self.dir.exists():
+            for entry in self.dir.glob("*/*.pkl"):
+                keys.add(entry.stem)
+        return len(keys)
+
+    def clear(self) -> None:
+        """Drop every entry from both layers."""
+        self._memory.clear()
+        if self.dir is not None and self.dir.exists():
+            for entry in self.dir.glob("*/*"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self)}
+
+
+_DEFAULT_CACHE: Optional[SweepCache] = None
+_DEFAULT_CACHE_DIR: Optional[str] = None
+
+
+def default_cache() -> SweepCache:
+    """The process-wide cache used when callers don't pass their own.
+
+    Memory-only by default; set :data:`CACHE_DIR_ENV` to add a disk
+    layer shared across processes.  The instance is rebuilt if the
+    environment variable changes between calls (tests rely on this).
+    """
+    global _DEFAULT_CACHE, _DEFAULT_CACHE_DIR
+    dir_ = os.environ.get(CACHE_DIR_ENV) or None
+    if _DEFAULT_CACHE is None or dir_ != _DEFAULT_CACHE_DIR:
+        _DEFAULT_CACHE = SweepCache(dir=dir_)
+        _DEFAULT_CACHE_DIR = dir_
+    return _DEFAULT_CACHE

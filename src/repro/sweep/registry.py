@@ -1,0 +1,205 @@
+"""Named sweep experiments for ``python -m repro sweep <name>``.
+
+Each entry pairs a *spec builder* (experiment parameters -> a
+:class:`~repro.sweep.task.SweepSpec`) with a *renderer* (the reduced
+value -> deterministic text).  Renderers must be order-stable so two
+runs of the same experiment -- or a serial and a parallel run -- can
+be compared with a plain ``diff``; that is how the bit-identity
+acceptance check works from the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping
+
+from repro.errors import SweepError
+from repro.sweep.task import SweepSpec
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable sweep: how to build its spec and print its value.
+
+    ``build`` receives the CLI's experiment options (a plain mapping;
+    missing keys mean "use the harness default") and returns the spec.
+    ``defaults`` documents which options the builder reads.
+    """
+
+    name: str
+    help: str
+    build: Callable[[Mapping[str, Any]], SweepSpec]
+    render: Callable[[Any], str]
+    defaults: Dict[str, Any] = field(default_factory=dict)
+
+
+def _opt(options: Mapping[str, Any], key: str, fallback: Any) -> Any:
+    value = options.get(key)
+    return fallback if value is None else value
+
+
+# -- profile-catalog --------------------------------------------------------
+
+
+def _build_profile_catalog(options: Mapping[str, Any]) -> SweepSpec:
+    from repro.core.profiler import OfflineProfiler
+    from repro.workloads.catalog import CATALOG
+
+    profiler = OfflineProfiler(
+        degree=int(_opt(options, "degree", 3)),
+        method=_opt(options, "method", "simulate"),
+    )
+    names = _opt(options, "workloads", list(CATALOG))
+    try:
+        templates = [CATALOG[n] for n in names]
+    except KeyError as exc:
+        raise SweepError(
+            f"unknown workload {exc.args[0]!r}; catalog has "
+            f"{', '.join(CATALOG)}"
+        )
+    nodes = options.get("nodes")
+    return profiler.sweep_spec(
+        templates, n_instances=int(nodes) if nodes is not None else None
+    )
+
+
+def _render_table(table: Any) -> str:
+    # Canonical JSON of the fitted table (``to_json`` sorts keys):
+    # byte-identical across runs iff the tables are equal, which is
+    # exactly what the serial-vs-parallel acceptance diff needs.
+    return table.to_json()
+
+
+# -- fig5 / fig6a -----------------------------------------------------------
+
+
+def _build_fig5(options: Mapping[str, Any]) -> SweepSpec:
+    from repro.experiments.fig5_fig6 import fig5_sweep_spec
+
+    return fig5_sweep_spec(
+        workloads=tuple(_opt(options, "workloads", ("SQL", "LR"))),
+        method=_opt(options, "method", "analytic"),
+    )
+
+
+def _render_fig5(panels: Dict[str, Any]) -> str:
+    lines = []
+    for name in sorted(panels):
+        panel = panels[name]
+        cells = "  ".join(
+            f"k={k}: R2={panel.r2[k]:.4f}" for k in sorted(panel.r2)
+        )
+        lines.append(f"{name:5s} {cells}")
+    return "\n".join(lines)
+
+
+def _build_fig6a(options: Mapping[str, Any]) -> SweepSpec:
+    from repro.experiments.fig5_fig6 import fig6a_sweep_spec
+
+    return fig6a_sweep_spec(method=_opt(options, "method", "analytic"))
+
+
+def _render_fig6a(scores: Dict[str, Dict[int, float]]) -> str:
+    return "\n".join(
+        f"{name:5s} " + " ".join(
+            f"k{k}:{scores[name][k]:.4f}" for k in sorted(scores[name])
+        )
+        for name in sorted(scores)
+    )
+
+
+# -- fig8 -------------------------------------------------------------------
+
+
+def _build_fig8(options: Mapping[str, Any]) -> SweepSpec:
+    from repro.experiments.fig8 import fig8_sweep_spec
+
+    return fig8_sweep_spec(n_setups=int(_opt(options, "setups", 50)))
+
+
+def _render_fig8(result: Any) -> str:
+    lines = ["per-workload average speedup (paper avg: 1.88x):"]
+    for name, speedup in sorted(result.per_workload_speedup.items(),
+                                key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"  {name:5s} {speedup:5.2f}")
+    lines.append(
+        f"average: {result.average_speedup:.2f} over "
+        f"{len(result.setup_averages)} setups"
+    )
+    return "\n".join(lines)
+
+
+# -- fig10 ------------------------------------------------------------------
+
+
+def _build_fig10(options: Mapping[str, Any]) -> SweepSpec:
+    from repro.experiments.fig10_fig11 import fig10_sweep_spec
+
+    return fig10_sweep_spec()
+
+
+def _render_fig10(result: Any) -> str:
+    paper = {"saba": 1.27, "sincronia": 1.19, "ideal-maxmin": 1.14,
+             "homa": 1.12}
+    lines = []
+    for policy in sorted(result.speedups):
+        note = f" (paper {paper[policy]:.2f})" if policy in paper else ""
+        lines.append(
+            f"{policy:13s} average {result.average(policy):5.2f}{note}"
+        )
+    return "\n".join(lines)
+
+
+REGISTRY: Dict[str, Experiment] = {
+    exp.name: exp
+    for exp in (
+        Experiment(
+            name="profile-catalog",
+            help="profile the Table-1 workload catalog into a "
+                 "sensitivity table",
+            build=_build_profile_catalog,
+            render=_render_table,
+            defaults={"degree": 3, "method": "simulate",
+                      "workloads": None, "nodes": None},
+        ),
+        Experiment(
+            name="fig5",
+            help="sensitivity-model fits for SQL and LR (Figure 5)",
+            build=_build_fig5,
+            render=_render_fig5,
+            defaults={"workloads": ("SQL", "LR"), "method": "analytic"},
+        ),
+        Experiment(
+            name="fig6a",
+            help="R^2 per workload per polynomial degree (Figure 6a)",
+            build=_build_fig6a,
+            render=_render_fig6a,
+            defaults={"method": "analytic"},
+        ),
+        Experiment(
+            name="fig8",
+            help="randomized testbed setups, Saba vs baseline "
+                 "(Figure 8)",
+            build=_build_fig8,
+            render=_render_fig8,
+            defaults={"setups": 50},
+        ),
+        Experiment(
+            name="fig10",
+            help="policy comparison on the simulated fabric "
+                 "(Figure 10)",
+            build=_build_fig10,
+            render=_render_fig10,
+        ),
+    )
+}
+
+
+def get_experiment(name: str) -> Experiment:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise SweepError(
+            f"unknown sweep experiment {name!r}; available: "
+            f"{', '.join(REGISTRY)}"
+        )

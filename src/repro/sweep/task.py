@@ -1,0 +1,187 @@
+"""The sweep task model: named, picklable, seed-carrying work units.
+
+A *sweep* is a grid of independent experiment points -- the profiler's
+(workload x bandwidth-fraction) matrix, Figure 8's 500 cluster setups,
+Figure 10's per-policy simulator runs.  Each point becomes a
+:class:`Task`: a module-level function plus keyword parameters, both
+picklable so the task can cross a process boundary unchanged.  A
+:class:`SweepSpec` bundles the ordered task list with a *reduction*
+that assembles per-task values into the experiment's result (a
+sensitivity table, a ``Fig8Result``, ...).
+
+Two properties make parallel and serial execution bit-identical:
+
+* tasks are pure functions of their parameters (plus an explicit,
+  deterministically derived seed -- never ambient RNG state), and
+* the reduction always sees results keyed in *spec order*, regardless
+  of completion order.
+
+:func:`config_hash` canonicalises a task's parameters (dataclasses,
+mappings, tuples, floats via ``repr``) into a stable SHA-256 digest;
+the result cache keys on it, so two tasks with equal configuration
+share a cache entry even across sweeps and processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SweepError
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-serialisable canonical form.
+
+    Dataclasses become ``{"__dataclass__": qualname, fields...}``,
+    mappings sort their keys, tuples/lists/sets become lists (sets are
+    sorted by their canonical JSON form), and floats go through
+    ``repr`` so equal bit patterns hash equally.  Objects with a
+    ``to_json`` method (e.g. :class:`~repro.core.table.
+    SensitivityTable`) canonicalise through it; anything else falls
+    back to ``repr``, rejected if it contains a memory address --
+    an unstable repr would silently change the cache key every run.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: Dict[str, Any] = {
+            "__dataclass__": type(value).__qualname__,
+        }
+        for f in dataclasses.fields(value):
+            out[f.name] = _canonical(getattr(value, f.name))
+        return out
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(),
+                                                         key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            (_canonical(v) for v in value),
+            key=lambda v: json.dumps(v, sort_keys=True),
+        )
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    to_json = getattr(value, "to_json", None)
+    if callable(to_json):
+        return {"__to_json__": type(value).__qualname__,
+                "json": to_json()}
+    text = repr(value)
+    if " at 0x" in text:
+        raise SweepError(
+            f"cannot canonicalise a {type(value).__qualname__} for "
+            "config hashing: its repr contains a memory address; give "
+            "it a stable repr or a to_json() method"
+        )
+    return {"__repr__": text}
+
+
+def config_hash(params: Mapping[str, Any]) -> str:
+    """Stable SHA-256 hex digest of a task's parameters."""
+    text = json.dumps(_canonical(dict(params)), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def derive_seed(base_seed: int, name: str) -> int:
+    """Deterministic per-task seed from a sweep seed and task name.
+
+    Uses SHA-256 (not :func:`hash`, which is salted per interpreter),
+    so the same (base_seed, name) pair seeds identically in every
+    worker process and on every run.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One experiment point.
+
+    ``fn`` must be a *module-level* function (the cross-platform
+    pickling requirement: ``spawn``-based pools import the module and
+    look the function up by qualified name) and ``params`` its keyword
+    arguments.  ``seed``, when set, is passed as an extra ``seed=``
+    keyword -- tasks that use randomness must take it explicitly
+    rather than touching global RNG state.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SweepError("a task needs a non-empty name")
+        fn = self.fn
+        qualname = getattr(fn, "__qualname__", "")
+        if "<locals>" in qualname or "<lambda>" in qualname:
+            raise SweepError(
+                f"task {self.name!r}: fn {qualname!r} is not module-level; "
+                "nested functions and lambdas cannot cross process "
+                "boundaries"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    def call_kwargs(self) -> Dict[str, Any]:
+        kwargs = dict(self.params)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return kwargs
+
+    def config_key(self) -> str:
+        """Hash of everything that determines this task's value."""
+        return config_hash({
+            "fn": f"{self.fn.__module__}.{self.fn.__qualname__}",
+            "params": dict(self.params),
+            "seed": self.seed,
+        })
+
+    def run(self) -> Any:
+        """Execute in the current process (the serial path)."""
+        return self.fn(**self.call_kwargs())
+
+
+Reduction = Callable[["Dict[str, Any]"], Any]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An ordered grid of tasks plus its reduction.
+
+    ``reduce`` runs in the parent process over ``{task name: value}``
+    in task order; when omitted the sweep's value is that mapping
+    itself.  ``config`` is free-form provenance recorded in the run
+    manifest (grid shape, method, seeds).
+    """
+
+    name: str
+    tasks: Tuple[Task, ...]
+    reduce: Optional[Reduction] = None
+    config: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SweepError("a sweep needs a non-empty name")
+        if not self.tasks:
+            raise SweepError(f"sweep {self.name!r} has no tasks")
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        object.__setattr__(self, "config", dict(self.config))
+        seen = set()
+        for task in self.tasks:
+            if task.name in seen:
+                raise SweepError(
+                    f"sweep {self.name!r}: duplicate task name {task.name!r}"
+                )
+            seen.add(task.name)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task_names(self) -> Sequence[str]:
+        return [t.name for t in self.tasks]

@@ -69,6 +69,26 @@ def test_slowdown_at_unprofiled_fraction_raises():
         result.slowdown_at(0.33)
 
 
+def test_slowdown_at_error_lists_available_fractions():
+    profiler = OfflineProfiler(method="analytic", fractions=(0.5,), degree=1)
+    result = profiler.profile(CATALOG["LR"])
+    with pytest.raises(ProfilingError, match=r"available fractions: 0\.5, 1"):
+        result.slowdown_at(0.33)
+
+
+def test_slowdown_at_tolerance_absorbs_float_arithmetic():
+    profiler = OfflineProfiler(
+        method="analytic", fractions=(0.25, 0.75), degree=1
+    )
+    result = profiler.profile(CATALOG["LR"])
+    # 1 - 0.75 != 0.25 bit-exactly; the default tolerance matches it.
+    assert result.slowdown_at(1 - 0.75) == result.slowdown_at(0.25)
+    with pytest.raises(ProfilingError):
+        result.slowdown_at(0.25 + 1e-4, tol=1e-6)
+    assert result.slowdown_at(0.25 + 1e-4, tol=1e-3) == \
+        result.slowdown_at(0.25)
+
+
 def test_build_table_covers_all_workloads():
     profiler = OfflineProfiler(method="analytic")
     table = profiler.build_table(CATALOG.values())

@@ -1,0 +1,38 @@
+"""The serial-vs-parallel benchmark behind BENCH_sweep.json."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sweep.bench import run_bench, write_bench
+
+
+def test_run_bench_reduced_grid(tmp_path):
+    lines = []
+    payload = run_bench(
+        workloads=("SQL", "LR"),
+        fractions=(0.5, 1.0),
+        n_nodes=4,
+        jobs=2,
+        progress=lines.append,
+    )
+    assert payload["identical_results"] is True
+    assert payload["n_tasks"] == 4
+    assert payload["jobs"] == 2
+    assert payload["serial_seconds"] > 0
+    assert payload["parallel_seconds"] > 0
+    assert payload["grid"]["workloads"] == ["SQL", "LR"]
+    assert any("bench" in line for line in lines)
+
+    out = tmp_path / "BENCH_sweep.json"
+    write_bench(payload, str(out))
+    assert json.loads(out.read_text())["bench"] == "sweep.profile-catalog"
+
+
+def test_run_bench_caps_degree_to_grid():
+    # A 2-point grid can only support a linear fit; the bench must not
+    # ask for the default cubic.
+    payload = run_bench(workloads=("SQL",), fractions=(0.5,), n_nodes=4,
+                        jobs=1)
+    assert payload["identical_results"] is True
+    assert payload["grid"]["fractions"] == [0.5, 1.0]

@@ -1,0 +1,247 @@
+"""SweepRunner: parallelism, caching, retries, timeouts, policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import OfflineProfiler
+from repro.errors import SweepError
+from repro.obs import Observer
+from repro.sweep import (
+    RetryPolicy,
+    SweepCache,
+    SweepRunner,
+    SweepSpec,
+    Task,
+    resolve_jobs,
+)
+from repro.workloads.catalog import CATALOG
+
+from tests.sweep.workers import add, boom, flaky, sleeper, square
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff=0.0)
+
+
+def square_spec(n=4, name="squares"):
+    return SweepSpec(
+        name=name,
+        tasks=tuple(
+            Task(name=f"sq:{i}", fn=square, params={"x": i})
+            for i in range(n)
+        ),
+        reduce=lambda results: sum(results.values()),
+    )
+
+
+def profile_spec(workloads=("SQL", "LR")):
+    profiler = OfflineProfiler(method="analytic", degree=2,
+                               fractions=(0.25, 0.5, 1.0))
+    return profiler.sweep_spec([CATALOG[n] for n in workloads])
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs("auto") >= 1
+    assert resolve_jobs(3) == 3
+    with pytest.raises(SweepError):
+        resolve_jobs(0)
+
+
+def test_serial_run_reduces_in_spec_order():
+    seen = []
+
+    def record_order(results):
+        seen.extend(results)
+        return dict(results)
+
+    spec = SweepSpec(
+        name="order",
+        tasks=tuple(
+            Task(name=f"t{i}", fn=square, params={"x": i})
+            for i in (3, 1, 2)
+        ),
+        reduce=record_order,
+    )
+    result = SweepRunner(jobs=1).run(spec)
+    assert seen == ["t3", "t1", "t2"]
+    assert result.value == {"t3": 9, "t1": 1, "t2": 4}
+    assert result.computed == 3 and result.cache_hits == 0
+
+
+def test_parallel_reduces_in_spec_order_despite_completion_order():
+    seen = []
+
+    def record_order(results):
+        seen.extend(results)
+        return list(results.values())
+
+    # The first task sleeps long enough to finish last; order must
+    # still follow the spec.
+    spec = SweepSpec(
+        name="order",
+        tasks=(
+            Task(name="slow", fn=sleeper,
+                 params={"seconds": 0.2, "value": "s"}),
+            Task(name="fast", fn=sleeper,
+                 params={"seconds": 0.0, "value": "f"}),
+        ),
+        reduce=record_order,
+    )
+    result = SweepRunner(jobs=2).run(spec)
+    assert seen == ["slow", "fast"]
+    assert result.value == ["s", "f"]
+
+
+def test_parallel_and_serial_are_bit_identical():
+    spec = profile_spec()
+    serial = SweepRunner(jobs=1, cache=None).run(spec).value
+    parallel = SweepRunner(jobs=4, cache=None).run(spec).value
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_warm_cache_recomputes_nothing():
+    cache = SweepCache()
+    spec = profile_spec(workloads=("SQL",))
+
+    cold = SweepRunner(jobs=1, cache=cache).run(spec)
+    assert cold.computed == len(spec) and cold.cache_hits == 0
+
+    warm = SweepRunner(jobs=1, cache=cache).run(spec)
+    assert warm.computed == 0
+    assert warm.cache_hits == len(spec)
+    assert warm.value.to_json() == cold.value.to_json()
+
+
+def test_disk_cache_reused_across_runner_instances(tmp_path):
+    spec = square_spec()
+    first = SweepRunner(jobs=1, cache=SweepCache(dir=tmp_path)).run(spec)
+    second = SweepRunner(jobs=1, cache=SweepCache(dir=tmp_path)).run(spec)
+    assert first.computed == len(spec)
+    assert second.computed == 0 and second.cache_hits == len(spec)
+    assert second.value == first.value
+
+
+def test_version_bump_invalidates_cached_run(monkeypatch):
+    cache = SweepCache()
+    spec = square_spec()
+    SweepRunner(jobs=1, cache=cache).run(spec)
+    monkeypatch.setattr("repro._version.__version__", "99.99.99")
+    rerun = SweepRunner(jobs=1, cache=cache).run(spec)
+    assert rerun.cache_hits == 0 and rerun.computed == len(spec)
+
+
+def test_retry_then_succeed_serial(tmp_path):
+    counter = tmp_path / "calls"
+    spec = SweepSpec(
+        name="flaky",
+        tasks=(
+            Task(name="flaky", fn=flaky,
+                 params={"counter_path": str(counter), "fail_times": 2,
+                         "value": "ok"}),
+        ),
+    )
+    result = SweepRunner(jobs=1, retry=FAST_RETRY).run(spec)
+    assert result.value == {"flaky": "ok"}
+    assert result.outcomes["flaky"].attempts == 3
+    assert result.retries == 2
+
+
+def test_retry_then_succeed_parallel(tmp_path):
+    counter = tmp_path / "calls"
+    spec = SweepSpec(
+        name="flaky",
+        tasks=(
+            Task(name="flaky", fn=flaky,
+                 params={"counter_path": str(counter), "fail_times": 1,
+                         "value": "ok"}),
+            Task(name="steady", fn=add, params={"x": 1, "y": 2}),
+        ),
+    )
+    result = SweepRunner(jobs=2, retry=FAST_RETRY).run(spec)
+    assert result.value == {"flaky": "ok", "steady": 3}
+    assert result.outcomes["flaky"].attempts == 2
+    assert result.retries == 1
+
+
+def test_fail_fast_raises_after_retries_exhausted():
+    spec = SweepSpec(
+        name="doomed",
+        tasks=(Task(name="boom", fn=boom),),
+    )
+    with pytest.raises(SweepError, match="2 attempt"):
+        SweepRunner(jobs=1,
+                    retry=RetryPolicy(max_attempts=2, backoff=0.0)).run(spec)
+
+
+def test_collect_policy_keeps_other_tasks():
+    spec = SweepSpec(
+        name="mixed",
+        tasks=(
+            Task(name="boom", fn=boom),
+            Task(name="fine", fn=add, params={"x": 2, "y": 2}),
+        ),
+    )
+    result = SweepRunner(
+        jobs=1, retry=RetryPolicy(max_attempts=1),
+        error_policy="collect",
+    ).run(spec)
+    assert result.value is None  # a partial grid does not reduce
+    assert [o.name for o in result.failures] == ["boom"]
+    assert "RuntimeError: boom" in result.outcomes["boom"].error
+    assert result.values() == {"fine": 4}
+
+
+def test_timeout_then_collect_parallel():
+    spec = SweepSpec(
+        name="slowpoke",
+        tasks=(
+            Task(name="stuck", fn=sleeper,
+                 params={"seconds": 5.0, "value": "never"}),
+            Task(name="quick", fn=add, params={"x": 1, "y": 1}),
+        ),
+    )
+    result = SweepRunner(
+        jobs=2, timeout=0.2, retry=RetryPolicy(max_attempts=1),
+        error_policy="collect",
+    ).run(spec)
+    assert result.values() == {"quick": 2}
+    assert "timeout" in result.outcomes["stuck"].error
+    assert result.wall_seconds < 5.0
+
+
+def test_unknown_error_policy_rejected():
+    with pytest.raises(SweepError, match="error policy"):
+        SweepRunner(error_policy="ignore")
+
+
+def test_observer_sees_sweep_events_and_metrics():
+    observer = Observer()
+    events = []
+    observer.bus.subscribe(lambda e: events.append(e.type))
+    cache = SweepCache()
+    spec = square_spec(n=2)
+    SweepRunner(jobs=1, cache=cache, observer=observer).run(spec)
+    SweepRunner(jobs=1, cache=cache, observer=observer).run(spec)
+    assert "sweep.started" in events
+    assert "sweep.task_finished" in events
+    assert "sweep.cache_hit" in events
+    assert "sweep.finished" in events
+    assert observer.metrics.counter("sweep.tasks_computed").value == 2
+    assert observer.metrics.counter("sweep.cache_hits").value == 2
+
+
+def test_manifest_records_grid_and_counts():
+    result = SweepRunner(jobs=1).run(square_spec(n=3))
+    manifest = result.manifest
+    assert manifest.name == "sweep:squares"
+    assert manifest.config["jobs"] == 1
+    assert manifest.extra["tasks"] == 3
+    assert manifest.extra["computed"] == 3
+    assert manifest.extra["task_names"] == ["sq:0", "sq:1", "sq:2"]
+
+
+def test_progress_narration():
+    lines = []
+    SweepRunner(jobs=1, progress=lines.append).run(square_spec(n=2))
+    assert any("2 tasks" in line for line in lines)
+    assert any("done" in line for line in lines)

@@ -1,0 +1,98 @@
+"""Task/SweepSpec model: hashing, validation, seed derivation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.sensitivity import SensitivityModel
+from repro.core.table import SensitivityTable
+from repro.errors import SweepError
+from repro.sweep import SweepSpec, Task, config_hash, derive_seed
+
+from tests.sweep.workers import add, echo_seed, square
+
+
+@dataclass(frozen=True)
+class Point:
+    x: float
+    label: str
+
+
+def test_config_hash_ignores_mapping_order():
+    assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+
+def test_config_hash_distinguishes_values():
+    assert config_hash({"a": 1}) != config_hash({"a": 2})
+    assert config_hash({"a": 1.0}) != config_hash({"a": 1})
+
+
+def test_config_hash_handles_dataclasses_and_floats():
+    h1 = config_hash({"p": Point(x=0.1, label="q")})
+    h2 = config_hash({"p": Point(x=0.1, label="q")})
+    h3 = config_hash({"p": Point(x=0.1000001, label="q")})
+    assert h1 == h2
+    assert h1 != h3
+
+
+def test_config_hash_uses_to_json_for_tables():
+    table = SensitivityTable()
+    table.add(SensitivityModel("LR", (1.0, 0.5, 0.0, 0.0)))
+    other = SensitivityTable()
+    other.add(SensitivityModel("LR", (1.0, 0.5, 0.0, 0.0)))
+    assert config_hash({"t": table}) == config_hash({"t": other})
+
+    other.add(SensitivityModel("SQL", (1.0, 2.0, 0.0, 0.0)))
+    assert config_hash({"t": table}) != config_hash({"t": other})
+
+
+def test_config_hash_rejects_memory_address_reprs():
+    class Opaque:
+        pass
+
+    with pytest.raises(SweepError, match="memory address"):
+        config_hash({"o": Opaque()})
+
+
+def test_task_rejects_non_module_level_fn():
+    def nested(x):
+        return x
+
+    with pytest.raises(SweepError, match="module-level"):
+        Task(name="t", fn=nested)
+    with pytest.raises(SweepError, match="module-level"):
+        Task(name="t", fn=lambda x: x)
+
+
+def test_task_run_and_seed_threading():
+    assert Task(name="t", fn=add, params={"x": 2, "y": 3}).run() == 5
+    assert Task(name="s", fn=echo_seed, seed=42).run() == 42
+    assert Task(name="s", fn=echo_seed).call_kwargs() == {}
+
+
+def test_task_config_key_covers_fn_params_seed():
+    base = Task(name="t", fn=square, params={"x": 2})
+    assert base.config_key() == Task(name="other", fn=square,
+                                     params={"x": 2}).config_key()
+    assert base.config_key() != Task(name="t", fn=square,
+                                     params={"x": 3}).config_key()
+    assert base.config_key() != Task(name="t", fn=square, params={"x": 2},
+                                     seed=1).config_key()
+    assert base.config_key() != Task(name="t", fn=add,
+                                     params={"x": 2}).config_key()
+
+
+def test_spec_rejects_duplicate_and_empty():
+    t = Task(name="t", fn=square, params={"x": 1})
+    with pytest.raises(SweepError, match="duplicate"):
+        SweepSpec(name="s", tasks=(t, t))
+    with pytest.raises(SweepError, match="no tasks"):
+        SweepSpec(name="s", tasks=())
+
+
+def test_derive_seed_is_deterministic_and_distinct():
+    assert derive_seed(7, "a") == derive_seed(7, "a")
+    assert derive_seed(7, "a") != derive_seed(7, "b")
+    assert derive_seed(7, "a") != derive_seed(8, "a")

@@ -38,8 +38,44 @@ def test_report_command(tmp_path, capsys):
 
 def test_every_command_registered():
     for name in ("fig1a", "fig1b", "fig2", "fig5", "fig6", "fig8",
-                 "fig9", "fig10", "fig11", "fig12", "report", "obs"):
+                 "fig9", "fig10", "fig11", "fig12", "report", "obs",
+                 "sweep"):
         assert name in COMMANDS
+
+
+def test_sweep_list(capsys):
+    assert main(["sweep", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("profile-catalog", "fig8", "fig10", "bench"):
+        assert name in out
+
+
+def test_sweep_unknown_experiment_errors():
+    with pytest.raises(SystemExit, match="unknown sweep experiment"):
+        main(["sweep", "fig99"])
+
+
+def test_sweep_serial_and_parallel_render_identically(capsys):
+    args = ["sweep", "profile-catalog", "--no-cache", "--quiet",
+            "--method", "analytic", "--workloads", "SQL", "LR"]
+    assert main(args + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+    assert '"SQL"' in serial and '"LR"' in serial
+
+
+def test_sweep_writes_manifest(tmp_path, capsys):
+    manifest = tmp_path / "manifest.json"
+    assert main([
+        "sweep", "fig5", "--quiet", "--no-cache",
+        "--manifest", str(manifest),
+    ]) == 0
+    capsys.readouterr()
+    payload = json.loads(manifest.read_text())
+    assert payload["name"] == "sweep:fig5"
+    assert payload["extra"]["failed"] == 0
 
 
 @pytest.fixture()
