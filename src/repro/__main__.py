@@ -8,6 +8,7 @@ Usage::
     python -m repro fig10 --full-scale
     python -m repro fig12 --sizes 10 100 500
     python -m repro obs summarize run.jsonl
+    python -m repro fabric bench --out BENCH_fabric.json
 
 Each subcommand prints the paper-style rows/series of one table or
 figure.  The pytest benchmarks (``pytest benchmarks/
@@ -229,6 +230,38 @@ def _sweep(args) -> None:
         print(f"wrote manifest to {args.manifest}", file=sys.stderr)
 
 
+def _fabric(args) -> None:
+    import json
+
+    from repro.simnet.bench import run_bench, write_bench
+
+    progress = None if args.quiet else (
+        lambda msg: print(msg, file=sys.stderr)
+    )
+    payload = run_bench(
+        scenario={
+            "n_spine": args.spine, "n_leaf": args.leaf, "n_tor": args.tor,
+            "servers_per_tor": args.servers_per_tor, "apps": args.apps,
+            "fanout": args.fanout, "waves": args.waves, "seed": args.seed,
+        },
+        progress=progress,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.out:
+        write_bench(payload, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if not payload["identical_results"]:
+        raise SystemExit(
+            "error: full and incremental completion times differ "
+            f"(max rel {payload['max_rel_completion_diff']:.2e})"
+        )
+    if payload["speedup"] < args.min_speedup:
+        raise SystemExit(
+            f"error: incremental speedup {payload['speedup']:.2f}x is "
+            f"below the required {args.min_speedup:.2f}x"
+        )
+
+
 def _report(args) -> None:
     from repro.experiments.report import generate_reports
 
@@ -243,6 +276,7 @@ COMMANDS = {
     "report": _report,
     "obs": _obs,
     "sweep": _sweep,
+    "fabric": _fabric,
     "fig1a": _fig1a,
     "fig1b": _fig1b,
     "fig2": _fig2,
@@ -317,6 +351,37 @@ def main(argv=None) -> int:
                            help="bench: bandwidth fractions to profile")
             p.add_argument("--out", default=None,
                            help="bench: also write the JSON payload here")
+            continue
+        if name == "fabric":
+            p = sub.add_parser(
+                name,
+                help="fluid-fabric tools (incremental-solver benchmark)",
+            )
+            p.add_argument("action", choices=["bench"],
+                           help="benchmark full vs incremental solving")
+            p.add_argument("--spine", type=int, default=None,
+                           help="spine switches (default 8)")
+            p.add_argument("--leaf", type=int, default=None,
+                           help="leaf switches (default 8)")
+            p.add_argument("--tor", type=int, default=None,
+                           help="top-of-rack switches (default 8)")
+            p.add_argument("--servers-per-tor", type=int, default=None,
+                           help="servers per rack (default 10)")
+            p.add_argument("--apps", type=int, default=None,
+                           help="co-running applications (default 16)")
+            p.add_argument("--fanout", type=int, default=None,
+                           help="concurrent flows per wave (default 8)")
+            p.add_argument("--waves", type=int, default=None,
+                           help="waves per application (default 6)")
+            p.add_argument("--seed", type=int, default=None,
+                           help="scenario seed (default 7)")
+            p.add_argument("--out", default=None,
+                           help="also write the JSON payload here")
+            p.add_argument("--min-speedup", type=float, default=1.0,
+                           help="fail below this incremental speedup "
+                                "(default 1.0)")
+            p.add_argument("--quiet", action="store_true",
+                           help="suppress progress narration")
             continue
         p = sub.add_parser(name, help=f"run the {name} experiment")
         if name == "fig8":

@@ -45,6 +45,11 @@ class HomaPolicy:
     """Strict priority by remaining flow size (fluid Homa)."""
 
     name = "homa"
+    #: Priority classes are derived from each flow's *remaining* bytes,
+    #: which drain continuously -- a link's allocation is not a pure
+    #: function of its own population and programming, so
+    #: component-scoped solving is not exact for this policy.
+    component_safe = False
 
     def __init__(
         self,

@@ -39,6 +39,10 @@ class SincroniaPolicy:
     """BSSI coflow ordering enforced via strict priority."""
 
     name = "sincronia"
+    #: BSSI reorders on the *remaining* bytes of every active flow at
+    #: coflow arrival/departure epochs, so flow progress must stay
+    #: eagerly materialised and reorders invalidate all components.
+    component_safe = False
 
     def __init__(
         self,

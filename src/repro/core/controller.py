@@ -396,7 +396,10 @@ class SabaController:
                 duration=elapsed,
             )
         if self._fabric is not None:
-            self._fabric.invalidate_rates()
+            # Only the reprogrammed ports' congestion components need
+            # re-solving; the fabric falls back to a full recompute
+            # when component-scoped solving is off.
+            self._fabric.invalidate_rates(link_ids)
 
     def _reallocate_port(self, link_id: str) -> None:
         if self._fabric is None:

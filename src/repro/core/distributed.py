@@ -256,7 +256,8 @@ class DistributedControllerGroup:
                 duration=time.perf_counter() - t0,
             )
         if self._fabric is not None:
-            self._fabric.invalidate_rates()
+            # Scope the recompute to the walked path's ports.
+            self._fabric.invalidate_rates(path)
 
     def _shard_of_link(self, link_id: str) -> int:
         if self._fabric is None:

@@ -28,6 +28,7 @@ FLOW_STARTED = "flow.started"          # flow entered the network
 FLOW_FINISHED = "flow.finished"        # flow delivered its last byte
 PORT_UTILIZATION = "port.utilization"  # a link's utilization changed
 SIM_RUN = "sim.run"                    # an event-loop run completed
+RATE_SOLVE = "fabric.rate_solve"       # dirty congestion components re-solved
 # Controller lifecycle (centralized and distributed)
 APP_REGISTERED = "app.registered"
 APP_DEREGISTERED = "app.deregistered"
@@ -61,7 +62,7 @@ SWEEP_CACHE_HIT = "sweep.cache_hit"
 #: default: publishing an unknown type raises, catching taxonomy typos
 #: at the call site instead of in post-hoc analysis.
 EVENT_TYPES = frozenset({
-    FLOW_STARTED, FLOW_FINISHED, PORT_UTILIZATION, SIM_RUN,
+    FLOW_STARTED, FLOW_FINISHED, PORT_UTILIZATION, SIM_RUN, RATE_SOLVE,
     APP_REGISTERED, APP_DEREGISTERED, CONN_CREATED, CONN_DESTROYED,
     REALLOCATION, SOLVE_BEGIN, SOLVE_END, PORT_PROGRAMMED, PORT_RESET,
     LIB_REGISTERED, LIB_DEREGISTERED, LIB_CONN_OPENED,

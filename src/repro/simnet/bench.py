@@ -1,0 +1,228 @@
+"""Incremental-vs-full rate-solving benchmark (``python -m repro fabric bench``).
+
+Runs the same synthetic co-run twice on a fig10-scale spine-leaf
+fabric -- once with component-scoped incremental solving, once with
+the full-recompute baseline (``FluidFabric(incremental=False)``, the
+pre-incremental behaviour: every event advances all flows and
+re-solves every component) -- and reports events/sec, solver calls
+per event and mean re-solved component size for both modes, plus a
+cross-mode completion-time agreement check.
+
+The co-run models locality-aware placement: ``apps`` applications are
+pinned round-robin to racks and each runs ``waves`` successive waves
+of ``fanout`` concurrent rack-local flows under a WFQ policy, so the
+traffic graph decomposes into per-rack congestion components and a
+completion disturbs only its own rack -- the regime the incremental
+solver targets.  (A fully cross-rack co-run merges into one giant
+component and degrades the incremental path toward full solves; see
+DESIGN.md 5d.)
+
+The committed ``BENCH_fabric.json`` at the repo root is a snapshot of
+this output; regenerate it with ``python -m repro fabric bench --out
+BENCH_fabric.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from random import Random
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs.export import code_version
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.fairness import LinkScheduler, WFQScheduler
+from repro.simnet.flows import Flow
+from repro.simnet.routing import Router
+from repro.simnet.topology import spine_leaf
+from repro.units import GBPS_56
+
+#: Default scenario: the fig10 default simulated cluster shape.
+DEFAULT_SCENARIO = dict(
+    n_spine=8, n_leaf=8, n_tor=8, servers_per_tor=10,
+    apps=16, fanout=8, waves=6, seed=7,
+)
+
+
+class _WFQBenchPolicy:
+    """Static WFQ by priority level; exercises the weighted solver.
+
+    Pure function of the flow's own header and the queue index, so
+    component-scoped solving is exact (``component_safe`` defaults to
+    ``True``).
+    """
+
+    name = "bench-wfq"
+
+    def __init__(self, num_queues: int = 8) -> None:
+        self._num_queues = num_queues
+        self._scheduler = WFQScheduler(
+            queue_of=self._queue_of, weight_of=self._weight_of,
+        )
+
+    def _queue_of(self, flow: Flow) -> int:
+        return (flow.pl or 0) % self._num_queues
+
+    def _weight_of(self, queue: int) -> float:
+        return float(queue + 1)
+
+    def attach(self, fabric: FluidFabric) -> None:  # noqa: D102
+        pass
+
+    def scheduler_of(self, link_id: str) -> LinkScheduler:  # noqa: D102
+        return self._scheduler
+
+    def on_flow_started(self, flow: Flow) -> None:  # noqa: D102
+        pass
+
+    def on_flow_finished(self, flow: Flow) -> None:  # noqa: D102
+        pass
+
+
+def _run_mode(
+    incremental: bool,
+    n_spine: int, n_leaf: int, n_tor: int, servers_per_tor: int,
+    apps: int, fanout: int, waves: int, seed: int,
+) -> Tuple[Dict[str, Any], Dict[Tuple[int, int, int], float]]:
+    """One benchmark run; returns (stats, completion times by flow key)."""
+    topology = spine_leaf(
+        n_spine=n_spine, n_leaf=n_leaf, n_tor=n_tor,
+        servers_per_tor=servers_per_tor, capacity=GBPS_56,
+    )
+    fabric = FluidFabric(topology, incremental=incremental)
+    fabric.set_policy(_WFQBenchPolicy())
+    router = Router(topology)
+    completions: Dict[Tuple[int, int, int], float] = {}
+
+    def launch_app(app_idx: int) -> None:
+        rack = app_idx % n_tor
+        servers = [
+            f"server{rack * servers_per_tor + s}"
+            for s in range(servers_per_tor)
+        ]
+        rng = Random(seed * 7919 + app_idx)
+        state = {"wave": 0, "outstanding": 0}
+
+        def start_wave() -> None:
+            if state["wave"] >= waves:
+                return
+            wave = state["wave"]
+            state["wave"] += 1
+            for i in range(fanout):
+                src, dst = rng.sample(servers, 2)
+                flow = Flow(
+                    src=src, dst=dst,
+                    size=rng.uniform(0.05, 2.0) * 1e9,
+                    app=f"app{app_idx}", pl=rng.randrange(16),
+                    # Routed with a mode-independent ECMP key: global
+                    # flow ids differ between the two runs and would
+                    # otherwise pick different equal-cost paths.
+                    path=tuple(router.path_for_flow(
+                        src, dst, app_idx * 1_000_000 + wave * 1000 + i
+                    )),
+                )
+                key = (app_idx, wave, i)
+                state["outstanding"] += 1
+
+                def done(f: Flow, key=key) -> None:
+                    completions[key] = f.finish_time
+                    state["outstanding"] -= 1
+                    if state["outstanding"] == 0:
+                        start_wave()
+
+                fabric.start_flow(flow, on_complete=done)
+
+        # Stagger app arrivals so starts do not all coincide.
+        fabric.sim.schedule_at(app_idx * 1.3e-4, start_wave)
+
+    for app_idx in range(apps):
+        launch_app(app_idx)
+
+    t0 = time.perf_counter()
+    horizon = fabric.run()
+    wall = time.perf_counter() - t0
+    events = fabric.loop_events
+    solves = fabric.rate_recomputes
+    stats = {
+        "incremental": incremental,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else None,
+        "rate_recomputes": solves,
+        "solver_calls_per_event": round(solves / events, 4) if events else 0.0,
+        "components_solved": fabric.components_solved,
+        "flows_solved": fabric.flows_solved,
+        "mean_component_flows": round(
+            fabric.flows_solved / fabric.components_solved, 2
+        ) if fabric.components_solved else 0.0,
+        "sim_horizon": round(horizon, 6),
+        "flows_completed": len(fabric.completed),
+    }
+    return stats, completions
+
+
+def run_bench(
+    scenario: Optional[Dict[str, int]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Benchmark full vs incremental solving on one synthetic co-run.
+
+    Returns the ``BENCH_fabric.json`` payload.  ``scenario`` overrides
+    :data:`DEFAULT_SCENARIO` keys (CI passes a reduced grid).
+    """
+    params = dict(DEFAULT_SCENARIO)
+    if scenario:
+        params.update({k: v for k, v in scenario.items() if v is not None})
+
+    def narrate(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    total_flows = params["apps"] * params["fanout"] * params["waves"]
+    narrate(
+        f"bench: {params['apps']} apps x {params['waves']} waves x "
+        f"{params['fanout']} flows = {total_flows} flows on "
+        f"{params['n_tor'] * params['servers_per_tor']} servers"
+    )
+    full, full_times = _run_mode(incremental=False, **params)
+    narrate(
+        f"bench: full recompute done in {full['wall_seconds']:.2f}s "
+        f"({full['events_per_sec']} events/s)"
+    )
+    incr, incr_times = _run_mode(incremental=True, **params)
+    narrate(
+        f"bench: incremental done in {incr['wall_seconds']:.2f}s "
+        f"({incr['events_per_sec']} events/s)"
+    )
+    max_rel = 0.0
+    for key, t_full in full_times.items():
+        t_incr = incr_times.get(key)
+        if t_incr is None:
+            max_rel = float("inf")
+            break
+        denom = max(abs(t_full), abs(t_incr), 1e-30)
+        max_rel = max(max_rel, abs(t_full - t_incr) / denom)
+    full_evps = full["events_per_sec"] or 0.0
+    incr_evps = incr["events_per_sec"] or 0.0
+    speedup = incr_evps / full_evps if full_evps > 0 else float("inf")
+    return {
+        "bench": "fabric.incremental-rate-solving",
+        "created_unix": time.time(),
+        "code_version": code_version(),
+        "cpu_count": os.cpu_count(),
+        "scenario": params,
+        "full": full,
+        "incremental": incr,
+        "speedup": round(speedup, 3),
+        "max_rel_completion_diff": max_rel,
+        "identical_results": (
+            len(full_times) == len(incr_times) and max_rel <= 1e-9
+        ),
+    }
+
+
+def write_bench(payload: Dict[str, Any], out: str) -> None:
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -135,6 +135,24 @@ class Simulator:
         if self.observer.enabled:
             self.report_metrics(fired=fired)
 
+    def run_due(self, horizon: float) -> int:
+        """Fire every pending event with ``time <= horizon``.
+
+        The fluid fabric uses this to flush the timers coinciding with
+        the event it just jumped to (``horizon`` is the event time plus
+        a nanosecond of float slack).  Events a callback schedules
+        inside the window fire too; the horizon is fixed at entry.
+        Returns the number of events fired.
+        """
+        fired = 0
+        while True:
+            t = self.peek_time()
+            if t is None or t > horizon:
+                break
+            self.step()
+            fired += 1
+        return fired
+
     def report_metrics(self, fired: Optional[int] = None) -> None:
         """Publish the engine's counters to the attached observer."""
         obs = self.observer

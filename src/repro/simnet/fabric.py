@@ -3,9 +3,19 @@ loop together.
 
 Rates of fluid flows are piecewise constant between *events* (flow
 start, flow completion, timer expiry, reconfiguration), so the
-simulation is exact: on each event the fabric recomputes all rates via
-:func:`repro.simnet.fairness.network_rates`, then jumps straight to
-the next event.
+simulation is exact: on each event the fabric re-solves rates and
+jumps straight to the next event.
+
+The rate pipeline is *incremental*: a persistent flow↔link incidence
+index (:mod:`repro.simnet.incidence`) partitions active flows into
+congestion components, and an event re-solves only the components
+containing dirtied flows or reconfigured ports -- allocation is
+link-local, so link-disjoint components never interact and the
+component-scoped solution equals the full one exactly (DESIGN.md 5d).
+Per-link ``usable_capacity`` deratings are cached until the link's
+flow population or queue programming changes, and flow completions
+live in a lazy heap keyed by predicted finish time, so per-event work
+is O(disturbed component + log n) instead of O(active flows × links).
 
 Allocation policies plug in through two hooks:
 
@@ -13,11 +23,21 @@ Allocation policies plug in through two hooks:
   (installed via :meth:`FluidFabric.set_policy`);
 * flow lifecycle callbacks -- the policy (and the Saba library) learn
   about flow starts/completions to drive re-allocation.
+
+A policy whose per-link allocation depends on state *outside* the
+link's own flow population and queue programming -- e.g. Homa's
+priority classes read each flow's continuously-draining ``remaining``
+-- must set ``component_safe = False``; the fabric then advances all
+flows eagerly and re-solves everything on each recomputation, exactly
+reproducing the non-incremental behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol
+import heapq
+import itertools
+import time as _time
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Tuple
 
 from repro.errors import SimulationError
 from repro.obs.events import (
@@ -25,11 +45,13 @@ from repro.obs.events import (
     FLOW_STARTED,
     NULL_OBSERVER,
     PORT_UTILIZATION,
+    RATE_SOLVE,
     Observer,
 )
 from repro.simnet.engine import Simulator
-from repro.simnet.fairness import FairScheduler, LinkScheduler, network_rates
+from repro.simnet.fairness import FairScheduler, LinkScheduler, solve_component
 from repro.simnet.flows import Flow
+from repro.simnet.incidence import FlowIncidence
 from repro.simnet.routing import Router
 from repro.simnet.telemetry import UtilizationRecorder
 from repro.simnet.topology import Topology
@@ -38,7 +60,14 @@ _EPS = 1e-9
 
 
 class FabricPolicy(Protocol):
-    """What the fabric needs from an allocation policy."""
+    """What the fabric needs from an allocation policy.
+
+    Policies may additionally expose a ``component_safe`` class
+    attribute (default ``True``): set it to ``False`` when a link's
+    allocation depends on globally-varying flow state (e.g. remaining
+    bytes), which disables component-scoped solving and capacity
+    caching for exactness.
+    """
 
     name: str
 
@@ -87,6 +116,7 @@ class FluidFabric:
         validate: bool = False,
         completion_quantum: float = 0.0,
         observer: Optional[Observer] = None,
+        incremental: bool = True,
     ) -> None:
         """
         Args:
@@ -108,6 +138,11 @@ class FluidFabric:
                 symmetric flows cost one rate recomputation instead of
                 dozens, at a completion-time error bounded by the
                 quantum.
+            incremental: re-solve only dirty congestion components
+                (exact for component-safe policies).  ``False`` forces
+                a full re-solve plus an eager advance of every active
+                flow on each event -- the pre-incremental behaviour,
+                kept as the benchmark baseline.
         """
         if completion_quantum < 0:
             raise SimulationError("completion_quantum must be >= 0")
@@ -126,11 +161,40 @@ class FluidFabric:
         self._last_port_util: Dict[str, float] = {}
         self.validate = validate
         self.completion_quantum = completion_quantum
+        self.incremental = incremental
         self.policy: FabricPolicy = _DefaultPolicy()
+        self._component_safe = True
         self._active: Dict[int, Flow] = {}
         self.completed: List[Flow] = []
         self._completion_callbacks: Dict[int, List[Callable[[Flow], None]]] = {}
+        # -- incremental-solve state -----------------------------------
+        self._incidence = FlowIncidence()
+        #: Dirty ports, in dirtying order (dict-as-ordered-set: string
+        #: sets iterate in hash order, which is not reproducible).
+        self._dirty_links: Dict[str, None] = {}
+        self._dirty_all = True
         self._rates_dirty = True
+        self._sched_cache: Dict[str, LinkScheduler] = {}
+        #: link -> ((queue-table generation, throttle), usable capacity)
+        self._caps_cache: Dict[str, Tuple[Tuple[int, float], float]] = {}
+        self._link_used: Dict[str, float] = {}
+        #: NIC egress link -> server, for telemetry sampling.
+        self._nic_server: Dict[str, str] = {
+            topology.nic_link(server).link_id: server
+            for server in topology.servers
+        }
+        # -- lazy completion heap --------------------------------------
+        self._seq = itertools.count()
+        self._start_seq: Dict[int, int] = {}
+        self._finish_heap: List[Tuple[float, int, int]] = []
+        #: flow_id -> its live heap entry (None when undrained/absent);
+        #: stale heap entries fail the identity check and are skipped.
+        self._finish_key: Dict[int, Optional[Tuple[float, int, int]]] = {}
+        # -- plain perf counters (bench reads these without an observer)
+        self.loop_events = 0
+        self.rate_recomputes = 0
+        self.components_solved = 0
+        self.flows_solved = 0
 
     # -- configuration -----------------------------------------------------
 
@@ -138,14 +202,25 @@ class FluidFabric:
         """Install the allocation policy (before or between runs)."""
         self.policy = policy
         policy.attach(self)
+        self._component_safe = bool(getattr(policy, "component_safe", True))
+        self._sched_cache.clear()
+        self._caps_cache.clear()
         self.invalidate_rates()
 
-    def invalidate_rates(self) -> None:
+    def invalidate_rates(self, link_ids: Optional[Iterable[str]] = None) -> None:
         """Force a rate recomputation at the next loop step.
 
         The Saba controller calls this after reprogramming queue
         tables, mirroring a switch configuration update taking effect.
+        With ``link_ids`` only the congestion components touching
+        those ports are re-solved; without, everything is.
         """
+        if link_ids is None:
+            self._dirty_all = True
+        else:
+            dirty = self._dirty_links
+            for lid in link_ids:
+                dirty[lid] = None
         self._rates_dirty = True
 
     # -- flow lifecycle ------------------------------------------------------
@@ -159,7 +234,7 @@ class FluidFabric:
         flow: Flow,
         on_complete: Optional[Callable[[Flow], None]] = None,
     ) -> Flow:
-        """Inject a flow; routes it and marks rates dirty."""
+        """Inject a flow; routes it and marks its component dirty."""
         if flow.flow_id in self._active:
             raise SimulationError(f"flow {flow.flow_id} already active")
         if flow.done:
@@ -169,7 +244,14 @@ class FluidFabric:
                 self.router.path_for_flow(flow.src, flow.dst, flow.flow_id)
             )
         flow.start_time = self.sim.now
+        flow.last_update = self.sim.now
         self._active[flow.flow_id] = flow
+        self._incidence.add(flow)
+        self._start_seq[flow.flow_id] = next(self._seq)
+        self._finish_key[flow.flow_id] = None
+        dirty = self._dirty_links
+        for lid in flow.path:
+            dirty[lid] = None
         if on_complete is not None:
             self._completion_callbacks.setdefault(flow.flow_id, []).append(
                 on_complete
@@ -189,7 +271,14 @@ class FluidFabric:
     def _finish_flow(self, flow: Flow) -> None:
         flow.finish_time = self.sim.now
         flow.rate = 0.0
+        flow.last_update = self.sim.now
         del self._active[flow.flow_id]
+        self._incidence.remove(flow)
+        self._start_seq.pop(flow.flow_id, None)
+        self._finish_key.pop(flow.flow_id, None)
+        dirty = self._dirty_links
+        for lid in flow.path:
+            dirty[lid] = None
         self.completed.append(flow)
         obs = self.observer
         if obs.enabled:
@@ -212,23 +301,122 @@ class FluidFabric:
     def _capacity_of(self, link_id: str, n_flows: int) -> float:
         return self.topology.link_states[link_id].effective_capacity(n_flows)
 
-    def recompute_rates(self) -> None:
-        """Recompute all flow rates under the current policy."""
-        flows = list(self._active.values())
-        rates = network_rates(
-            flows,
-            capacity_of=self._capacity_of,
-            scheduler_of=self.policy.scheduler_of,
+    def _usable_capacity(
+        self, link_id: str, scheduler: LinkScheduler, members: List[Flow],
+        use_cache: bool,
+    ) -> float:
+        """Scheduler-derated capacity, cached while the link is stable.
+
+        A cache entry is valid only if the link was not dirtied (its
+        flow population is unchanged) and its queue-table generation
+        and throttle still match; component-unsafe policies bypass the
+        cache entirely (their derating can depend on flow state).
+        """
+        state = self.topology.link_states[link_id]
+        key = (self.topology.port_table(link_id).generation, state.throttle)
+        if use_cache and link_id not in self._dirty_links:
+            cached = self._caps_cache.get(link_id)
+            if cached is not None and cached[0] == key:
+                return cached[1]
+        usable = scheduler.usable_capacity(
+            state.effective_capacity(len(members)), members
         )
-        for flow in flows:
-            flow.rate = rates.get(flow.flow_id, 0.0)
+        if use_cache:
+            self._caps_cache[link_id] = (key, usable)
+        return usable
+
+    def recompute_rates(self) -> None:
+        """Re-solve every dirty congestion component.
+
+        With ``incremental`` solving active this touches only the
+        components reachable from dirtied ports; a full invalidation
+        (or a component-unsafe policy) re-solves all components.  The
+        per-component results are exactly what a joint solve produces
+        (:func:`repro.simnet.fairness.network_rates` decomposes the
+        same way).
+        """
+        obs = self.observer
+        t0 = _time.perf_counter() if obs.enabled else 0.0
+        now = self.sim.now
+        scoped = self.incremental and self._component_safe
+        full = self._dirty_all or not scoped
+        incidence = self._incidence
+        order_key = self._order_key
+        seeds = incidence.links() if full else self._dirty_links
+        components = incidence.components(seeds, order_key)
+        changed: Dict[str, None] = {}
+        link_used = self._link_used
+        sched_cache = self._sched_cache
+        scheduler_of = self.policy.scheduler_of
+        n_flows_solved = 0
+        for comp_flows, _comp_links in components:
+            on_link: Dict[str, List[Flow]] = {}
+            for flow in comp_flows:
+                flow.sync(now)
+                for lid in flow.path:
+                    members = on_link.get(lid)
+                    if members is None:
+                        members = on_link[lid] = []
+                    members.append(flow)
+            schedulers: Dict[str, LinkScheduler] = {}
+            caps: Dict[str, float] = {}
+            for lid, members in on_link.items():
+                scheduler = sched_cache.get(lid)
+                if scheduler is None:
+                    scheduler = sched_cache[lid] = scheduler_of(lid)
+                schedulers[lid] = scheduler
+                caps[lid] = self._usable_capacity(
+                    lid, scheduler, members, scoped
+                )
+            rates = solve_component(comp_flows, on_link, schedulers, caps)
+            for flow in comp_flows:
+                flow.rate = rates.get(flow.flow_id, 0.0)
+                self._rekey(flow, now)
+            for lid, members in on_link.items():
+                used = 0.0
+                for flow in members:
+                    used += flow.rate
+                link_used[lid] = used
+                changed[lid] = None
+            n_flows_solved += len(comp_flows)
+        # Dirty ports that no longer carry flows (last flow finished,
+        # or a reconfigured idle port) drop to zero utilization.
+        for lid in self._dirty_links:
+            if lid not in changed and link_used.get(lid, 0.0) != 0.0:
+                link_used[lid] = 0.0
+                changed[lid] = None
+        if full:
+            for lid, used in link_used.items():
+                if used != 0.0 and incidence.count(lid) == 0:
+                    link_used[lid] = 0.0
+                    changed[lid] = None
+        self._dirty_links.clear()
+        self._dirty_all = False
         self._rates_dirty = False
+        self.rate_recomputes += 1
+        self.components_solved += len(components)
+        self.flows_solved += n_flows_solved
         if self.validate:
-            self._check_invariants(flows)
-        self._sample_network_telemetry()
-        if self.observer.enabled:
-            self.observer.metrics.counter("fabric.rate_recomputes").inc()
-            self._emit_port_utilization(flows)
+            self._check_invariants(list(self._active.values()))
+        self._sample_network_telemetry(changed)
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("fabric.rate_recomputes").inc()
+            metrics.counter("fabric.components_solved").inc(len(components))
+            size_hist = metrics.histogram("fabric.component_size")
+            for comp_flows, _comp_links in components:
+                size_hist.observe(len(comp_flows))
+            elapsed = _time.perf_counter() - t0
+            metrics.histogram("fabric.solver_seconds").observe(elapsed)
+            obs.emit(
+                RATE_SOLVE, now, components=len(components),
+                flows=n_flows_solved, links=len(changed), full=full,
+                duration=elapsed,
+            )
+            self._emit_port_utilization(changed)
+
+    def _order_key(self, flow: Flow) -> int:
+        return self._start_seq[flow.flow_id]
 
     def _check_invariants(self, flows: List[Flow]) -> None:
         """Physical sanity of the current rate assignment."""
@@ -254,55 +442,127 @@ class FluidFabric:
                     f"link {lid} over line rate: {used} > {line_rate}"
                 )
 
-    def _emit_port_utilization(self, flows: List[Flow]) -> None:
+    def _emit_port_utilization(self, changed: Dict[str, None]) -> None:
         """Publish per-port utilization changes (observer enabled only).
 
         Rates are piecewise constant between events, so emitting on
         change yields an *exact* step series per port; the summarizer
-        integrates it into time-weighted means.
+        integrates it into time-weighted means.  Only links whose
+        component was re-solved (or which drained) can have changed,
+        so the maintained ``link_used`` totals replace the former
+        walk over every flow's path.
         """
         obs = self.observer
         now = self.sim.now
-        used: Dict[str, float] = {}
-        flow_count: Dict[str, int] = {}
-        for flow in flows:
-            for lid in flow.path:
-                used[lid] = used.get(lid, 0.0) + flow.rate
-                flow_count[lid] = flow_count.get(lid, 0) + 1
-        # Links that just drained must emit a final zero sample.
-        watched = set(used) | {
-            lid for lid, u in self._last_port_util.items() if u > 0.0
-        }
-        for lid in sorted(watched):
+        last = self._last_port_util
+        for lid in sorted(changed):
             capacity = self.topology.link_states[lid].link.capacity
-            util = used.get(lid, 0.0) / capacity
-            if abs(util - self._last_port_util.get(lid, 0.0)) <= 1e-12:
+            util = self._link_used.get(lid, 0.0) / capacity
+            if abs(util - last.get(lid, 0.0)) <= 1e-12:
                 continue
-            self._last_port_util[lid] = util
+            last[lid] = util
             obs.metrics.time_gauge(f"port.{lid}.utilization").set(util, now)
             obs.emit(
                 PORT_UTILIZATION, now, link=lid, utilization=util,
-                flows=flow_count.get(lid, 0),
+                flows=self._incidence.count(lid),
             )
 
     def queue_occupancy(self, link_id: str) -> Dict[int, int]:
         """Active flows per queue at ``link_id``'s output port."""
         qtable = self.topology.port_table(link_id)
         return qtable.occupancy(
-            flow.pl for flow in self._active.values()
-            if link_id in flow.path
+            flow.pl for flow in self._incidence.flows_on(link_id)
         )
 
-    def _sample_network_telemetry(self) -> None:
+    def _sample_network_telemetry(self, changed: Dict[str, None]) -> None:
+        """Record NIC egress utilization for servers whose rate changed.
+
+        A server's egress equals its NIC link's maintained usage total
+        (only flows sourced at the server traverse its egress link).
+        Unchanged links would re-record their previous value, which
+        the step series treats identically, so they are skipped.
+        """
         if self.recorder is None:
             return
-        egress: Dict[str, float] = {}
-        for flow in self._active.values():
-            egress[flow.src] = egress.get(flow.src, 0.0) + flow.rate
-        for server in self.topology.servers:
-            nic = self.topology.nic_link(server)
-            util = egress.get(server, 0.0) / nic.capacity
-            self.recorder.record_network(server, self.sim.now, util)
+        now = self.sim.now
+        nic_server = self._nic_server
+        for lid in changed:
+            server = nic_server.get(lid)
+            if server is None:
+                continue
+            capacity = self.topology.links[lid].capacity
+            self.recorder.record_network(
+                server, now, self._link_used.get(lid, 0.0) / capacity
+            )
+
+    # -- lazy completion heap -------------------------------------------------
+
+    def _rekey(self, flow: Flow, now: float) -> None:
+        """Refresh the flow's predicted completion after a rate change.
+
+        ``flow`` must be synced at ``now``.  Undrained flows carry no
+        heap entry (they cannot complete); superseded entries stay in
+        the heap and are skipped via the identity check in
+        ``_finish_key`` (lazy deletion).
+        """
+        fid = flow.flow_id
+        drain = flow.drain_rate
+        if drain <= 0.0:
+            if flow.remaining <= _EPS:
+                # Zero-rate but already drained to residue: due now.
+                entry = (now, next(self._seq), fid)
+                self._finish_key[fid] = entry
+                heapq.heappush(self._finish_heap, entry)
+            else:
+                self._finish_key[fid] = None
+            return
+        entry = (now + flow.remaining / drain, next(self._seq), fid)
+        self._finish_key[fid] = entry
+        heapq.heappush(self._finish_heap, entry)
+
+    def _peek_completion(self) -> Optional[float]:
+        """Earliest predicted flow completion, or ``None``."""
+        heap = self._finish_heap
+        finish_key = self._finish_key
+        while heap:
+            entry = heap[0]
+            if finish_key.get(entry[2]) is entry:
+                return entry[0]
+            heapq.heappop(heap)
+        return None
+
+    def _pop_finished(self, limit: float) -> List[Flow]:
+        """Flows whose predicted completion is within ``limit``.
+
+        Returned in start order, matching the active-dict scan the
+        heap replaces (completion callbacks observe the same order).
+        """
+        heap = self._finish_heap
+        finish_key = self._finish_key
+        finished: List[Flow] = []
+        while heap:
+            entry = heap[0]
+            fid = entry[2]
+            if finish_key.get(fid) is not entry:
+                heapq.heappop(heap)
+                continue
+            if entry[0] > limit:
+                break
+            heapq.heappop(heap)
+            finish_key[fid] = None
+            finished.append(self._active[fid])
+        if len(finished) > 1:
+            finished.sort(key=self._order_key)
+        return finished
+
+    def _compact_heap(self) -> None:
+        """Drop superseded entries once they dominate the heap."""
+        if len(self._finish_heap) <= 64 + 4 * len(self._active):
+            return
+        finish_key = self._finish_key
+        live = [e for e in self._finish_heap if finish_key.get(e[2]) is e]
+        heapq.heapify(live)
+        self._finish_heap = live
 
     # -- event loop -----------------------------------------------------------
 
@@ -318,6 +578,7 @@ class FluidFabric:
         progress (all rates zero with no pending timers), which would
         otherwise hang the loop.
         """
+        eager = not (self.incremental and self._component_safe)
         events = 0
         while True:
             if events >= max_events:
@@ -326,12 +587,10 @@ class FluidFabric:
                 )
             if self._rates_dirty:
                 self.recompute_rates()
+                self._compact_heap()
+                eager = not (self.incremental and self._component_safe)
             timer_t = self.sim.peek_time()
-            flow_dt = min(
-                (f.time_to_finish() for f in self._active.values()),
-                default=float("inf"),
-            )
-            flow_t = self.sim.now + flow_dt if flow_dt != float("inf") else None
+            flow_t = self._peek_completion()
             if timer_t is None and flow_t is None:
                 if self._active:
                     raise SimulationError(
@@ -339,26 +598,24 @@ class FluidFabric:
                         "timers are pending"
                     )
                 break
-            candidates = [t for t in (timer_t, flow_t) if t is not None]
-            next_t = min(candidates)
+            if flow_t is None:
+                next_t = timer_t
+            elif timer_t is None or flow_t < timer_t:
+                next_t = flow_t
+            else:
+                next_t = timer_t
             if until is not None and next_t > until:
-                self._advance_flows(until - self.sim.now)
+                self._sync_active(until)
                 self.sim.advance_to(until)
                 self.sim.report_metrics()
                 return self.sim.now
-            if next_t == float("inf"):
-                raise SimulationError(
-                    "active flows are stalled (zero rate) and no timers "
-                    "are pending"
-                )
-            self._advance_flows(next_t - self.sim.now)
+            if eager:
+                # Component-unsafe policies read remaining bytes
+                # outside the solver; keep every flow materialised.
+                self._sync_active(next_t)
             self.sim.advance_to(next_t)
             # Fire timer events scheduled at exactly next_t.
-            while True:
-                t = self.sim.peek_time()
-                if t is None or t > self.sim.now + _EPS:
-                    break
-                self.sim.step()
+            self.sim.run_due(self.sim.now + _EPS)
             # Collect flow completions at this instant.  Floating-point
             # residue can leave a few bytes after the exact-completion
             # jump, so a flow counts as done when its residual would
@@ -366,22 +623,15 @@ class FluidFabric:
             # within the configured completion quantum (event
             # batching; see the constructor).
             horizon = max(1e-9, self.completion_quantum)
-            finished = [
-                f
-                for f in self._active.values()
-                if f.remaining <= _EPS or f.time_to_finish() <= horizon
-            ]
-            for flow in finished:
+            for flow in self._pop_finished(self.sim.now + horizon):
                 flow.remaining = 0.0
                 self._finish_flow(flow)
             events += 1
+            self.loop_events += 1
         self.sim.report_metrics()
         return self.sim.now
 
-    def _advance_flows(self, dt: float) -> None:
-        if dt < 0:
-            raise SimulationError(f"negative dt {dt}")
-        if dt == 0:
-            return
+    def _sync_active(self, now: float) -> None:
+        """Materialise every active flow's progress at ``now``."""
         for flow in self._active.values():
-            flow.advance(dt)
+            flow.sync(now)

@@ -56,7 +56,7 @@ def water_fill(capacity: float, demands: Sequence[float]) -> List[float]:
     alloc = [0.0] * n
     remaining = capacity
     left = n
-    for idx, i in enumerate(order):
+    for i in order:
         share = remaining / left
         grant = min(demands[i], share)
         alloc[i] = grant
@@ -105,7 +105,8 @@ def weighted_water_fill(
             grant = min(demands[i] - alloc[i], remaining)
             alloc[i] += grant
             remaining -= grant
-        active = [i for i in active if i not in set(satisfied)]
+        satisfied_set = set(satisfied)
+        active = [i for i in active if i not in satisfied_set]
         if remaining <= _EPS:
             break
     if remaining > _EPS:
@@ -380,7 +381,7 @@ def max_min_rates(
                     headroom[lid] = max(0.0, headroom[lid] - rates[fid])
             continue
         frozen_now = [
-            fid for fid in unfrozen if bottleneck in set(active[fid].path)
+            fid for fid in unfrozen if bottleneck in active[fid].path
         ]
         if not frozen_now:
             break
@@ -441,31 +442,66 @@ def network_rates(
     active = [f for f in flows if not f.done]
     if not active:
         return {}
-    on_link: Dict[str, List[Flow]] = {}
     for f in active:
         if not f.path:
             raise SimulationError(f"flow {f.flow_id} has no path")
-        for lid in f.path:
-            on_link.setdefault(lid, []).append(f)
+    # Solve each congestion component independently: allocations are
+    # link-local, so link-disjoint flow sets never interact and the
+    # joint solution is the union of per-component solutions.  This is
+    # the same decomposition the incremental fabric uses to re-solve
+    # only disturbed components (DESIGN.md 5d), so incremental and
+    # full solves agree exactly by construction.
+    from repro.simnet.incidence import split_components
 
-    schedulers = {lid: scheduler_of(lid) for lid in on_link}
-    caps = {
-        lid: schedulers[lid].usable_capacity(capacity_of(lid, len(fl)), fl)
-        for lid, fl in on_link.items()
-    }
+    rates: Dict[int, float] = {}
+    for comp in split_components(active):
+        on_link: Dict[str, List[Flow]] = {}
+        for f in comp:
+            for lid in f.path:
+                on_link.setdefault(lid, []).append(f)
+        schedulers = {lid: scheduler_of(lid) for lid in on_link}
+        caps = {
+            lid: schedulers[lid].usable_capacity(capacity_of(lid, len(fl)), fl)
+            for lid, fl in on_link.items()
+        }
+        rates.update(solve_component(
+            comp, on_link, schedulers, caps, max_rounds=max_rounds, tol=tol,
+        ))
+    return rates
+
+
+def solve_component(
+    flows: Sequence[Flow],
+    on_link: Mapping[str, Sequence[Flow]],
+    schedulers: Mapping[str, LinkScheduler],
+    caps: Mapping[str, float],
+    max_rounds: int = 80,
+    tol: float = 1e-4,
+) -> Dict[int, float]:
+    """Progressive residual filling over one congestion component.
+
+    ``flows`` must be the component's active flows in a stable order
+    (the fabric passes start order), ``on_link`` its link -> member
+    lists in that same order, and ``caps`` the already-derated usable
+    capacity per link.  The component must be closed: every link on
+    every member's path appears in all three maps.  The stopping
+    tolerance is *local* (``tol`` of the component's largest link
+    capacity), so the solution is independent of any other traffic --
+    the property that makes incremental re-solving exact.
+    """
     # Fast path: unweighted per-flow fairness everywhere (the
     # InfiniBand baseline and ideal max-min) is solved exactly by
     # classic progressive filling in one pass.
     if all(type(s) is FairScheduler for s in schedulers.values()):
-        return max_min_rates(active, caps)
+        return max_min_rates(flows, caps)
     max_cap = max(caps.values())
     eps = tol * max_cap
-    rate: Dict[int, float] = {f.flow_id: 0.0 for f in active}
+    rate: Dict[int, float] = {f.flow_id: 0.0 for f in flows}
     used: Dict[str, float] = {lid: 0.0 for lid in on_link}
     limit: Dict[int, float] = {
-        f.flow_id: f.demand_limit for f in active
+        f.flow_id: f.demand_limit for f in flows
     }
-    path_of: Dict[int, tuple] = {f.flow_id: tuple(f.path) for f in active}
+    path_of: Dict[int, tuple] = {f.flow_id: tuple(f.path) for f in flows}
     growing = set(rate)
 
     def _run_rounds(compute_offers) -> None:

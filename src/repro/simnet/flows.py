@@ -65,6 +65,12 @@ class Flow:
     rate: float = field(init=False, default=0.0)
     start_time: Optional[float] = field(init=False, default=None)
     finish_time: Optional[float] = field(init=False, default=None)
+    #: Simulated time at which ``remaining`` was last materialised.
+    #: Rates are piecewise constant, so ``(rate, last_update,
+    #: remaining)`` determines progress at any later instant; the
+    #: fabric advances flows lazily via :meth:`sync` instead of
+    #: touching every active flow on every event.
+    last_update: float = field(init=False, default=0.0)
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -104,6 +110,22 @@ class Flow:
         if dt < 0:
             raise ValueError(f"negative dt: {dt}")
         self.remaining = max(0.0, self.remaining - self.drain_rate * dt)
+
+    def sync(self, now: float) -> None:
+        """Materialise ``remaining`` at simulated time ``now``.
+
+        Must be called before the stored ``remaining`` is read or the
+        rate changes.  A no-op when already synced at ``now``, so the
+        eager per-event advance of component-unsafe policies composes
+        with it.
+        """
+        if now != self.last_update:
+            drain = self.drain_rate
+            if drain > 0.0:
+                self.remaining = max(
+                    0.0, self.remaining - drain * (now - self.last_update)
+                )
+            self.last_update = now
 
     def time_to_finish(self) -> float:
         """Seconds until completion at the current rate (inf if stalled)."""

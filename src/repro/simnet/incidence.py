@@ -1,0 +1,151 @@
+"""Flow↔link incidence and congestion components.
+
+The fabric keeps a persistent index of which flows traverse which
+links, maintained on flow start/finish, instead of rebuilding
+``on_link`` maps inside every solver call.  Transitive sharing of
+links partitions the active flows into *congestion components*:
+max-min, WFQ and strict-priority allocations all decompose exactly
+over link-disjoint components (no capacity, queue or scheduler state
+crosses a component boundary), so an event only requires re-solving
+the component it disturbs.  DESIGN.md section 5d states the
+decomposition argument and its exactness conditions.
+
+Determinism: every ordering here derives from insertion order (flow
+start order) or an explicit sort key -- never from hash-randomised
+``set`` iteration over strings -- so runs reproduce across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.simnet.flows import Flow
+
+
+class FlowIncidence:
+    """Persistent link -> {flow_id -> Flow} index of active flows.
+
+    Per-link flow maps are insertion-ordered dicts, so iterating a
+    link's flows visits them in start order -- the same order the
+    solver sees, which keeps floating-point accumulation identical to
+    a from-scratch build.
+    """
+
+    def __init__(self) -> None:
+        self._by_link: Dict[str, Dict[int, Flow]] = {}
+
+    def add(self, flow: Flow) -> None:
+        """Index ``flow`` under every link of its path."""
+        by_link = self._by_link
+        for lid in flow.path:
+            entry = by_link.get(lid)
+            if entry is None:
+                entry = by_link[lid] = {}
+            entry[flow.flow_id] = flow
+
+    def remove(self, flow: Flow) -> None:
+        """Drop ``flow`` from every link of its path."""
+        by_link = self._by_link
+        for lid in flow.path:
+            entry = by_link.get(lid)
+            if entry is None:
+                continue
+            entry.pop(flow.flow_id, None)
+            if not entry:
+                del by_link[lid]
+
+    def links(self) -> Iterable[str]:
+        """Link ids currently carrying flows, in first-use order."""
+        return self._by_link.keys()
+
+    def flows_on(self, link_id: str) -> Iterable[Flow]:
+        """Flows traversing ``link_id``, in start order."""
+        entry = self._by_link.get(link_id)
+        return entry.values() if entry is not None else ()
+
+    def count(self, link_id: str) -> int:
+        """Number of active flows on ``link_id``."""
+        entry = self._by_link.get(link_id)
+        return len(entry) if entry is not None else 0
+
+    def components(
+        self,
+        seed_links: Iterable[str],
+        order_key: Callable[[Flow], int],
+    ) -> List[Tuple[List[Flow], List[str]]]:
+        """Congestion components reachable from ``seed_links``.
+
+        Breadth-first search over shared links; each component's flows
+        are returned sorted by ``order_key`` (the fabric passes the
+        flow start sequence, i.e. active-dict order) and components
+        themselves are ordered by their earliest flow, so the result
+        is independent of the seed set that discovered them.
+        """
+        by_link = self._by_link
+        visited_links: set = set()
+        visited_flows: set = set()
+        components: List[Tuple[List[Flow], List[str]]] = []
+        for seed in seed_links:
+            if seed in visited_links or seed not in by_link:
+                continue
+            visited_links.add(seed)
+            comp_flows: List[Flow] = []
+            comp_links: List[str] = [seed]
+            frontier = [seed]
+            while frontier:
+                lid = frontier.pop()
+                for flow in by_link[lid].values():
+                    fid = flow.flow_id
+                    if fid in visited_flows:
+                        continue
+                    visited_flows.add(fid)
+                    comp_flows.append(flow)
+                    for other in flow.path:
+                        if other not in visited_links:
+                            visited_links.add(other)
+                            comp_links.append(other)
+                            frontier.append(other)
+            comp_flows.sort(key=order_key)
+            components.append((comp_flows, comp_links))
+        components.sort(key=lambda c: order_key(c[0][0]))
+        return components
+
+
+def split_components(flows: Sequence[Flow]) -> List[List[Flow]]:
+    """Partition ``flows`` into link-connected components.
+
+    Union-find keyed by link id; within a component flows keep their
+    input order, and components are ordered by their earliest member,
+    so the full solve visits flows exactly as a joint build would.
+    """
+    n = len(flows)
+    if n <= 1:
+        return [list(flows)] if flows else []
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    owner_of_link: Dict[str, int] = {}
+    for i, flow in enumerate(flows):
+        for lid in flow.path:
+            j = owner_of_link.setdefault(lid, i)
+            if j == i:
+                continue
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                # Root at the smaller index: component identity (and
+                # hence output order) is first-member order.
+                if ri < rj:
+                    parent[rj] = ri
+                else:
+                    parent[ri] = rj
+    groups: Dict[int, List[Flow]] = {}
+    for i, flow in enumerate(flows):
+        groups.setdefault(find(i), []).append(flow)
+    return [groups[root] for root in sorted(groups)]

@@ -1,0 +1,120 @@
+"""Unit tests for the flow-link incidence index and components."""
+
+from random import Random
+
+from repro.simnet.flows import Flow
+from repro.simnet.incidence import FlowIncidence, split_components
+
+
+def _flow(path, size=100.0):
+    return Flow(src="server0", dst="server1", size=size, path=tuple(path))
+
+
+def test_add_and_remove_maintain_per_link_population():
+    inc = FlowIncidence()
+    f1 = _flow(["a", "b"])
+    f2 = _flow(["b", "c"])
+    inc.add(f1)
+    inc.add(f2)
+    assert list(inc.links()) == ["a", "b", "c"]
+    assert inc.count("a") == 1
+    assert inc.count("b") == 2
+    assert [f.flow_id for f in inc.flows_on("b")] == [f1.flow_id, f2.flow_id]
+    inc.remove(f1)
+    # Links with no remaining flows disappear from the index entirely.
+    assert list(inc.links()) == ["b", "c"]
+    assert inc.count("a") == 0
+    assert list(inc.flows_on("a")) == []
+    inc.remove(f2)
+    assert list(inc.links()) == []
+
+
+def test_remove_is_idempotent():
+    inc = FlowIncidence()
+    f1 = _flow(["a"])
+    inc.add(f1)
+    inc.remove(f1)
+    inc.remove(f1)  # no KeyError on double-remove
+    assert inc.count("a") == 0
+
+
+def test_components_found_only_from_seed_links():
+    inc = FlowIncidence()
+    f1 = _flow(["a", "b"])
+    f2 = _flow(["b", "c"])
+    f3 = _flow(["x"])  # disjoint component
+    order = {}
+    for i, f in enumerate([f1, f2, f3]):
+        inc.add(f)
+        order[f.flow_id] = i
+    key = lambda f: order[f.flow_id]  # noqa: E731
+
+    # Seeding from "c" reaches f2, then f1 via the shared link "b",
+    # but never the disjoint component on "x".
+    comps = inc.components(["c"], key)
+    assert len(comps) == 1
+    flows, links = comps[0]
+    assert [f.flow_id for f in flows] == [f1.flow_id, f2.flow_id]
+    assert set(links) == {"a", "b", "c"}
+
+    # Seeding from all links reaches both components, ordered by their
+    # earliest member.
+    comps = inc.components(["x", "c"], key)
+    assert [[f.flow_id for f in flows] for flows, _ in comps] == [
+        [f1.flow_id, f2.flow_id],
+        [f3.flow_id],
+    ]
+
+
+def test_components_independent_of_seed_order():
+    inc = FlowIncidence()
+    flows = [_flow(["a"]), _flow(["b"]), _flow(["c"])]
+    order = {}
+    for i, f in enumerate(flows):
+        inc.add(f)
+        order[f.flow_id] = i
+    key = lambda f: order[f.flow_id]  # noqa: E731
+    forward = inc.components(["a", "b", "c"], key)
+    backward = inc.components(["c", "b", "a"], key)
+    as_ids = lambda comps: [  # noqa: E731
+        ([f.flow_id for f in flows], sorted(links)) for flows, links in comps
+    ]
+    assert as_ids(forward) == as_ids(backward)
+
+
+def test_split_components_partitions_by_shared_links():
+    f1 = _flow(["a", "b"])
+    f2 = _flow(["c"])
+    f3 = _flow(["b", "c"])  # bridges f1 and f2
+    f4 = _flow(["z"])
+    groups = split_components([f1, f2, f3, f4])
+    assert [[f.flow_id for f in g] for g in groups] == [
+        [f1.flow_id, f2.flow_id, f3.flow_id],
+        [f4.flow_id],
+    ]
+
+
+def test_split_components_trivial_inputs():
+    assert split_components([]) == []
+    f1 = _flow(["a"])
+    assert split_components([f1]) == [[f1]]
+
+
+def test_split_components_agrees_with_incidence_bfs():
+    rng = Random(42)
+    links = [f"l{i}" for i in range(12)]
+    flows = [
+        _flow(rng.sample(links, rng.randint(1, 4))) for _ in range(30)
+    ]
+    inc = FlowIncidence()
+    order = {}
+    for i, f in enumerate(flows):
+        inc.add(f)
+        order[f.flow_id] = i
+    key = lambda f: order[f.flow_id]  # noqa: E731
+    via_bfs = [
+        [f.flow_id for f in comp_flows]
+        for comp_flows, _ in inc.components(list(inc.links()), key)
+    ]
+    via_union_find = [[f.flow_id for f in g] for g in split_components(flows)]
+    assert via_bfs == via_union_find

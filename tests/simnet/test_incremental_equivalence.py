@@ -1,0 +1,284 @@
+"""Incremental component-scoped solving pinned against the full solver.
+
+Drives :class:`FluidFabric` (incremental mode) through randomized
+topologies, flow churn and mid-run reconfigurations, and after every
+step checks each active flow's rate against a from-scratch
+:func:`repro.simnet.fairness.network_rates` solve (and, for the fair
+policy, :func:`max_min_rates`).  Also pins full-run completion times
+of ``incremental=True`` against ``incremental=False``.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.fairness import (
+    FairScheduler,
+    WFQScheduler,
+    max_min_rates,
+    network_rates,
+)
+from repro.simnet.flows import Flow
+from repro.simnet.routing import Router
+from repro.simnet.topology import single_switch, spine_leaf
+
+REL_TOL = 1e-6
+
+
+class _FairPolicy:
+    """Per-flow fair queueing on every link."""
+
+    name = "test-fair"
+
+    def __init__(self):
+        self._scheduler = FairScheduler()
+
+    def attach(self, fabric):
+        pass
+
+    def scheduler_of(self, link_id):
+        return self._scheduler
+
+    def on_flow_started(self, flow):
+        pass
+
+    def on_flow_finished(self, flow):
+        pass
+
+
+class _TableWFQPolicy:
+    """WFQ bound to each port's live queue table (controller-style).
+
+    Reads the table through closures, so reprogramming a port changes
+    the allocation without replacing the scheduler object -- exactly
+    the path ``invalidate_rates([port])`` must handle.
+    """
+
+    name = "test-table-wfq"
+
+    def __init__(self):
+        self._fabric = None
+
+    def attach(self, fabric):
+        self._fabric = fabric
+
+    def scheduler_of(self, link_id):
+        qtable = self._fabric.topology.port_table(link_id)
+        return WFQScheduler(
+            queue_of=lambda flow, t=qtable: t.queue_of(flow.pl),
+            weight_of=lambda q, t=qtable: t.weight_of(q),
+        )
+
+    def on_flow_started(self, flow):
+        pass
+
+    def on_flow_finished(self, flow):
+        pass
+
+
+def _assert_rates_match_reference(fabric, context=""):
+    """Every active flow's rate equals a fresh joint solve."""
+    fabric.recompute_rates()
+    active = fabric.active_flows
+    reference = network_rates(
+        active,
+        capacity_of=fabric._capacity_of,
+        scheduler_of=fabric.policy.scheduler_of,
+    )
+    for flow in active:
+        want = reference[flow.flow_id]
+        denom = max(abs(want), abs(flow.rate), 1e-12)
+        assert abs(flow.rate - want) / denom <= REL_TOL, (
+            f"{context}: flow {flow.flow_id} rate {flow.rate} != "
+            f"reference {want}"
+        )
+
+
+def _random_topology(rng):
+    if rng.random() < 0.5:
+        return single_switch(rng.randint(4, 8), capacity=100.0)
+    return spine_leaf(
+        n_spine=rng.randint(1, 2),
+        n_leaf=2,
+        n_tor=rng.randint(2, 3),
+        servers_per_tor=rng.randint(2, 4),
+        capacity=100.0,
+    )
+
+
+def _random_flow(rng, servers):
+    src, dst = rng.sample(servers, 2)
+    return Flow(
+        src=src, dst=dst, size=rng.uniform(50.0, 500.0),
+        app=f"app{rng.randrange(4)}", pl=rng.randrange(16),
+    )
+
+
+def _program_random_port(rng, fabric):
+    """Reprogram one active port's queue table and invalidate it."""
+    link_ids = list(fabric._incidence.links())
+    if not link_ids:
+        return
+    lid = rng.choice(link_ids)
+    qtable = fabric.topology.port_table(lid)
+    mapping = {pl: rng.randrange(qtable.num_queues) for pl in range(16)}
+    # Every queue keeps a positive weight so no flow can stall.
+    weights = {
+        q: rng.uniform(0.5, 4.0) for q in range(qtable.num_queues)
+    }
+    qtable.program(mapping, weights)
+    fabric.invalidate_rates([lid])
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_randomized_churn_matches_full_solver(seed):
+    rng = Random(1000 + seed)
+    topology = _random_topology(rng)
+    fabric = FluidFabric(topology, incremental=True)
+    fabric.set_policy(_TableWFQPolicy())
+    servers = sorted(topology.servers)
+
+    # Random arrivals over the first few simulated seconds.
+    for _ in range(rng.randint(12, 24)):
+        flow = _random_flow(rng, servers)
+        fabric.sim.schedule_at(
+            rng.uniform(0.0, 4.0), lambda f=flow: fabric.start_flow(f)
+        )
+
+    switched_policy = False
+    for step in range(14):
+        until = 0.4 * (step + 1)
+        fabric.run(until=until)
+        op = rng.random()
+        if op < 0.35:
+            fabric.start_flow(_random_flow(rng, servers))
+        elif op < 0.6:
+            _program_random_port(rng, fabric)
+        elif op < 0.7 and not switched_policy:
+            fabric.set_policy(_FairPolicy())
+            switched_policy = True
+        _assert_rates_match_reference(fabric, context=f"seed={seed} t={until}")
+
+    fabric.run()
+    assert not fabric.active_flows
+    assert all(f.done for f in fabric.completed)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_fair_policy_matches_max_min(seed):
+    rng = Random(2000 + seed)
+    topology = _random_topology(rng)
+    fabric = FluidFabric(topology, incremental=True)
+    fabric.set_policy(_FairPolicy())
+    servers = sorted(topology.servers)
+    for _ in range(rng.randint(8, 16)):
+        flow = _random_flow(rng, servers)
+        fabric.sim.schedule_at(
+            rng.uniform(0.0, 3.0), lambda f=flow: fabric.start_flow(f)
+        )
+    for step in range(10):
+        fabric.run(until=0.5 * (step + 1))
+        fabric.recompute_rates()
+        active = fabric.active_flows
+        capacities = {}
+        for flow in active:
+            for lid in flow.path:
+                if lid not in capacities:
+                    capacities[lid] = fabric._capacity_of(
+                        lid, fabric._incidence.count(lid)
+                    )
+        want = max_min_rates(active, capacities)
+        for flow in active:
+            denom = max(abs(want[flow.flow_id]), abs(flow.rate), 1e-12)
+            assert abs(flow.rate - want[flow.flow_id]) / denom <= REL_TOL
+    fabric.run()
+
+
+def test_port_scoped_invalidation_applies_new_programming():
+    """Reprogramming + invalidate_rates([port]) retargets one port only."""
+    topology = single_switch(4, capacity=100.0)
+    fabric = FluidFabric(topology, incremental=True)
+    fabric.set_policy(_TableWFQPolicy())
+    f1 = Flow(src="server0", dst="server1", size=1e6, pl=0)
+    f2 = Flow(src="server0", dst="server2", size=1e6, pl=1)
+    fabric.start_flow(f1)
+    fabric.start_flow(f2)
+    fabric.run(until=0.5)
+    # Unprogrammed tables put both PLs in the default queue: fair split
+    # of the shared server0 NIC.
+    assert f1.rate == pytest.approx(50.0)
+    assert f2.rate == pytest.approx(50.0)
+
+    nic = f1.path[0]
+    assert nic in f2.path  # shared uplink
+    fabric.topology.port_table(nic).program(
+        {0: 0, 1: 1}, {0: 3.0, 1: 1.0}
+    )
+    fabric.invalidate_rates([nic])
+    _assert_rates_match_reference(fabric, context="after reprogram")
+    assert f1.rate == pytest.approx(75.0)
+    assert f2.rate == pytest.approx(25.0)
+    fabric.run()
+    assert f1.done and f2.done
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_incremental_and_full_runs_complete_identically(seed):
+    def run_mode(incremental):
+        rng = Random(3000 + seed)
+        topology = spine_leaf(
+            n_spine=2, n_leaf=2, n_tor=3, servers_per_tor=3, capacity=100.0,
+        )
+        fabric = FluidFabric(topology, incremental=incremental)
+        fabric.set_policy(_TableWFQPolicy())
+        router = Router(topology)
+        servers = sorted(topology.servers)
+        completions = {}
+        for i in range(24):
+            src, dst = rng.sample(servers, 2)
+            # Route with a mode-independent ECMP key: global flow ids
+            # differ between the two runs.
+            flow = Flow(
+                src=src, dst=dst, size=rng.uniform(50.0, 500.0),
+                pl=rng.randrange(16),
+                path=tuple(router.path_for_flow(src, dst, i)),
+            )
+            fabric.sim.schedule_at(
+                rng.uniform(0.0, 3.0),
+                lambda f=flow, k=i: fabric.start_flow(
+                    f, on_complete=lambda g: completions.__setitem__(
+                        k, g.finish_time
+                    )
+                ),
+            )
+        fabric.run()
+        return completions
+
+    full = run_mode(incremental=False)
+    incr = run_mode(incremental=True)
+    assert full.keys() == incr.keys()
+    for key, t_full in full.items():
+        assert incr[key] == pytest.approx(t_full, rel=1e-9), key
+
+
+def test_component_unsafe_policy_matches_reference():
+    """Homa (component-unsafe) falls back to eager full solves."""
+    from repro.baselines.homa import HomaPolicy
+
+    rng = Random(77)
+    topology = single_switch(6, capacity=100.0)
+    fabric = FluidFabric(topology, incremental=True)
+    fabric.set_policy(HomaPolicy())
+    assert not fabric._component_safe
+    servers = sorted(topology.servers)
+    for _ in range(10):
+        flow = _random_flow(rng, servers)
+        flow.size = rng.uniform(1e5, 1e9)  # span several Homa cutoffs
+        fabric.sim.schedule_at(
+            rng.uniform(0.0, 1.0), lambda f=flow: fabric.start_flow(f)
+        )
+    for step in range(8):
+        fabric.run(until=1.0 * (step + 1))
+        _assert_rates_match_reference(fabric, context=f"t={step + 1}")
+    fabric.run(max_events=200_000)
