@@ -230,6 +230,49 @@ def _sweep(args) -> None:
         print(f"wrote manifest to {args.manifest}", file=sys.stderr)
 
 
+def _faults(args) -> None:
+    import json
+
+    from repro.experiments.extension_faults import (
+        run_faults, run_faults_smoke,
+    )
+    from repro.sweep import SweepRunner, default_cache
+    from repro.sweep.registry import get_experiment
+
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=None if args.no_cache else default_cache(),
+        progress=None if args.quiet else (
+            lambda msg: print(msg, file=sys.stderr)
+        ),
+    )
+    if args.smoke:
+        result = run_faults_smoke(seed=args.seed, runner=runner)
+    else:
+        series = ("saba",) if args.no_failover else (
+            "saba", "saba-failover"
+        )
+        mtbfs = (
+            tuple(None if m <= 0 else m for m in args.mtbf)
+            if args.mtbf else None
+        )
+        kwargs = dict(mttr=args.mttr, seed=args.seed, series=series,
+                      runner=runner)
+        if mtbfs is not None:
+            kwargs["mtbfs"] = mtbfs
+        result = run_faults(**kwargs)
+    payload = result.to_json()
+    if args.json:
+        print(payload)
+    else:
+        print(get_experiment("faults").render(result))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+
 def _fabric(args) -> None:
     import json
 
@@ -277,6 +320,7 @@ COMMANDS = {
     "obs": _obs,
     "sweep": _sweep,
     "fabric": _fabric,
+    "faults": _faults,
     "fig1a": _fig1a,
     "fig1b": _fig1b,
     "fig2": _fig2,
@@ -351,6 +395,35 @@ def main(argv=None) -> int:
                            help="bench: bandwidth fractions to profile")
             p.add_argument("--out", default=None,
                            help="bench: also write the JSON payload here")
+            continue
+        if name == "faults":
+            p = sub.add_parser(
+                name,
+                help="controller fault injection: speedup vs downtime",
+            )
+            p.add_argument("--smoke", action="store_true",
+                           help="reduced CI grid (fixed parameters; "
+                                "golden-file compatible)")
+            p.add_argument("--mtbf", type=float, nargs="+", default=None,
+                           help="mean time between controller failures, "
+                                "seconds (<= 0 means no faults)")
+            p.add_argument("--mttr", type=float, default=6.0,
+                           help="mean time to recovery, seconds "
+                                "(default 6)")
+            p.add_argument("--seed", type=int, default=7,
+                           help="master seed (default 7)")
+            p.add_argument("--no-failover", action="store_true",
+                           help="skip the saba-failover series")
+            p.add_argument("--jobs", default="1",
+                           help="worker processes, or 'auto' (default 1)")
+            p.add_argument("--no-cache", action="store_true",
+                           help="recompute every task")
+            p.add_argument("--json", action="store_true",
+                           help="print canonical JSON instead of the table")
+            p.add_argument("--out", default=None,
+                           help="also write the canonical JSON here")
+            p.add_argument("--quiet", action="store_true",
+                           help="suppress progress narration")
             continue
         if name == "fabric":
             p = sub.add_parser(

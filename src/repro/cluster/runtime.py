@@ -17,7 +17,8 @@ create/destroy (Figure 7).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Protocol, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Protocol, Sequence
 
 from repro.errors import SimulationError
 from repro.obs.events import (
@@ -90,6 +91,34 @@ class DirectConnections:
 
     def job_finished(self, job: Job) -> None:  # noqa: D102
         pass
+
+
+@dataclass(frozen=True)
+class PolicySetup:
+    """One policy-session: fabric policy + connection layer + handle.
+
+    Replaces the bare ``(policy, connections_factory)`` tuples the
+    experiment harnesses used to pass around.  ``controller`` is an
+    optional handle to the control-plane object behind the
+    connections factory (the :class:`SabaController` or distributed
+    group), so callers can inspect controller state after a run
+    without re-plumbing it through every harness.
+
+    Iteration yields ``(policy, connections_factory)`` so existing
+    two-element tuple unpacking keeps working during migration::
+
+        policy, factory = make_policy("saba", table)
+    """
+
+    policy: Optional[FabricPolicy]
+    connections_factory: Optional[
+        Callable[[FluidFabric], ConnectionAPI]
+    ] = None
+    controller: Optional[object] = None
+
+    def __iter__(self) -> Iterator[object]:
+        yield self.policy
+        yield self.connections_factory
 
 
 class _JobExecution:
@@ -393,19 +422,39 @@ class CoRunExecutor:
     def __init__(
         self,
         topology: Topology,
-        policy: Optional[FabricPolicy] = None,
+        policy: Optional[object] = None,
         connections_factory: Optional[
             Callable[[FluidFabric], ConnectionAPI]
         ] = None,
         recorder: Optional[UtilizationRecorder] = None,
         completion_quantum: float = 0.0,
         observer: Optional[Observer] = None,
+        faults: Optional[object] = None,
     ) -> None:
-        """``completion_quantum`` batches near-simultaneous flow
+        """``policy`` is either a bare :class:`FabricPolicy` or a
+        :class:`PolicySetup` bundling the policy with its connections
+        factory (passing ``connections_factory`` alongside a setup is
+        an error -- the setup already carries one).
+
+        ``completion_quantum`` batches near-simultaneous flow
         completions (see :class:`FluidFabric`); large co-run
         experiments set it a few orders of magnitude below stage
         durations.  ``observer`` (:mod:`repro.obs`) sees the whole
-        run: job/stage lifecycle, flow events, engine counters."""
+        run: job/stage lifecycle, flow events, engine counters.
+
+        ``faults`` is an optional
+        :class:`repro.faults.FaultInjector`; it is bound to this
+        executor's simulated clock before the connection layer is
+        built, so fault windows and the control plane share one
+        timeline."""
+        if isinstance(policy, PolicySetup):
+            if connections_factory is not None:
+                raise ValueError(
+                    "pass connections_factory inside the PolicySetup, "
+                    "not alongside it"
+                )
+            connections_factory = policy.connections_factory
+            policy = policy.policy
         self.topology = topology
         self.fabric = FluidFabric(
             topology, recorder=recorder,
@@ -414,6 +463,8 @@ class CoRunExecutor:
         )
         self.observer = self.fabric.observer
         self.recorder = recorder
+        if faults is not None:
+            faults.bind(self.fabric.sim)
         if policy is not None:
             self.fabric.set_policy(policy)
         if connections_factory is None:

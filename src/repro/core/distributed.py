@@ -180,7 +180,12 @@ class DistributedControllerGroup:
             "app_deregister": self.app_deregister,
             "conn_create": self.conn_create,
             "conn_destroy": self.conn_destroy,
+            "ping": self.ping,
         }
+
+    def ping(self) -> Dict[str, object]:
+        """Liveness probe for the resilient RPC layer; side-effect free."""
+        return {"ok": True, "apps": len(self._apps)}
 
     def app_register(self, job_id: str, workload: str) -> int:
         """PL lookup is a database read -- no global re-clustering."""

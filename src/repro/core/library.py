@@ -23,27 +23,53 @@ modification to support Saba" (the framework shim does the work).
 All control-plane traffic goes through an :class:`RpcBus` ("the
 connection manager uses RPC operations for all control-plane
 activities", Section 7.3).
+
+Graceful degradation (the §5.4 single point of failure, measured by
+``python -m repro faults``): with ``fail_open=True`` a transport
+failure (:class:`RpcUnavailable`, :class:`RpcTimeout`) never reaches
+the application.  Saba's data plane is just switch queue state, so
+connections proceed under the last-programmed weights; meanwhile the
+library queues the failed control messages -- registrations to
+re-register, connection announcements to replay, teardowns to
+re-deliver -- and drains the queue when the controller returns
+(scheduled at the outage's known end when the fault model provides
+``recover_at``, opportunistically on the next successful call
+otherwise).  With a ``failover`` controller configured, a run of
+consecutive transport failures promotes the standby instead: the
+library re-registers every application and replays every open
+connection against it, reusing the Section 5.4 distributed design as
+the warm spare.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import RegistrationError
 from repro.obs.events import (
     LIB_CONN_OPENED,
     LIB_DEREGISTERED,
+    LIB_FAILOVER,
     LIB_REGISTERED,
+    LIB_REREGISTERED,
     NULL_OBSERVER,
     Observer,
 )
 from repro.cluster.jobs import Job
 from repro.core.controller import SabaController
-from repro.core.rpc import RpcBus
+from repro.core.rpc import RpcBus, RpcTimeout, RpcUnavailable
 from repro.simnet.fabric import FluidFabric
 from repro.simnet.flows import Flow
 
 CONTROLLER_ENDPOINT = "controller"
+#: Endpoint name the promoted standby registers under -- distinct from
+#: the primary's, so fault schedules targeting ``"controller"`` do not
+#: follow the traffic to the standby.
+FAILOVER_ENDPOINT = "controller-failover"
+
+#: Sentinel distinguishing "the RPC was dropped fail-open" from a
+#: legitimate ``None`` result.
+_DROPPED = object()
 
 
 class SabaLibrary:
@@ -57,6 +83,8 @@ class SabaLibrary:
         multipath: bool = False,
         fail_open: bool = False,
         observer: Optional[Observer] = None,
+        failover: Optional[object] = None,
+        failover_threshold: int = 3,
     ) -> None:
         """``multipath`` announces *every* equal-cost path of a new
         connection to the controller, not just the one its flow takes:
@@ -67,16 +95,28 @@ class SabaLibrary:
         onto them.
 
         ``fail_open`` makes the connection manager tolerate a dead
-        controller: Saba's data plane is just switch queue state, so
-        when the control plane is unreachable (the §5.4 single point
-        of failure), connections proceed under the last-programmed
-        weights instead of erroring.  Registration-time failures leave
-        the application unmanaged (PL ``None`` -> the port's default
-        queue), matching the non-compliant co-existence path."""
+        controller: when the control plane is unreachable (the §5.4
+        single point of failure), connections proceed under the
+        last-programmed weights instead of erroring, and the missed
+        control messages are queued for replay on recovery.
+        Registration-time failures leave the application unmanaged
+        (PL ``None`` -> the port's default queue, the non-compliant
+        co-existence path) until a recovery drain re-registers it.
+
+        ``failover`` is an optional standby controller (anything with
+        ``rpc_methods()`` and the fabric-policy protocol, e.g. a
+        :class:`~repro.core.distributed.DistributedControllerGroup`).
+        After ``failover_threshold`` *consecutive* transport failures
+        the library promotes it: the dead primary is torn down, the
+        standby becomes the fabric policy, and registrations plus all
+        open connections are replayed against it.  There is no
+        automatic failback."""
         self._fabric = fabric
         self._bus = bus if bus is not None else RpcBus()
         self._multipath = multipath
         self._fail_open = fail_open
+        self._failover = failover
+        self._failover_threshold = max(1, failover_threshold)
         # Default to the fabric's observer so one Observer wired into
         # the executor also sees the library's view of the control
         # plane.
@@ -85,21 +125,62 @@ class SabaLibrary:
             else getattr(fabric, "observer", NULL_OBSERVER)
         )
         self.dropped_control_messages = 0
+        self.reregistrations = 0
+        self.replayed_conns = 0
+        self._endpoint = CONTROLLER_ENDPOINT
+        self._failed_over = False
+        self._failures_in_row = 0
         if not self._bus.has_endpoint(CONTROLLER_ENDPOINT):
             self._bus.register(CONTROLLER_ENDPOINT, controller.rpc_methods())
         self._pl_of: Dict[str, Optional[int]] = {}
+        self._workload_of: Dict[str, str] = {}
+        # -- recovery state (fail-open bookkeeping) ---------------------
+        #: job_id -> workload for registrations the controller missed.
+        self._pending_registrations: Dict[str, str] = {}
+        #: flow_id -> (job_id, announced path) for open managed conns.
+        self._open_conns: Dict[int, Tuple[str, Tuple[str, ...]]] = {}
+        #: Open managed conns whose conn_create never reached the
+        #: controller (replayed on recovery; their teardown sends no
+        #: conn_destroy while still unacked -- nothing to undo).
+        self._unacked: Set[int] = set()
+        #: conn_destroy messages the controller missed.
+        self._undelivered_destroys: List[Tuple[str, Tuple[str, ...]]] = []
+        self._drain_scheduled = False
+        self._draining = False
 
     def _call_controller(self, method: str, **kwargs):
-        """One control-plane RPC, honouring ``fail_open``."""
-        from repro.core.rpc import RpcError
+        """One control-plane RPC, honouring ``fail_open``/failover.
 
+        Returns the handler's result, or the module-private
+        ``_DROPPED`` sentinel when the call was swallowed fail-open
+        (so callers can queue compensating work without confusing a
+        drop with a legitimate ``None`` reply)."""
         try:
-            return self._bus.call(CONTROLLER_ENDPOINT, method, **kwargs)
-        except RpcError:
+            result = self._bus.call(self._endpoint, method, **kwargs)
+        except (RpcUnavailable, RpcTimeout) as exc:
+            self._failures_in_row += 1
+            if (
+                self._failover is not None
+                and not self._failed_over
+                and self._failures_in_row >= self._failover_threshold
+            ):
+                self._promote_failover()
+                # The standby is live: re-issue the triggering call.
+                return self._bus.call(self._endpoint, method, **kwargs)
             if not self._fail_open:
                 raise
             self.dropped_control_messages += 1
-            return None
+            recover_at = getattr(exc, "recover_at", None)
+            if recover_at is not None:
+                self._schedule_drain(recover_at)
+            return _DROPPED
+        else:
+            self._failures_in_row = 0
+            if self._has_backlog() and not self._draining:
+                # The controller is reachable again but we never saw
+                # an explicit recovery signal: drain opportunistically.
+                self.reconcile()
+            return result
 
     @classmethod
     def factory(
@@ -108,14 +189,30 @@ class SabaLibrary:
         bus: Optional[RpcBus] = None,
         multipath: bool = False,
         observer: Optional[Observer] = None,
+        fail_open: bool = False,
+        failover: Optional[object] = None,
+        failover_threshold: int = 3,
     ) -> Callable[[FluidFabric], "SabaLibrary"]:
         """Connections-factory for :class:`CoRunExecutor`."""
-        return lambda fabric: cls(fabric, controller, bus=bus,
-                                  multipath=multipath, observer=observer)
+        return lambda fabric: cls(
+            fabric, controller, bus=bus, multipath=multipath,
+            observer=observer, fail_open=fail_open, failover=failover,
+            failover_threshold=failover_threshold,
+        )
 
     @property
     def bus(self) -> RpcBus:
         return self._bus
+
+    @property
+    def failed_over(self) -> bool:
+        """Whether the standby controller has been promoted."""
+        return self._failed_over
+
+    @property
+    def pending_registrations(self) -> int:
+        """Applications waiting to be re-registered on recovery."""
+        return len(self._pending_registrations)
 
     # -- software interface ----------------------------------------------------
 
@@ -124,13 +221,18 @@ class SabaLibrary:
     ) -> Optional[int]:
         """Register the application; caches and returns its PL
         (``None`` when a fail-open registration could not reach the
-        controller -- the application runs unmanaged)."""
+        controller -- the application runs unmanaged until a recovery
+        drain re-registers it)."""
         if job_id in self._pl_of:
             raise RegistrationError(f"{job_id!r} already registered")
         pl = self._call_controller(
             "app_register", job_id=job_id, workload=workload
         )
+        if pl is _DROPPED:
+            pl = None
+            self._pending_registrations[job_id] = workload
         self._pl_of[job_id] = pl
+        self._workload_of[job_id] = workload
         obs = self._observer
         if obs.enabled:
             obs.metrics.counter("library.registrations").inc()
@@ -143,9 +245,14 @@ class SabaLibrary:
     def saba_app_deregister(self, job_id: str) -> None:
         if job_id not in self._pl_of:
             raise RegistrationError(f"{job_id!r} is not registered")
-        if self._pl_of[job_id] is not None:
+        if self._pending_registrations.pop(job_id, None) is not None:
+            # The controller never saw this application: nothing to
+            # deregister remotely.
+            pass
+        elif self._pl_of[job_id] is not None:
             self._call_controller("app_deregister", job_id=job_id)
         del self._pl_of[job_id]
+        del self._workload_of[job_id]
         obs = self._observer
         if obs.enabled:
             obs.emit(LIB_DEREGISTERED, self._fabric.sim.now, job=job_id)
@@ -193,16 +300,29 @@ class SabaLibrary:
 
         def _teardown(done_flow: Flow) -> None:
             if managed:
-                self._call_controller(
-                    "conn_destroy", job_id=job_id, path=announced
-                )
+                self._open_conns.pop(done_flow.flow_id, None)
+                if done_flow.flow_id in self._unacked:
+                    # The create never landed: there is nothing for
+                    # the controller to undo.
+                    self._unacked.discard(done_flow.flow_id)
+                else:
+                    result = self._call_controller(
+                        "conn_destroy", job_id=job_id, path=announced
+                    )
+                    if result is _DROPPED:
+                        self._undelivered_destroys.append(
+                            (job_id, tuple(announced))
+                        )
             if on_complete is not None:
                 on_complete(done_flow)
 
         if managed:
-            self._call_controller(
+            result = self._call_controller(
                 "conn_create", job_id=job_id, path=announced
             )
+            self._open_conns[flow.flow_id] = (job_id, tuple(announced))
+            if result is _DROPPED:
+                self._unacked.add(flow.flow_id)
         obs = self._observer
         if obs.enabled:
             obs.metrics.counter("library.conns_opened").inc()
@@ -212,6 +332,133 @@ class SabaLibrary:
                 managed=managed,
             )
         return self._fabric.start_flow(flow, on_complete=_teardown)
+
+    # -- recovery ---------------------------------------------------------------
+
+    def _has_backlog(self) -> bool:
+        return bool(self._pending_registrations or self._unacked
+                    or self._undelivered_destroys)
+
+    def _schedule_drain(self, recover_at: float) -> None:
+        """One-shot drain at the outage's known end.
+
+        Reactive scheduling keeps the event queue finite: no
+        recurring fault events ever live on the engine, so an idle
+        fabric still drains exactly as it would without faults.
+        """
+        if self._drain_scheduled:
+            return
+        self._drain_scheduled = True
+        sim = self._fabric.sim
+        sim.schedule_at(max(recover_at, sim.now), self._drain_on_recovery)
+
+    def _drain_on_recovery(self) -> None:
+        self._drain_scheduled = False
+        self.reconcile()
+
+    def reconcile(self) -> bool:
+        """Drain the recovery queue against the live controller.
+
+        Re-registers queued applications, replays open connections the
+        controller never heard about, and re-delivers missed
+        teardowns.  Stops at the first transport failure (the backlog
+        stays queued for the next recovery).  Returns ``True`` when
+        the backlog is empty afterwards.
+        """
+        if self._draining:
+            return not self._has_backlog()
+        self._draining = True
+        obs = self._observer
+        try:
+            for job_id in list(self._pending_registrations):
+                workload = self._pending_registrations[job_id]
+                pl = self._call_controller(
+                    "app_register", job_id=job_id, workload=workload
+                )
+                if pl is _DROPPED:
+                    return False
+                del self._pending_registrations[job_id]
+                self._pl_of[job_id] = pl
+                self.reregistrations += 1
+                if obs.enabled:
+                    obs.metrics.counter("library.reregistrations").inc()
+                    obs.emit(
+                        LIB_REREGISTERED, self._fabric.sim.now, job=job_id,
+                        workload=workload, pl=pl,
+                    )
+            for flow_id in sorted(self._unacked):
+                job_id, announced = self._open_conns[flow_id]
+                if self._pl_of.get(job_id) is None:
+                    self._unacked.discard(flow_id)
+                    continue
+                result = self._call_controller(
+                    "conn_create", job_id=job_id, path=list(announced)
+                )
+                if result is _DROPPED:
+                    return False
+                self._unacked.discard(flow_id)
+                self.replayed_conns += 1
+                if obs.enabled:
+                    obs.metrics.counter("library.replayed_conns").inc()
+            while self._undelivered_destroys:
+                job_id, announced = self._undelivered_destroys[0]
+                result = self._call_controller(
+                    "conn_destroy", job_id=job_id, path=list(announced)
+                )
+                if result is _DROPPED:
+                    return False
+                self._undelivered_destroys.pop(0)
+            return True
+        finally:
+            self._draining = False
+
+    def _promote_failover(self) -> None:
+        """Install the standby controller and rebuild its state.
+
+        The dead primary's endpoint is torn down via
+        :meth:`RpcBus.unregister` (the boolean result is advisory: a
+        test may have unregistered it already to simulate the crash).
+        The standby registers under :data:`FAILOVER_ENDPOINT`, becomes
+        the fabric policy, and receives every known registration and
+        open connection; applications may be assigned different PLs,
+        which only affects connections opened from now on (a PL is
+        carried in in-flight headers and cannot change)."""
+        standby = self._failover
+        assert standby is not None
+        self._bus.unregister(self._endpoint)
+        self._bus.register(FAILOVER_ENDPOINT, standby.rpc_methods(),
+                           replace=True)
+        self._endpoint = FAILOVER_ENDPOINT
+        self._failed_over = True
+        self._failures_in_row = 0
+        self._fabric.set_policy(standby)
+        for job_id, workload in self._workload_of.items():
+            pl = self._bus.call(
+                FAILOVER_ENDPOINT, "app_register",
+                job_id=job_id, workload=workload,
+            )
+            self._pl_of[job_id] = pl
+        self._pending_registrations.clear()
+        for flow_id in sorted(self._open_conns):
+            job_id, announced = self._open_conns[flow_id]
+            self._bus.call(
+                FAILOVER_ENDPOINT, "conn_create",
+                job_id=job_id, path=list(announced),
+            )
+            self.replayed_conns += 1
+        # The standby rebuilt from scratch: nothing is unacked or
+        # undelivered against it.
+        self._unacked.clear()
+        self._undelivered_destroys.clear()
+        obs = self._observer
+        if obs.enabled:
+            obs.metrics.counter("library.failovers").inc()
+            obs.emit(
+                LIB_FAILOVER, self._fabric.sim.now,
+                endpoint=FAILOVER_ENDPOINT,
+                apps=len(self._workload_of),
+                replayed_conns=len(self._open_conns),
+            )
 
     # -- ConnectionAPI (cluster runtime integration) ------------------------------
 

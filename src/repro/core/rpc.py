@@ -1,4 +1,4 @@
-"""In-process RPC bus for control-plane traffic.
+"""Resilient in-process RPC bus for control-plane traffic.
 
 The paper's connection manager "uses RPC operations for all
 control-plane activities" (Section 7.3).  Within the simulator the
@@ -7,49 +7,361 @@ state directly; every interaction is a named call through this bus --
 so the message flow of Figure 7 is observable: tests assert on call
 counts, and the distributed-controller experiment counts forwarding
 hops.
+
+Beyond plain dispatch the bus now implements the failure semantics a
+real control plane needs (and that the faults experiment measures):
+
+* **request envelopes** -- :class:`RpcRequest` carries a per-call
+  timeout and retry policy; :meth:`RpcBus.submit` returns an
+  :class:`RpcResponse` with the delivered value plus attempt/latency
+  accounting.  :meth:`RpcBus.call` stays the one-line sugar every
+  existing call site uses.
+* **typed transport errors** -- :class:`RpcUnavailable` (endpoint
+  missing or crash-injected; carries ``recover_at`` when the fault
+  model knows the outage's end) and :class:`RpcTimeout` (deadline
+  exceeded; ``executed`` distinguishes a lost request from a stalled
+  handler whose side effect happened).  Both subclass
+  :class:`RpcError`, so older ``except RpcError`` sites keep working.
+* **bounded retry** -- exponential backoff with seeded jitter,
+  re-attempting only failures where the handler provably did *not*
+  run (unavailable endpoints, lost or late *requests*).  A stalled
+  handler already executed, so its timeout is raised without retry:
+  the bus is at-most-once for non-idempotent control operations.
+* **fault injection** -- an optional
+  :class:`~repro.faults.injector.FaultInjector` is consulted per
+  attempt.  Without one, no RNG is touched and no timeout can fire,
+  so a fault-free bus behaves bit-identically to the original
+  synchronous dispatch.
+
+Control-plane time is *virtual*: the simulator cannot suspend a call
+mid-event, so injected latency and backoff accumulate in
+``RpcResponse.latency`` / ``RpcStats`` (and decide timeouts) instead
+of advancing the simulated clock.  See DESIGN.md §5e.
+
+Registration contract: :meth:`RpcBus.register` raises on a duplicate
+endpoint (two owners for one name is a programming error) unless
+``replace=True``; :meth:`RpcBus.unregister` returns whether an
+endpoint was actually removed (a missing endpoint is an expected
+race while the library tears down a crashed controller, not an
+error).  The Saba library drives crash/recovery and failover
+promotion through exactly this pair.
 """
 
 from __future__ import annotations
 
+import random
 from collections import Counter
-from typing import Any, Callable, Dict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.errors import ReproError
+from repro.obs.events import NULL_OBSERVER, Observer
 
 
 class RpcError(ReproError):
-    """Unknown target or method, or a handler raised."""
+    """Unknown method, or a handler raised; base of transport errors."""
+
+
+class RpcUnavailable(RpcError):
+    """No such endpoint: never registered, unregistered, or crashed.
+
+    ``recover_at`` is the simulated time the fault model expects the
+    endpoint back (``None`` when unknown) -- callers use it to
+    schedule recovery work instead of polling.
+    """
+
+    def __init__(self, message: str, target: str = "",
+                 recover_at: Optional[float] = None,
+                 attempts: int = 1) -> None:
+        super().__init__(message)
+        self.target = target
+        self.recover_at = recover_at
+        self.attempts = attempts
+
+
+class RpcTimeout(RpcError):
+    """The call's deadline elapsed before a reply arrived.
+
+    ``executed`` tells the caller whether the handler ran: ``False``
+    for a lost/late *request* (safe to retry), ``True`` for a stalled
+    handler whose side effect happened (retrying would duplicate it).
+    """
+
+    def __init__(self, message: str, target: str = "", method: str = "",
+                 executed: bool = False, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.target = target
+        self.method = method
+        self.executed = executed
+        self.attempts = attempts
+        self.recover_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RpcRetryPolicy:
+    """Bounded retry with exponential backoff and jitter.
+
+    Attempt ``k`` (1-based) retries after
+    ``min(backoff_max, backoff_base * backoff_factor**(k-1))``
+    seconds, inflated by up to ``jitter`` (a fraction) of seeded
+    noise.  Backoff is virtual control-plane time (see module doc).
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 1e-3
+    backoff_factor: float = 2.0
+    backoff_max: float = 0.1
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise RpcError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise RpcError("backoff must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise RpcError(f"jitter must be in [0, 1]: {self.jitter}")
+
+    def backoff_before(self, attempt: int, rng: random.Random) -> float:
+        """Backoff preceding ``attempt`` (2-based; attempt 1 is free)."""
+        base = min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** (attempt - 2))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    """One control-plane request envelope."""
+
+    target: str
+    method: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: Per-call deadline in (virtual) seconds; ``None`` uses the bus
+    #: default, which may itself be ``None`` (no deadline).
+    timeout: Optional[float] = None
+    #: Per-call retry policy; ``None`` uses the bus default.
+    retry: Optional[RpcRetryPolicy] = None
+
+
+@dataclass(frozen=True)
+class RpcResponse:
+    """A delivered reply plus its transport accounting."""
+
+    value: Any
+    attempts: int = 1
+    #: Virtual control-plane seconds spent: injected latency + stalls
+    #: + timeouts burned on failed attempts + retry backoff.
+    latency: float = 0.0
+
+
+@dataclass
+class RpcStats:
+    """Bus-wide transport accounting (tests, the faults experiment)."""
+
+    submitted: int = 0
+    delivered: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    unavailable: int = 0
+    backoff_seconds: float = 0.0
+    latency_seconds: float = 0.0
+
+
+class _Attempt(Exception):
+    """Internal: one attempt failed retryably; carries the real error."""
+
+    def __init__(self, error: RpcError, elapsed: float) -> None:
+        self.error = error
+        self.elapsed = elapsed
 
 
 class RpcBus:
-    """A synchronous, named-endpoint message bus."""
+    """A synchronous, named-endpoint message bus with failure semantics.
 
-    def __init__(self) -> None:
+    ``faults`` plugs in a :class:`~repro.faults.injector.
+    FaultInjector`; ``default_timeout``/``retry`` set bus-wide
+    defaults that request envelopes may override; ``seed`` drives the
+    backoff jitter; ``observer`` receives ``rpc.*`` retry/latency
+    metrics.  All defaults preserve the original fail-fast synchronous
+    behaviour exactly.
+    """
+
+    def __init__(
+        self,
+        default_timeout: Optional[float] = None,
+        retry: Optional[RpcRetryPolicy] = None,
+        faults: Optional[object] = None,
+        seed: int = 0,
+        observer: Optional[Observer] = None,
+    ) -> None:
         self._endpoints: Dict[str, Dict[str, Callable[..., Any]]] = {}
+        #: Delivered handler invocations per (target, method) -- a
+        #: dropped/lost call is *not* counted, which is what lets
+        #: tests assert the controller never saw it.
         self.call_counts: Counter = Counter()
+        self.default_timeout = default_timeout
+        self.retry = retry if retry is not None else RpcRetryPolicy()
+        self.faults = faults
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.stats = RpcStats()
+        self._jitter_rng = random.Random(f"rpc:{seed}:jitter")
 
-    def register(self, target: str, methods: Dict[str, Callable[..., Any]]) -> None:
-        """Expose ``methods`` under endpoint name ``target``."""
-        if target in self._endpoints:
+    # -- endpoint registry -------------------------------------------------
+
+    def register(self, target: str, methods: Dict[str, Callable[..., Any]],
+                 replace: bool = False) -> None:
+        """Expose ``methods`` under endpoint name ``target``.
+
+        A duplicate name raises :class:`RpcError` -- two owners for
+        one endpoint is a programming error -- unless ``replace=True``
+        (failover promotion installing a standby).
+        """
+        if target in self._endpoints and not replace:
             raise RpcError(f"endpoint {target!r} already registered")
         self._endpoints[target] = dict(methods)
 
-    def unregister(self, target: str) -> None:
-        self._endpoints.pop(target, None)
+    def unregister(self, target: str) -> bool:
+        """Remove ``target``; returns whether it was registered.
+
+        Deliberately not an error when absent: tearing down an
+        endpoint that already crashed away is an expected race, and
+        the boolean lets the caller distinguish the two cases.
+        """
+        return self._endpoints.pop(target, None) is not None
 
     def has_endpoint(self, target: str) -> bool:
         return target in self._endpoints
 
+    # -- calls -------------------------------------------------------------
+
     def call(self, target: str, method: str, **kwargs: Any) -> Any:
-        """Invoke ``method`` on ``target``; returns its result."""
+        """Invoke ``method`` on ``target`` under the bus defaults."""
+        return self.submit(
+            RpcRequest(target=target, method=method, kwargs=kwargs)
+        ).value
+
+    def request(self, target: str, method: str,
+                timeout: Optional[float] = None,
+                retry: Optional[RpcRetryPolicy] = None,
+                **kwargs: Any) -> RpcResponse:
+        """Envelope convenience: per-call timeout/retry overrides."""
+        return self.submit(RpcRequest(target=target, method=method,
+                                      kwargs=kwargs, timeout=timeout,
+                                      retry=retry))
+
+    def submit(self, req: RpcRequest) -> RpcResponse:
+        """Deliver one request, retrying per its policy."""
+        retry = req.retry if req.retry is not None else self.retry
+        timeout = (req.timeout if req.timeout is not None
+                   else self.default_timeout)
+        self.stats.submitted += 1
+        virtual = 0.0
+        last_error: Optional[RpcError] = None
+        obs = self.observer
+        for attempt in range(1, max(1, retry.max_attempts) + 1):
+            if attempt > 1:
+                backoff = retry.backoff_before(attempt, self._jitter_rng)
+                virtual += backoff
+                self.stats.retries += 1
+                self.stats.backoff_seconds += backoff
+                if obs.enabled:
+                    obs.metrics.counter("rpc.retries").inc()
+            try:
+                value, latency = self._attempt(req.target, req.method,
+                                               req.kwargs, timeout)
+            except _Attempt as failed:
+                virtual += failed.elapsed
+                last_error = failed.error
+                continue
+            except RpcTimeout as exc:
+                # Executed-but-stalled: at-most-once, no retry.
+                exc.attempts = attempt
+                raise
+            virtual += latency
+            self.stats.delivered += 1
+            self.stats.latency_seconds += virtual
+            if obs.enabled and virtual > 0.0:
+                obs.metrics.histogram("rpc.latency_seconds").observe(virtual)
+            return RpcResponse(value=value, attempts=attempt,
+                               latency=virtual)
+        assert last_error is not None
+        last_error.attempts = max(1, retry.max_attempts)
+        raise last_error
+
+    def _attempt(self, target: str, method: str,
+                 kwargs: Mapping[str, Any],
+                 timeout: Optional[float]) -> tuple:
+        """One delivery attempt; raises ``_Attempt`` when retryable."""
+        obs = self.observer
+        fate = (self.faults.fate_of(target, method)
+                if self.faults is not None else None)
+        if fate is not None and fate.down_until is not None:
+            self.stats.unavailable += 1
+            if obs.enabled:
+                obs.metrics.counter("rpc.unavailable").inc()
+            raise _Attempt(
+                RpcUnavailable(
+                    f"endpoint {target!r} is down", target=target,
+                    recover_at=fate.down_until,
+                ),
+                elapsed=0.0,  # connection refused: fails fast
+            )
         endpoint = self._endpoints.get(target)
         if endpoint is None:
-            raise RpcError(f"no endpoint {target!r}")
+            self.stats.unavailable += 1
+            if obs.enabled:
+                obs.metrics.counter("rpc.unavailable").inc()
+            raise _Attempt(
+                RpcUnavailable(f"no endpoint {target!r}", target=target),
+                elapsed=0.0,
+            )
         handler = endpoint.get(method)
         if handler is None:
+            # Programming error, not a transport fault: no retry.
             raise RpcError(f"endpoint {target!r} has no method {method!r}")
+        if fate is not None:
+            if fate.lost:
+                # The request vanished; the caller burns its deadline
+                # (or fails immediately when it set none).
+                self.stats.timeouts += 1
+                if obs.enabled:
+                    obs.metrics.counter("rpc.timeouts").inc()
+                raise _Attempt(
+                    RpcTimeout(
+                        f"{target}.{method} timed out (request lost)",
+                        target=target, method=method, executed=False,
+                    ),
+                    elapsed=timeout if timeout is not None else 0.0,
+                )
+            if timeout is not None and fate.latency / 2.0 > timeout:
+                # Request leg alone exceeds the deadline: the handler
+                # never saw it, so this is retryable too.
+                self.stats.timeouts += 1
+                if obs.enabled:
+                    obs.metrics.counter("rpc.timeouts").inc()
+                raise _Attempt(
+                    RpcTimeout(
+                        f"{target}.{method} timed out (request in flight)",
+                        target=target, method=method, executed=False,
+                    ),
+                    elapsed=timeout,
+                )
         self.call_counts[(target, method)] += 1
-        return handler(**kwargs)
+        value = handler(**kwargs)
+        latency = (fate.latency + fate.stall) if fate is not None else 0.0
+        if timeout is not None and latency > timeout:
+            # The handler ran but the reply is late: raise without
+            # retrying (the side effect already happened).
+            self.stats.timeouts += 1
+            if obs.enabled:
+                obs.metrics.counter("rpc.timeouts").inc()
+            raise RpcTimeout(
+                f"{target}.{method} timed out after executing "
+                f"(reply {latency:.4f}s > deadline {timeout:.4f}s)",
+                target=target, method=method, executed=True,
+            )
+        return value, latency
+
+    # -- accounting --------------------------------------------------------
 
     def calls_to(self, target: str) -> int:
         """Total calls delivered to ``target`` (all methods)."""

@@ -43,3 +43,7 @@ class ClusteringError(ReproError):
 
 class SweepError(ReproError):
     """A sweep was misconfigured or a task failed under fail-fast."""
+
+
+class FaultError(ReproError):
+    """A fault specification is invalid or the injector is misused."""

@@ -9,7 +9,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA, InfiniBandBaseline
 from repro.baselines.maxmin import IdealMaxMin
 from repro.cluster.jobs import Job, JobResult
-from repro.cluster.runtime import CoRunExecutor
+from repro.cluster.runtime import CoRunExecutor, PolicySetup
 from repro.core.controller import SabaController
 from repro.core.library import SabaLibrary
 from repro.core.profiler import OfflineProfiler
@@ -89,8 +89,8 @@ def make_policy(
     collapse_alpha: Optional[float] = DEFAULT_COLLAPSE_ALPHA,
     observer=None,
     **controller_kwargs,
-):
-    """Build ``(policy, connections_factory)`` for a policy name.
+) -> PolicySetup:
+    """Build the :class:`PolicySetup` for a policy name.
 
     ``name`` is one of ``"baseline"`` (InfiniBand FECN), ``"ideal"``
     (ideal max-min), or ``"saba"`` (needs ``table``).  Testbed-style
@@ -99,13 +99,23 @@ def make_policy(
     the idealized simulation studies.  ``observer`` attaches an
     :class:`repro.obs.Observer` to the Saba controller so its solve
     and port-programming decisions are traced.
+
+    The returned setup iterates as ``(policy, connections_factory)``
+    for callers still unpacking the pre-:class:`PolicySetup` tuple;
+    new code should pass the setup straight to
+    :class:`~repro.cluster.runtime.CoRunExecutor` (or read
+    ``setup.controller`` to inspect controller state after a run).
     """
     if name == "baseline":
-        return InfiniBandBaseline(
-            collapse_alpha=collapse_alpha if collapse_alpha else 0.0
-        ), None
+        return PolicySetup(
+            policy=InfiniBandBaseline(
+                collapse_alpha=(
+                    collapse_alpha if collapse_alpha is not None else 0.0
+                )
+            )
+        )
     if name == "ideal":
-        return IdealMaxMin(), None
+        return PolicySetup(policy=IdealMaxMin())
     if name == "saba":
         if table is None:
             raise ValueError("saba policy needs a sensitivity table")
@@ -114,7 +124,11 @@ def make_policy(
         controller = SabaController(
             table, collapse_alpha=collapse_alpha, **controller_kwargs
         )
-        return controller, SabaLibrary.factory(controller)
+        return PolicySetup(
+            policy=controller,
+            connections_factory=SabaLibrary.factory(controller),
+            controller=controller,
+        )
     raise ValueError(f"unknown policy {name!r}")
 
 

@@ -15,7 +15,7 @@ from typing import Dict, Sequence, Tuple
 
 from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA, InfiniBandBaseline
 from repro.cluster.jobs import Job
-from repro.cluster.runtime import CoRunExecutor
+from repro.cluster.runtime import CoRunExecutor, PolicySetup
 from repro.core.profiler import OfflineProfiler
 from repro.simnet.fabric import FluidFabric
 from repro.simnet.fairness import LinkScheduler, WFQScheduler, fecn_collapse
@@ -121,15 +121,18 @@ def run_fig1b(
         spec = CATALOG[name].instantiate(n_instances=n_servers)
         job = Job(name, spec, name, topo.servers[:n_servers])
         executor = CoRunExecutor(
-            topo, policy=InfiniBandBaseline(collapse_alpha=collapse_alpha)
+            topo,
+            policy=PolicySetup(
+                policy=InfiniBandBaseline(collapse_alpha=collapse_alpha)
+            ),
         )
         return executor.run([job])[name].completion_time
 
     alone = {name: standalone(name) for name in ("LR", "PR")}
 
-    def corun(policy) -> Dict[str, float]:
+    def corun(setup: PolicySetup) -> Dict[str, float]:
         topo = single_switch(n_servers)
-        executor = CoRunExecutor(topo, policy=policy)
+        executor = CoRunExecutor(topo, policy=setup)
         results = executor.run(jobs(topo))
         return {
             name: results[name].completion_time / alone[name]
@@ -137,10 +140,12 @@ def run_fig1b(
         }
 
     return Fig1bResult(
-        maxmin=corun(InfiniBandBaseline(collapse_alpha=collapse_alpha)),
-        skewed=corun(
-            _StaticSkewPolicy({"LR": skew[0], "PR": skew[1]},
-                              collapse_alpha=collapse_alpha)
-        ),
+        maxmin=corun(PolicySetup(
+            policy=InfiniBandBaseline(collapse_alpha=collapse_alpha)
+        )),
+        skewed=corun(PolicySetup(
+            policy=_StaticSkewPolicy({"LR": skew[0], "PR": skew[1]},
+                                     collapse_alpha=collapse_alpha)
+        )),
         standalone=alone,
     )

@@ -27,7 +27,7 @@ from repro.baselines.maxmin import IdealMaxMin
 from repro.baselines.sincronia import SincroniaPolicy
 from repro.cluster.jobs import Job
 from repro.cluster.placement import random_placement
-from repro.cluster.runtime import CoRunExecutor
+from repro.cluster.runtime import CoRunExecutor, PolicySetup
 from repro.core.controller import SabaController
 from repro.core.distributed import DistributedControllerGroup, MappingDatabase
 from repro.core.library import SabaLibrary
@@ -131,31 +131,39 @@ class Fig10Result:
         return geomean(list(self.speedups[policy].values()))
 
 
-def _run_policy(make_topology, make_jobs, policy, connections_factory=None,
+def _run_policy(make_topology, make_jobs, policy,
                 completion_quantum=EXPERIMENT_QUANTUM):
+    """``policy`` is a :class:`PolicySetup` or bare fabric policy."""
     executor = CoRunExecutor(
         make_topology(), policy=policy,
-        connections_factory=connections_factory,
         completion_quantum=completion_quantum,
     )
     return executor.run(make_jobs())
 
 
-def _make_sim_policy(name, table, collapse_alpha, num_pls=None):
-    """(policy, connections_factory) for a simulation-study policy."""
+def _make_sim_policy(name, table, collapse_alpha, num_pls=None) -> PolicySetup:
+    """:class:`PolicySetup` for a simulation-study policy."""
     if name == "baseline":
-        return InfiniBandBaseline(collapse_alpha=collapse_alpha), None
+        return PolicySetup(
+            policy=InfiniBandBaseline(collapse_alpha=collapse_alpha)
+        )
     if name == "saba":
         kwargs = {} if num_pls is None else {"num_pls": num_pls}
         controller = SabaController(table, collapse_alpha=collapse_alpha,
                                     **kwargs)
-        return controller, SabaLibrary.factory(controller)
+        return PolicySetup(
+            policy=controller,
+            connections_factory=SabaLibrary.factory(controller),
+            controller=controller,
+        )
     if name == "ideal-maxmin":
-        return IdealMaxMin(), None
+        return PolicySetup(policy=IdealMaxMin())
     if name == "homa":
-        return HomaPolicy(collapse_alpha=collapse_alpha), None
+        return PolicySetup(policy=HomaPolicy(collapse_alpha=collapse_alpha))
     if name == "sincronia":
-        return SincroniaPolicy(collapse_alpha=collapse_alpha), None
+        return PolicySetup(
+            policy=SincroniaPolicy(collapse_alpha=collapse_alpha)
+        )
     raise ValueError(f"unknown policy {name!r}")
 
 
@@ -180,8 +188,8 @@ def run_policy_point(
         n_workloads=n_workloads, topology_kwargs=topology_kwargs,
         seed=seed, num_queues=num_queues,
     )
-    policy, factory = _make_sim_policy(policy_name, table, collapse_alpha)
-    results = _run_policy(make_topology, make_jobs, policy, factory,
+    setup = _make_sim_policy(policy_name, table, collapse_alpha)
+    results = _run_policy(make_topology, make_jobs, setup,
                           completion_quantum)
     return {job_id: res.completion_time for job_id, res in results.items()}
 
@@ -297,14 +305,18 @@ def run_fig11a(
     table = profile_synthetic(specs)
     baseline = _run_policy(
         make_topology, make_jobs,
-        InfiniBandBaseline(collapse_alpha=collapse_alpha),
+        _make_sim_policy("baseline", table, collapse_alpha),
         completion_quantum=completion_quantum,
     )
 
     centralized = SabaController(table, collapse_alpha=collapse_alpha)
     central_res = _run_policy(
-        make_topology, make_jobs, centralized,
-        SabaLibrary.factory(centralized),
+        make_topology, make_jobs,
+        PolicySetup(
+            policy=centralized,
+            connections_factory=SabaLibrary.factory(centralized),
+            controller=centralized,
+        ),
         completion_quantum=completion_quantum,
     )
 
@@ -313,8 +325,12 @@ def run_fig11a(
         db, n_shards=n_shards, collapse_alpha=collapse_alpha
     )
     dist_res = _run_policy(
-        make_topology, make_jobs, distributed,
-        SabaLibrary.factory(distributed),  # type: ignore[arg-type]
+        make_topology, make_jobs,
+        PolicySetup(
+            policy=distributed,
+            connections_factory=SabaLibrary.factory(distributed),  # type: ignore[arg-type]
+            controller=distributed,
+        ),
         completion_quantum=completion_quantum,
     )
 
@@ -352,17 +368,14 @@ def run_fig11b(
         table = profile_synthetic(specs)
         baseline = _run_policy(
             make_topology, make_jobs,
-            InfiniBandBaseline(collapse_alpha=collapse_alpha),
+            _make_sim_policy("baseline", table, collapse_alpha),
             completion_quantum=completion_quantum,
         )
-        controller = SabaController(
-            table,
-            collapse_alpha=collapse_alpha,
-            num_pls=max(16, n_queues),
+        setup = _make_sim_policy(
+            "saba", table, collapse_alpha, num_pls=max(16, n_queues)
         )
         saba = _run_policy(
-            make_topology, make_jobs, controller,
-            SabaLibrary.factory(controller),
+            make_topology, make_jobs, setup,
             completion_quantum=completion_quantum,
         )
         label = "unlimited" if q is None else str(q)

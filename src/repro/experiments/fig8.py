@@ -16,13 +16,16 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA, InfiniBandBaseline
+from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA
 from repro.cluster.runtime import CoRunExecutor
 from repro.cluster.setups import ClusterSetup, generate_setups
-from repro.core.controller import SabaController
-from repro.core.library import SabaLibrary
 from repro.core.table import SensitivityTable
-from repro.experiments.common import EXPERIMENT_QUANTUM, build_catalog_table, geomean
+from repro.experiments.common import (
+    EXPERIMENT_QUANTUM,
+    build_catalog_table,
+    geomean,
+    make_policy,
+)
 from repro.simnet.topology import single_switch
 from repro.sweep import SweepRunner, SweepSpec, Task, default_runner
 from repro.units import GBPS_56
@@ -71,18 +74,17 @@ def run_setup_pair(
     base_topo = single_switch(n_servers)
     baseline = CoRunExecutor(
         base_topo,
-        policy=InfiniBandBaseline(collapse_alpha=collapse_alpha),
+        policy=make_policy("baseline", collapse_alpha=collapse_alpha),
         completion_quantum=completion_quantum,
     ).run(materialize(base_topo))
 
     saba_topo = single_switch(n_servers)
-    controller = SabaController(
-        table, collapse_alpha=collapse_alpha, **(saba_kwargs or {})
-    )
     saba = CoRunExecutor(
         saba_topo,
-        policy=controller,
-        connections_factory=SabaLibrary.factory(controller),
+        policy=make_policy(
+            "saba", table, collapse_alpha=collapse_alpha,
+            **(saba_kwargs or {}),
+        ),
         completion_quantum=completion_quantum,
     ).run(materialize(saba_topo))
 

@@ -14,13 +14,16 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA, InfiniBandBaseline
+from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA
 from repro.cluster.jobs import Job
 from repro.cluster.runtime import CoRunExecutor
-from repro.core.controller import SabaController
-from repro.core.library import SabaLibrary
 from repro.core.table import SensitivityTable
-from repro.experiments.common import EXPERIMENT_QUANTUM, build_catalog_table, geomean
+from repro.experiments.common import (
+    EXPERIMENT_QUANTUM,
+    build_catalog_table,
+    geomean,
+    make_policy,
+)
 from repro.simnet.topology import single_switch
 from repro.workloads.catalog import CATALOG, PROFILER_NODES
 
@@ -50,15 +53,13 @@ def _speedups(
     base_topo = single_switch(n_servers)
     baseline = CoRunExecutor(
         base_topo,
-        policy=InfiniBandBaseline(collapse_alpha=collapse_alpha),
+        policy=make_policy("baseline", collapse_alpha=collapse_alpha),
         completion_quantum=completion_quantum,
     ).run(_homogeneous_jobs(n_servers, dataset_scale))
     saba_topo = single_switch(n_servers)
-    controller = SabaController(table, collapse_alpha=collapse_alpha)
     saba = CoRunExecutor(
         saba_topo,
-        policy=controller,
-        connections_factory=SabaLibrary.factory(controller),
+        policy=make_policy("saba", table, collapse_alpha=collapse_alpha),
         completion_quantum=completion_quantum,
     ).run(_homogeneous_jobs(n_servers, dataset_scale))
     return {

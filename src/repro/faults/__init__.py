@@ -1,0 +1,32 @@
+"""Deterministic control-plane fault injection (``repro.faults``).
+
+Declarative, seeded fault schedules (:class:`FaultSpec`,
+:class:`FaultPlan`) evaluated against the simulated clock by a
+:class:`FaultInjector` that the RPC bus consults on every call
+attempt.  See ``DESIGN.md`` §5e for the fault model and the
+exactness-when-disabled argument.
+"""
+
+from repro.faults.injector import CLEAN_FATE, CallFate, FaultInjector
+from repro.faults.spec import (
+    FAULT_KINDS,
+    KIND_CRASH,
+    KIND_LATENCY,
+    KIND_LOSS,
+    KIND_STALL,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "CLEAN_FATE",
+    "CallFate",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_KINDS",
+    "KIND_CRASH",
+    "KIND_LATENCY",
+    "KIND_LOSS",
+    "KIND_STALL",
+]

@@ -1,0 +1,193 @@
+"""Declarative fault specifications for the control plane.
+
+The paper concedes that "a centralized controller represents a single
+point of failure" (Section 5.4) but never measures what that costs.
+To measure it, faults must be *deterministic*: a fault schedule is a
+pure function of a seed and the simulated clock, so two runs of the
+same experiment inject byte-identical fault sequences and the sweep
+cache can key on the spec itself.
+
+A :class:`FaultSpec` names one failure mode of one RPC endpoint:
+
+* ``crash``   -- the endpoint is unreachable during down windows,
+  either drawn from exponential MTBF/MTTR distributions (a seeded
+  renewal process) or given explicitly as ``windows``;
+* ``latency`` -- per-call transit latency, exponentially distributed;
+* ``loss``    -- each request is dropped in the network with
+  probability ``prob`` (the handler never runs);
+* ``stall``   -- with probability ``prob`` the handler runs but its
+  reply is delayed by ``duration`` seconds (a GC pause / overloaded
+  controller -- the caller may time out even though the side effect
+  happened).
+
+A :class:`FaultPlan` bundles specs with the seed that drives every
+random draw; :meth:`FaultPlan.build` turns it into a live
+:class:`~repro.faults.injector.FaultInjector`.  Both dataclasses are
+frozen and picklable, so sweep tasks can carry them across process
+boundaries and the config hash of a faulted experiment includes its
+exact fault schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import FaultError
+
+KIND_CRASH = "crash"
+KIND_LATENCY = "latency"
+KIND_LOSS = "loss"
+KIND_STALL = "stall"
+
+FAULT_KINDS = (KIND_CRASH, KIND_LATENCY, KIND_LOSS, KIND_STALL)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One failure mode of one endpoint.  Prefer the named
+    constructors (:meth:`crash`, :meth:`outage`, :meth:`latency`,
+    :meth:`loss`, :meth:`stall`) over filling fields by hand."""
+
+    target: str
+    kind: str
+    #: Crash renewal process: mean up time / mean down time (seconds).
+    mtbf: Optional[float] = None
+    mttr: Optional[float] = None
+    #: Explicit outage windows ``((start, end), ...)`` -- an
+    #: alternative to the MTBF/MTTR process for scripted scenarios.
+    windows: Tuple[Tuple[float, float], ...] = ()
+    #: Mean of the exponential per-call latency (``latency`` kind).
+    mean_latency: float = 0.0
+    #: Per-call probability (``loss`` and ``stall`` kinds).
+    prob: float = 0.0
+    #: Reply delay of a stalled handler (``stall`` kind).
+    duration: float = 0.0
+    #: Simulated time before which the fault is dormant.
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise FaultError("FaultSpec needs a non-empty target")
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}"
+            )
+        if self.start < 0:
+            raise FaultError(f"start must be >= 0: {self.start}")
+        object.__setattr__(
+            self, "windows",
+            tuple((float(s), float(e)) for s, e in self.windows),
+        )
+        if self.kind == KIND_CRASH:
+            stochastic = self.mtbf is not None or self.mttr is not None
+            if stochastic and self.windows:
+                raise FaultError(
+                    "crash spec takes either mtbf/mttr or explicit "
+                    "windows, not both"
+                )
+            if stochastic:
+                if not (self.mtbf and self.mtbf > 0
+                        and self.mttr and self.mttr > 0):
+                    raise FaultError(
+                        f"crash spec needs mtbf > 0 and mttr > 0, got "
+                        f"mtbf={self.mtbf} mttr={self.mttr}"
+                    )
+            elif not self.windows:
+                raise FaultError("crash spec needs mtbf/mttr or windows")
+            previous_end = 0.0
+            for s, e in self.windows:
+                if s < previous_end or e <= s:
+                    raise FaultError(
+                        f"outage windows must be sorted, non-overlapping "
+                        f"and non-empty: {self.windows}"
+                    )
+                previous_end = e
+        elif self.kind == KIND_LATENCY:
+            if self.mean_latency <= 0:
+                raise FaultError(
+                    f"latency spec needs mean_latency > 0: "
+                    f"{self.mean_latency}"
+                )
+        elif self.kind == KIND_LOSS:
+            if not 0.0 < self.prob <= 1.0:
+                raise FaultError(f"loss prob must be in (0, 1]: {self.prob}")
+        elif self.kind == KIND_STALL:
+            if not 0.0 < self.prob <= 1.0:
+                raise FaultError(f"stall prob must be in (0, 1]: {self.prob}")
+            if self.duration <= 0:
+                raise FaultError(
+                    f"stall duration must be > 0: {self.duration}"
+                )
+
+    # -- named constructors ------------------------------------------------
+
+    @classmethod
+    def crash(cls, target: str, mtbf: float, mttr: float,
+              start: float = 0.0) -> "FaultSpec":
+        """Alternating up/down renewal process (exponential holds)."""
+        return cls(target=target, kind=KIND_CRASH, mtbf=mtbf, mttr=mttr,
+                   start=start)
+
+    @classmethod
+    def outage(cls, target: str,
+               windows: Tuple[Tuple[float, float], ...]) -> "FaultSpec":
+        """Scripted down windows ``((start, end), ...)``."""
+        return cls(target=target, kind=KIND_CRASH, windows=tuple(windows))
+
+    @classmethod
+    def latency(cls, target: str, mean: float,
+                start: float = 0.0) -> "FaultSpec":
+        """Exponential per-call transit latency with the given mean."""
+        return cls(target=target, kind=KIND_LATENCY, mean_latency=mean,
+                   start=start)
+
+    @classmethod
+    def loss(cls, target: str, prob: float, start: float = 0.0) -> "FaultSpec":
+        """Drop each request with probability ``prob``."""
+        return cls(target=target, kind=KIND_LOSS, prob=prob, start=start)
+
+    @classmethod
+    def stall(cls, target: str, prob: float, duration: float,
+              start: float = 0.0) -> "FaultSpec":
+        """Handler runs but its reply is ``duration`` seconds late."""
+        return cls(target=target, kind=KIND_STALL, prob=prob,
+                   duration=duration, start=start)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault specs: the whole fault model of one run.
+
+    ``seed`` drives every random draw the injector makes (window
+    lengths, loss/stall coin flips, latency samples) through
+    per-target, per-purpose RNG streams, so adding a fault on one
+    endpoint never perturbs the schedule of another.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        seen = set()
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultError(f"not a FaultSpec: {spec!r}")
+            key = (spec.target, spec.kind)
+            if key in seen:
+                raise FaultError(
+                    f"duplicate {spec.kind!r} spec for target "
+                    f"{spec.target!r}"
+                )
+            seen.add(key)
+
+    @property
+    def targets(self) -> Tuple[str, ...]:
+        return tuple(sorted({spec.target for spec in self.specs}))
+
+    def build(self, observer=None):
+        """Instantiate the injector for one run."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self, observer=observer)

@@ -43,6 +43,12 @@ PORT_RESET = "port.reset"              # port returned to unprogrammed state
 LIB_REGISTERED = "lib.registered"
 LIB_DEREGISTERED = "lib.deregistered"
 LIB_CONN_OPENED = "lib.conn_opened"
+LIB_REREGISTERED = "lib.reregistered"  # queued registration drained
+LIB_FAILOVER = "lib.failover"          # promoted the standby controller
+# Fault injection (repro.faults) + resilient RPC
+FAULT_CRASH = "faults.crash"           # endpoint entered a down window
+FAULT_RECOVER = "faults.recover"       # ... and came back
+FAULT_INJECTED = "faults.injected"     # one call hit loss/stall
 # Cluster runtime
 JOB_STARTED = "job.started"
 JOB_FINISHED = "job.finished"
@@ -66,6 +72,8 @@ EVENT_TYPES = frozenset({
     APP_REGISTERED, APP_DEREGISTERED, CONN_CREATED, CONN_DESTROYED,
     REALLOCATION, SOLVE_BEGIN, SOLVE_END, PORT_PROGRAMMED, PORT_RESET,
     LIB_REGISTERED, LIB_DEREGISTERED, LIB_CONN_OPENED,
+    LIB_REREGISTERED, LIB_FAILOVER,
+    FAULT_CRASH, FAULT_RECOVER, FAULT_INJECTED,
     JOB_STARTED, JOB_FINISHED, STAGE_STARTED, STAGE_FINISHED,
     SWEEP_STARTED, SWEEP_FINISHED, SWEEP_TASK_STARTED,
     SWEEP_TASK_FINISHED, SWEEP_TASK_RETRIED, SWEEP_TASK_FAILED,

@@ -129,6 +129,50 @@ def _render_fig8(result: Any) -> str:
     return "\n".join(lines)
 
 
+# -- faults -----------------------------------------------------------------
+
+
+def _build_faults(options: Mapping[str, Any]) -> SweepSpec:
+    from repro.experiments.extension_faults import (
+        DEFAULT_MTBFS,
+        SMOKE_MTBFS,
+        faults_sweep_spec,
+    )
+
+    if bool(_opt(options, "smoke", False)):
+        return faults_sweep_spec(
+            mtbfs=SMOKE_MTBFS, mttr=5.0,
+            seed=int(_opt(options, "seed", 7)),
+            jobs_per_setup=6, n_servers=16, mean_gap=3.0,
+        )
+    mtbfs = _opt(options, "mtbfs", DEFAULT_MTBFS)
+    return faults_sweep_spec(
+        mtbfs=tuple(mtbfs),
+        mttr=float(_opt(options, "mttr", 6.0)),
+        seed=int(_opt(options, "seed", 7)),
+        series=tuple(_opt(options, "series", ("saba", "saba-failover"))),
+    )
+
+
+def _render_faults(result: Any) -> str:
+    lines = [
+        "speedup over baseline vs controller downtime "
+        f"(mttr={result.mttr:g}s, seed={result.seed}):",
+        f"  {'series':14s} {'mtbf':>8s} {'downtime':>9s} {'speedup':>8s} "
+        f"{'dropped':>8s} {'replayed':>9s}",
+    ]
+    for p in result.points:
+        mtbf = "inf" if p.mtbf is None else f"{p.mtbf:g}"
+        lines.append(
+            f"  {p.series:14s} {mtbf:>8s} {p.downtime:>8.1%} "
+            f"{p.speedup:>8.4f} "
+            f"{p.counters.get('dropped_control_messages', 0.0):>8.0f} "
+            f"{p.counters.get('replayed_conns', 0.0):>9.0f}"
+            + ("  [failover]" if p.counters.get("failed_over") else "")
+        )
+    return "\n".join(lines)
+
+
 # -- fig10 ------------------------------------------------------------------
 
 
@@ -190,6 +234,15 @@ REGISTRY: Dict[str, Experiment] = {
                  "(Figure 10)",
             build=_build_fig10,
             render=_render_fig10,
+        ),
+        Experiment(
+            name="faults",
+            help="controller fault injection: speedup vs downtime "
+                 "(extension study)",
+            build=_build_faults,
+            render=_render_faults,
+            defaults={"smoke": False, "mtbfs": None, "mttr": 6.0,
+                      "seed": 7, "series": None},
         ),
     )
 }

@@ -59,6 +59,27 @@ def test_fail_open_registration_degrades_to_unmanaged(small_table):
     fabric.run()
     assert flow.done
     lib.saba_app_deregister("late")
+    # call_counts tracks *delivered* invocations only, so it proves
+    # the controller never heard about the app at any point.
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "app_register")] == 0
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "conn_create")] == 0
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "app_deregister")] == 0
+
+
+def test_fail_open_conn_create_not_delivered_after_death(small_table):
+    ctrl, fabric, bus, lib = _setup(small_table, fail_open=True)
+    lib.saba_app_register("a", "LR")
+    lib.saba_conn_create("a", "server0", "server1", 100.0)
+    delivered = bus.call_counts[(CONTROLLER_ENDPOINT, "conn_create")]
+    assert delivered == 1
+    bus.unregister(CONTROLLER_ENDPOINT)  # controller dies
+    flow = lib.saba_conn_create("a", "server0", "server2", 100.0)
+    # The flow runs under last-programmed weights; the announcement
+    # was dropped, not delivered.
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "conn_create")] == delivered
+    assert lib.dropped_control_messages > 0
+    fabric.run()
+    assert flow.done
 
 
 def test_weights_freeze_at_last_programmed_state(small_table):

@@ -36,6 +36,26 @@ def test_unregister_then_reregister():
     assert bus.call("ctrl", "ping") == 2
 
 
+def test_unregister_reports_whether_removed():
+    # Symmetric contract: duplicate register raises (two owners is a
+    # programming error), but unregistering a missing endpoint is an
+    # expected race -- it reports False instead of raising.
+    bus = RpcBus()
+    assert bus.unregister("ghost") is False
+    bus.register("ctrl", {})
+    assert bus.unregister("ctrl") is True
+    assert bus.unregister("ctrl") is False
+
+
+def test_register_replace_swaps_handlers():
+    bus = RpcBus()
+    bus.register("ctrl", {"ping": lambda: "old"})
+    with pytest.raises(RpcError):
+        bus.register("ctrl", {"ping": lambda: "new"})
+    bus.register("ctrl", {"ping": lambda: "new"}, replace=True)
+    assert bus.call("ctrl", "ping") == "new"
+
+
 def test_call_counting():
     bus = RpcBus()
     bus.register("a", {"x": lambda: None, "y": lambda: None})

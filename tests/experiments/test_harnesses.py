@@ -56,6 +56,42 @@ def test_make_policy_variants(catalog_table):
         make_policy("unknown")
 
 
+def test_make_policy_returns_policy_setup(catalog_table):
+    from repro.cluster.runtime import PolicySetup
+
+    setup = make_policy("saba", table=catalog_table)
+    assert isinstance(setup, PolicySetup)
+    # The controller handle is the policy itself for the centralized
+    # design, so callers can read its stats after a run.
+    assert setup.controller is setup.policy
+    # Tuple unpacking keeps working during migration.
+    policy, factory = setup
+    assert policy is setup.policy and factory is setup.connections_factory
+
+    baseline = make_policy("baseline")
+    assert baseline.controller is None
+    assert baseline.connections_factory is None
+
+
+def test_policy_setup_rejects_conflicting_factory(catalog_table):
+    from repro.cluster.runtime import CoRunExecutor
+    from repro.simnet.topology import single_switch
+
+    setup = make_policy("saba", table=catalog_table)
+    with pytest.raises(ValueError, match="inside the PolicySetup"):
+        CoRunExecutor(single_switch(4), policy=setup,
+                      connections_factory=lambda fabric: None)
+
+
+def test_make_policy_collapse_alpha_zero_not_dropped():
+    # Pins the `is not None` check: 0.0 is a legitimate "lossless"
+    # setting and must not collapse into the falsy default path.
+    setup = make_policy("baseline", collapse_alpha=0.0)
+    assert setup.policy.collapse_alpha == 0.0
+    disabled = make_policy("baseline", collapse_alpha=None)
+    assert disabled.policy.collapse_alpha == 0.0
+
+
 def test_speedup_report(catalog_table):
     from repro.cluster.jobs import JobResult
 

@@ -1,0 +1,199 @@
+"""Graceful degradation: recovery queues, replay, and failover.
+
+The library-side half of the fault story: connections proceed under
+last-programmed weights while the controller is down, queued control
+messages drain on recovery, and a configured standby is promoted
+after repeated transport failures.
+"""
+
+import pytest
+
+from repro.core.controller import SabaController
+from repro.core.distributed import DistributedControllerGroup, MappingDatabase
+from repro.core.library import (
+    CONTROLLER_ENDPOINT,
+    FAILOVER_ENDPOINT,
+    SabaLibrary,
+)
+from repro.core.rpc import RpcBus
+from repro.faults import FaultPlan, FaultSpec
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.topology import single_switch
+
+
+def _setup(small_table, windows, **lib_kwargs):
+    ctrl = SabaController(small_table)
+    fabric = FluidFabric(single_switch(4, capacity=100.0))
+    fabric.set_policy(ctrl)
+    injector = None
+    if windows is not None:
+        injector = FaultPlan(
+            (FaultSpec.outage(CONTROLLER_ENDPOINT, windows),),
+        ).build().bind(fabric.sim)
+    bus = RpcBus(faults=injector)
+    lib = SabaLibrary(fabric, ctrl, bus=bus, fail_open=True, **lib_kwargs)
+    return ctrl, fabric, bus, lib
+
+
+def test_registration_drains_at_known_recovery_time(small_table):
+    """A registration dropped during an outage re-registers exactly
+    when the fault model says the controller is back."""
+    ctrl, fabric, bus, lib = _setup(small_table, windows=((0.0, 5.0),))
+    pl = lib.saba_app_register("a", "LR")
+    assert pl is None
+    assert lib.pending_registrations == 1
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "app_register")] == 0
+
+    fabric.run()  # the drain is the only scheduled event
+
+    assert fabric.sim.now == 5.0
+    assert lib.pending_registrations == 0
+    assert lib.reregistrations == 1
+    assert lib._pl_of["a"] is not None
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "app_register")] == 1
+    # Connections opened after recovery carry the drained PL.
+    flow = lib.saba_conn_create("a", "server0", "server1", 10.0)
+    assert flow.pl == lib._pl_of["a"]
+
+
+def test_unacked_conn_create_replays_on_recovery(small_table):
+    ctrl, fabric, bus, lib = _setup(small_table, windows=((2.0, 5.0),))
+    lib.saba_app_register("a", "LR")  # before the outage: delivered
+
+    def create_during_outage():
+        lib.saba_conn_create("a", "server0", "server1", 1e4)
+
+    fabric.sim.schedule_at(3.0, create_during_outage)
+    fabric.run()
+
+    # The create at t=3 was dropped, then replayed at t=5.
+    assert lib.replayed_conns == 1
+    assert lib.dropped_control_messages >= 1
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "conn_create")] == 1
+    # The flow itself was never blocked by the outage.
+    assert ctrl.stats.conn_creates == 1
+
+
+def test_unacked_flow_finishing_early_skips_destroy(small_table):
+    """A connection whose create never landed sends no destroy: there
+    is nothing for the controller to undo."""
+    ctrl, fabric, bus, lib = _setup(small_table, windows=((2.0, 500.0),))
+    lib.saba_app_register("a", "LR")
+
+    fabric.sim.schedule_at(
+        3.0, lambda: lib.saba_conn_create("a", "server0", "server1", 10.0)
+    )
+    fabric.run(until=400.0)
+
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "conn_create")] == 0
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "conn_destroy")] == 0
+    assert lib.replayed_conns == 0
+
+
+def test_undelivered_destroy_replays_via_reconcile(small_table):
+    ctrl, fabric, bus, lib = _setup(small_table, windows=None)
+    lib.saba_app_register("a", "LR")
+    lib.saba_conn_create("a", "server0", "server1", 100.0)
+    bus.unregister(CONTROLLER_ENDPOINT)  # dies with the flow in flight
+    fabric.run()
+    # The teardown's conn_destroy was dropped and queued.
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "conn_destroy")] == 0
+    assert lib.dropped_control_messages == 1
+
+    bus.register(CONTROLLER_ENDPOINT, ctrl.rpc_methods())
+    assert lib.reconcile() is True
+    assert bus.call_counts[(CONTROLLER_ENDPOINT, "conn_destroy")] == 1
+    assert ctrl.stats.conn_destroys == 1
+
+
+def test_opportunistic_drain_on_next_success(small_table):
+    """Without a recover_at hint, the backlog drains on the first call
+    that reaches the controller again."""
+    ctrl, fabric, bus, lib = _setup(small_table, windows=None)
+    bus.unregister(CONTROLLER_ENDPOINT)
+    assert lib.saba_app_register("a", "LR") is None
+    assert lib.pending_registrations == 1
+
+    bus.register(CONTROLLER_ENDPOINT, ctrl.rpc_methods())
+    lib.saba_app_register("b", "Sort")  # succeeds -> drains the queue
+
+    assert lib.pending_registrations == 0
+    assert lib._pl_of["a"] is not None
+
+
+def test_deregister_of_pending_registration_stays_local(small_table):
+    ctrl, fabric, bus, lib = _setup(small_table, windows=None)
+    bus.unregister(CONTROLLER_ENDPOINT)
+    lib.saba_app_register("a", "LR")
+    lib.saba_app_deregister("a")
+    assert lib.pending_registrations == 0
+    bus.register(CONTROLLER_ENDPOINT, ctrl.rpc_methods())
+    assert lib.reconcile() is True
+    # The controller never hears about the app at all.
+    assert bus.calls_to(CONTROLLER_ENDPOINT) == 0
+
+
+def test_failover_promotes_standby_and_replays_state(small_table):
+    ctrl = SabaController(small_table)
+    fabric = FluidFabric(single_switch(4, capacity=100.0))
+    fabric.set_policy(ctrl)
+    bus = RpcBus()
+    standby = DistributedControllerGroup(MappingDatabase(small_table))
+    lib = SabaLibrary(fabric, ctrl, bus=bus, fail_open=True,
+                      failover=standby, failover_threshold=2)
+    lib.saba_app_register("a", "LR")
+    lib.saba_conn_create("a", "server0", "server1", 1e4)
+    bus.unregister(CONTROLLER_ENDPOINT)  # primary dies
+
+    # Failures accumulate; the threshold-th one triggers promotion and
+    # the triggering call is re-issued against the standby.
+    f1 = lib.saba_conn_create("a", "server0", "server2", 1e4)
+    assert not lib.failed_over
+    f2 = lib.saba_conn_create("a", "server0", "server3", 1e4)
+    assert lib.failed_over
+
+    assert bus.has_endpoint(FAILOVER_ENDPOINT)
+    assert not bus.has_endpoint(CONTROLLER_ENDPOINT)
+    # Registration and both open connections were replayed, plus the
+    # re-issued triggering create.
+    assert bus.call_counts[(FAILOVER_ENDPOINT, "app_register")] == 1
+    assert bus.call_counts[(FAILOVER_ENDPOINT, "conn_create")] == 3
+    assert standby.stats.registrations == 1
+    # New flows still carry a PL from the standby's database.
+    assert f2.pl is not None
+    f3 = lib.saba_conn_create("a", "server0", "server1", 10.0)
+    assert f3.pl == lib._pl_of["a"]
+    fabric.run()
+    assert f1.done and f2.done and f3.done
+
+
+def test_failover_counts_in_dropped_messages_stay_low(small_table):
+    """With a standby, almost nothing is dropped: only the calls that
+    burned the failure threshold."""
+    ctrl = SabaController(small_table)
+    fabric = FluidFabric(single_switch(4, capacity=100.0))
+    fabric.set_policy(ctrl)
+    injector = FaultPlan(
+        (FaultSpec.outage(CONTROLLER_ENDPOINT, ((0.0, 1e9),)),),
+    ).build().bind(fabric.sim)
+    bus = RpcBus(faults=injector)
+    standby = DistributedControllerGroup(MappingDatabase(small_table))
+    lib = SabaLibrary(fabric, ctrl, bus=bus, fail_open=True,
+                      failover=standby, failover_threshold=1)
+    pl = lib.saba_app_register("a", "LR")
+    assert lib.failed_over
+    assert pl is not None  # the re-issued call reached the standby
+    assert lib.dropped_control_messages == 0
+
+
+def test_fail_closed_without_failover_still_raises(small_table):
+    from repro.core.rpc import RpcError
+
+    ctrl = SabaController(small_table)
+    fabric = FluidFabric(single_switch(4, capacity=100.0))
+    fabric.set_policy(ctrl)
+    bus = RpcBus()
+    lib = SabaLibrary(fabric, ctrl, bus=bus, fail_open=False)
+    bus.unregister(CONTROLLER_ENDPOINT)
+    with pytest.raises(RpcError):
+        lib.saba_app_register("a", "LR")

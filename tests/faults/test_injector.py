@@ -1,0 +1,141 @@
+"""Determinism and semantics of the fault injector."""
+
+from repro.faults import CLEAN_FATE, FaultPlan, FaultSpec
+from repro.simnet.engine import Simulator
+
+
+class _Clock:
+    """Minimal stand-in for a Simulator: just a settable ``now``."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def _injector(*specs, seed=0):
+    return FaultPlan(tuple(specs), seed=seed).build()
+
+
+def test_unknown_target_is_clean_and_free():
+    inj = _injector(FaultSpec.crash("ctrl", mtbf=1.0, mttr=1.0))
+    assert inj.fate_of("other", "m") is CLEAN_FATE
+    assert inj.down_window("other") is None
+
+
+def test_explicit_windows_are_half_open():
+    inj = _injector(FaultSpec.outage("ctrl", ((1.0, 2.0),)))
+    clock = _Clock()
+    inj.bind(clock)
+    clock.now = 0.5
+    assert inj.fate_of("ctrl", "m").down_until is None
+    clock.now = 1.0
+    assert inj.fate_of("ctrl", "m").down_until == 2.0
+    # At exactly the window end the endpoint is back: a recovery
+    # drain scheduled at ``recover_at`` always finds it live.
+    clock.now = 2.0
+    assert inj.fate_of("ctrl", "m").down_until is None
+
+
+def test_stochastic_windows_deterministic_in_seed():
+    def windows(seed, n=5, horizon=1000.0):
+        inj = _injector(
+            FaultSpec.crash("ctrl", mtbf=20.0, mttr=5.0), seed=seed,
+        )
+        out, t = [], 0.0
+        while len(out) < n and t < horizon:
+            w = inj.down_window("ctrl", t)
+            if w is not None and (not out or w != out[-1]):
+                out.append(w)
+                t = w[1]
+            t += 0.25
+        return out
+
+    first = windows(7)
+    assert len(first) == 5
+    assert first == windows(7)
+    assert first != windows(8)
+    for start, end in first:
+        assert end > start >= 0.0
+
+
+def test_fate_sequence_deterministic_in_seed():
+    def fates(seed, n=50):
+        inj = _injector(
+            FaultSpec.loss("ctrl", prob=0.3),
+            FaultSpec.stall("ctrl", prob=0.2, duration=1.0),
+            FaultSpec.latency("ctrl", mean=0.01),
+            seed=seed,
+        )
+        clock = _Clock()
+        inj.bind(clock)
+        out = []
+        for i in range(n):
+            clock.now = float(i)
+            out.append(inj.fate_of("ctrl", "m"))
+        return out
+
+    assert fates(1) == fates(1)
+    assert fates(1) != fates(2)
+
+
+def test_fixed_draw_count_keeps_kinds_independent():
+    """Adding a stall fault must not change which calls are lost."""
+
+    def lost_pattern(with_stall):
+        specs = [FaultSpec.loss("ctrl", prob=0.3)]
+        if with_stall:
+            specs.append(FaultSpec.stall("ctrl", prob=0.5, duration=1.0))
+        inj = _injector(*specs, seed=4)
+        return [inj.fate_of("ctrl", "m").lost for _ in range(100)]
+
+    assert lost_pattern(False) == lost_pattern(True)
+
+
+def test_per_target_streams_are_independent():
+    """A second target's faults never perturb the first's schedule."""
+
+    def fates_for_a(extra_target):
+        specs = [FaultSpec.loss("a", prob=0.4)]
+        if extra_target:
+            specs.append(FaultSpec.loss("b", prob=0.4))
+        inj = _injector(*specs, seed=9)
+        out = []
+        for _ in range(60):
+            out.append(inj.fate_of("a", "m").lost)
+            if extra_target:
+                inj.fate_of("b", "m")
+        return out
+
+    assert fates_for_a(False) == fates_for_a(True)
+
+
+def test_injector_counts_injections():
+    inj = _injector(
+        FaultSpec.outage("ctrl", ((0.0, 10.0),)),
+    )
+    clock = _Clock()
+    inj.bind(clock)
+    clock.now = 5.0
+    inj.fate_of("ctrl", "m")
+    inj.fate_of("ctrl", "m")
+    assert inj.stats["crash"] == 2
+
+
+def test_bind_to_real_simulator():
+    sim = Simulator()
+    inj = _injector(FaultSpec.outage("ctrl", ((1.0, 2.0),)))
+    assert inj.bind(sim) is inj
+    assert inj.now == sim.now
+    # Nothing is ever scheduled on the engine by the injector: the
+    # event queue stays empty and run() returns immediately.
+    sim.run()
+    assert sim.now == 0.0
+
+
+def test_per_call_start_keeps_early_calls_clean():
+    inj = _injector(FaultSpec.loss("ctrl", prob=1.0, start=10.0))
+    clock = _Clock()
+    inj.bind(clock)
+    clock.now = 5.0
+    assert not inj.fate_of("ctrl", "m").lost
+    clock.now = 10.0
+    assert inj.fate_of("ctrl", "m").lost
