@@ -9,6 +9,7 @@ Usage::
     python -m repro fig12 --sizes 10 100 500
     python -m repro obs summarize run.jsonl
     python -m repro fabric bench --out BENCH_fabric.json
+    python -m repro control bench --out BENCH_control.json
 
 Each subcommand prints the paper-style rows/series of one table or
 figure.  The pytest benchmarks (``pytest benchmarks/
@@ -305,6 +306,49 @@ def _fabric(args) -> None:
         )
 
 
+def _control(args) -> None:
+    import json
+
+    from repro.core.bench import run_bench, write_bench
+
+    progress = None if args.quiet else (
+        lambda msg: print(msg, file=sys.stderr)
+    )
+    payload = run_bench(
+        scenario={
+            "n_spine": args.spine, "n_leaf": args.leaf, "n_tor": args.tor,
+            "servers_per_tor": args.servers_per_tor, "apps": args.apps,
+            "conns_per_app": args.conns_per_app, "rounds": args.rounds,
+            "seed": args.seed,
+        },
+        progress=progress,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.out:
+        write_bench(payload, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if not payload["identical_tables"]:
+        raise SystemExit(
+            "error: signature-cached run programmed different port tables"
+        )
+    if not payload["identical_coalesced_tables"]:
+        raise SystemExit(
+            "error: coalesced run converged to different port tables"
+        )
+    skips = payload["signatures_on"]["signature_skips"]
+    if skips < args.min_skips:
+        raise SystemExit(
+            f"error: signature cache skipped only {skips} port updates "
+            f"(required {args.min_skips})"
+        )
+    if payload["signature_speedup"] < args.min_speedup:
+        raise SystemExit(
+            f"error: signature-cache speedup "
+            f"{payload['signature_speedup']:.2f}x is below the required "
+            f"{args.min_speedup:.2f}x"
+        )
+
+
 def _report(args) -> None:
     from repro.experiments.report import generate_reports
 
@@ -320,6 +364,7 @@ COMMANDS = {
     "obs": _obs,
     "sweep": _sweep,
     "fabric": _fabric,
+    "control": _control,
     "faults": _faults,
     "fig1a": _fig1a,
     "fig1b": _fig1b,
@@ -453,6 +498,41 @@ def main(argv=None) -> int:
             p.add_argument("--min-speedup", type=float, default=1.0,
                            help="fail below this incremental speedup "
                                 "(default 1.0)")
+            p.add_argument("--quiet", action="store_true",
+                           help="suppress progress narration")
+            continue
+        if name == "control":
+            p = sub.add_parser(
+                name,
+                help="control-plane tools (allocation-pipeline benchmark)",
+            )
+            p.add_argument("action", choices=["bench"],
+                           help="benchmark signature caching and "
+                                "event coalescing")
+            p.add_argument("--spine", type=int, default=None,
+                           help="spine switches (default 8)")
+            p.add_argument("--leaf", type=int, default=None,
+                           help="leaf switches (default 8)")
+            p.add_argument("--tor", type=int, default=None,
+                           help="top-of-rack switches (default 8)")
+            p.add_argument("--servers-per-tor", type=int, default=None,
+                           help="servers per rack (default 10)")
+            p.add_argument("--apps", type=int, default=None,
+                           help="registered applications (default 10)")
+            p.add_argument("--conns-per-app", type=int, default=None,
+                           help="standing connections per app (default 4)")
+            p.add_argument("--rounds", type=int, default=None,
+                           help="churn rounds (default 20)")
+            p.add_argument("--seed", type=int, default=None,
+                           help="scenario seed (default 7)")
+            p.add_argument("--out", default=None,
+                           help="also write the JSON payload here")
+            p.add_argument("--min-speedup", type=float, default=1.0,
+                           help="fail below this signature-cache speedup "
+                                "(default 1.0)")
+            p.add_argument("--min-skips", type=int, default=1,
+                           help="fail when the signature cache skips "
+                                "fewer port updates (default 1)")
             p.add_argument("--quiet", action="store_true",
                            help="suppress progress narration")
             continue

@@ -102,7 +102,11 @@ class PolicySetup:
     optional handle to the control-plane object behind the
     connections factory (the :class:`SabaController` or distributed
     group), so callers can inspect controller state after a run
-    without re-plumbing it through every harness.
+    without re-plumbing it through every harness.  ``pipeline`` is
+    the controller's shared :class:`repro.core.pipeline.
+    AllocationPipeline`, exposed so harnesses can read allocation
+    stats (signature skips, coalesce flushes) or force
+    ``flush_pending()`` without reaching into frontend internals.
 
     Iteration yields ``(policy, connections_factory)`` so existing
     two-element tuple unpacking keeps working during migration::
@@ -115,6 +119,7 @@ class PolicySetup:
         Callable[[FluidFabric], ConnectionAPI]
     ] = None
     controller: Optional[object] = None
+    pipeline: Optional[object] = None
 
     def __iter__(self) -> Iterator[object]:
         yield self.policy

@@ -1,0 +1,286 @@
+"""Allocation-pipeline benchmark (``python -m repro control bench``).
+
+Measures the two perf layers the shared
+:class:`~repro.core.pipeline.AllocationPipeline` adds on top of the
+Saba allocation path:
+
+* **signature caching** -- a steady-state connection-churn run on a
+  fig10-scale spine-leaf fabric, executed twice: with the per-port
+  programmed-signature cache off (every churn event re-clusters,
+  re-programs and re-invalidates every port on the path) and on (ports
+  whose (app-multiset, generation, hierarchy-epoch) signature is
+  unchanged are skipped entirely).  The churn keeps each port's
+  application multiset constant -- connections come and go, the
+  applications stay -- which is exactly the steady state Section 5
+  describes, so the cached run must skip every port visit *and* end
+  with bit-identical queue tables.
+* **event coalescing** -- the same churn driven through simulated
+  time, eagerly (one reallocation pass per connection event) vs
+  batched into one deduplicated pass per ``coalesce_quantum``.  Both
+  runs must converge to identical final tables.
+
+The committed ``BENCH_control.json`` at the repo root is a snapshot of
+this output; regenerate it with ``python -m repro control bench --out
+BENCH_control.json``.  CI runs a reduced grid and fails on regression
+(no signature skips, diverging tables, or cached mode slower than
+uncached).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from random import Random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.controller import SabaController
+from repro.core.table import SensitivityTable
+from repro.obs.export import code_version
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.routing import Router
+from repro.simnet.topology import spine_leaf
+from repro.units import GBPS_56
+
+#: Default scenario: the fig10 default simulated cluster shape with a
+#: catalog-scale application mix.
+DEFAULT_SCENARIO = dict(
+    n_spine=8, n_leaf=8, n_tor=8, servers_per_tor=10,
+    apps=10, conns_per_app=4, rounds=20, seed=7,
+)
+
+#: Sim-time quantum of the coalesced run (seconds) and spacing of the
+#: synthetic churn events; ~25 connection events land in each quantum.
+COALESCE_QUANTUM = 0.05
+EVENT_SPACING = 0.002
+
+#: Pipeline counters reported per mode (deltas over the churn phase).
+_COUNTER_FIELDS = (
+    "passes", "port_allocations", "port_resets", "optimizer_calls",
+    "solver_cache_hits", "signature_skips", "programs", "invalidations",
+    "invalidations_skipped", "coalesced_updates", "coalesce_flushes",
+)
+
+
+def _default_table() -> SensitivityTable:
+    from repro.experiments.common import build_catalog_table
+
+    return build_catalog_table(method="analytic")
+
+
+def _setup_churn(
+    table: SensitivityTable,
+    n_spine: int, n_leaf: int, n_tor: int, servers_per_tor: int,
+    apps: int, conns_per_app: int, seed: int,
+    **controller_kwargs: Any,
+) -> Tuple[SabaController, FluidFabric, Dict[str, List[List[str]]]]:
+    """A controller on a spine-leaf fabric with a registered app mix
+    and one base connection per (app, path) -- the steady state the
+    churn then perturbs."""
+    topology = spine_leaf(
+        n_spine=n_spine, n_leaf=n_leaf, n_tor=n_tor,
+        servers_per_tor=servers_per_tor, capacity=GBPS_56,
+    )
+    fabric = FluidFabric(topology)
+    controller = SabaController(table, **controller_kwargs)
+    fabric.set_policy(controller)
+    router = Router(topology)
+    rng = Random(seed)
+    names = table.names()
+    servers = topology.servers
+    paths: Dict[str, List[List[str]]] = {}
+    for i in range(apps):
+        job = f"app{i}"
+        controller.app_register(job, names[i % len(names)])
+        paths[job] = []
+        for c in range(conns_per_app):
+            src, dst = rng.sample(servers, 2)
+            paths[job].append(
+                list(router.path_for_flow(src, dst, i * 10_000 + c))
+            )
+    for job, job_paths in paths.items():
+        for path in job_paths:
+            controller.conn_create(job, path)
+    return controller, fabric, paths
+
+
+def _counters(controller: SabaController) -> Dict[str, int]:
+    stats = controller.pipeline.stats
+    return {name: getattr(stats, name) for name in _COUNTER_FIELDS}
+
+
+def _delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    return {name: after[name] - before[name] for name in after}
+
+
+def _port_tables(controller: SabaController) -> Dict[str, Dict[str, Any]]:
+    """Programmed state of every known port, minus the generation
+    counter (how *often* a table was written is exactly what the
+    signature cache changes; what is *in* it must not change)."""
+    fabric = controller._fabric
+    assert fabric is not None
+    tables: Dict[str, Dict[str, Any]] = {}
+    for link_id in sorted(controller._port_apps):
+        snapshot = fabric.topology.port_table(link_id).snapshot()
+        snapshot.pop("generation")
+        snapshot["mapping"] = {
+            str(pl): q for pl, q in sorted(snapshot["mapping"].items())
+        }
+        tables[link_id] = snapshot
+    return tables
+
+
+def _run_signature_mode(
+    use_signature_cache: bool,
+    table: SensitivityTable,
+    params: Dict[str, int],
+) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
+    """One churn run; returns (stats, final port tables)."""
+    controller, _fabric, paths = _setup_churn(
+        table,
+        n_spine=params["n_spine"], n_leaf=params["n_leaf"],
+        n_tor=params["n_tor"], servers_per_tor=params["servers_per_tor"],
+        apps=params["apps"], conns_per_app=params["conns_per_app"],
+        seed=params["seed"],
+        use_signature_cache=use_signature_cache,
+    )
+    before = _counters(controller)
+    t0 = time.perf_counter()
+    for _round in range(params["rounds"]):
+        for job, job_paths in paths.items():
+            for path in job_paths:
+                # A short-lived extra connection next to the standing
+                # one: the port's application multiset never changes.
+                controller.conn_create(job, path)
+                controller.conn_destroy(job, path)
+    wall = time.perf_counter() - t0
+    churn = _delta(_counters(controller), before)
+    passes = churn["passes"]
+    stats: Dict[str, Any] = {
+        "use_signature_cache": use_signature_cache,
+        "wall_seconds": round(wall, 4),
+        "reallocations": passes,
+        "reallocations_per_sec": (
+            round(passes / wall, 1) if wall > 0 else None
+        ),
+        **churn,
+    }
+    return stats, _port_tables(controller)
+
+
+def _run_coalesce_mode(
+    quantum: float,
+    table: SensitivityTable,
+    params: Dict[str, int],
+) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
+    """The same churn driven through simulated time."""
+    controller, fabric, paths = _setup_churn(
+        table,
+        n_spine=params["n_spine"], n_leaf=params["n_leaf"],
+        n_tor=params["n_tor"], servers_per_tor=params["servers_per_tor"],
+        apps=params["apps"], conns_per_app=params["conns_per_app"],
+        seed=params["seed"],
+        coalesce_quantum=quantum,
+    )
+    before = _counters(controller)
+    t = 0.0
+    for _round in range(params["rounds"]):
+        for job, job_paths in paths.items():
+            for path in job_paths:
+                t += EVENT_SPACING
+
+                def churn_event(j: str = job, p: List[str] = path) -> None:
+                    controller.conn_create(j, p)
+                    controller.conn_destroy(j, p)
+
+                fabric.sim.schedule_at(t, churn_event)
+    t0 = time.perf_counter()
+    fabric.run()
+    wall = time.perf_counter() - t0
+    churn = _delta(_counters(controller), before)
+    stats: Dict[str, Any] = {
+        "coalesce_quantum": quantum,
+        "wall_seconds": round(wall, 4),
+        "reallocations": churn["passes"],
+        **churn,
+    }
+    return stats, _port_tables(controller)
+
+
+def run_bench(
+    scenario: Optional[Dict[str, int]] = None,
+    table: Optional[SensitivityTable] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Benchmark signature caching and event coalescing.
+
+    Returns the ``BENCH_control.json`` payload.  ``scenario`` overrides
+    :data:`DEFAULT_SCENARIO` keys (CI passes a reduced grid).
+    """
+    params = dict(DEFAULT_SCENARIO)
+    if scenario:
+        params.update({k: v for k, v in scenario.items() if v is not None})
+    if table is None:
+        table = _default_table()
+
+    def narrate(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    events = (
+        params["apps"] * params["conns_per_app"] * params["rounds"] * 2
+    )
+    narrate(
+        f"bench: {params['apps']} apps x {params['conns_per_app']} conns "
+        f"x {params['rounds']} rounds = {events} churn events on "
+        f"{params['n_tor'] * params['servers_per_tor']} servers"
+    )
+    sig_off, tables_off = _run_signature_mode(False, table, params)
+    narrate(
+        f"bench: signatures off done in {sig_off['wall_seconds']:.2f}s "
+        f"({sig_off['reallocations_per_sec']} reallocs/s, "
+        f"{sig_off['programs']} programs)"
+    )
+    sig_on, tables_on = _run_signature_mode(True, table, params)
+    narrate(
+        f"bench: signatures on  done in {sig_on['wall_seconds']:.2f}s "
+        f"({sig_on['reallocations_per_sec']} reallocs/s, "
+        f"{sig_on['signature_skips']} skips)"
+    )
+    eager, tables_eager = _run_coalesce_mode(0.0, table, params)
+    coalesced, tables_coalesced = _run_coalesce_mode(
+        COALESCE_QUANTUM, table, params
+    )
+    narrate(
+        f"bench: coalescing {eager['reallocations']} eager passes -> "
+        f"{coalesced['reallocations']} coalesced "
+        f"({coalesced['coalesce_flushes']} flushes)"
+    )
+    wall_off = sig_off["wall_seconds"]
+    wall_on = sig_on["wall_seconds"]
+    speedup = wall_off / wall_on if wall_on > 0 else float("inf")
+    eager_passes = eager["reallocations"]
+    coalesced_passes = coalesced["reallocations"]
+    return {
+        "bench": "control.allocation-pipeline",
+        "created_unix": time.time(),
+        "code_version": code_version(),
+        "cpu_count": os.cpu_count(),
+        "scenario": params,
+        "signatures_off": sig_off,
+        "signatures_on": sig_on,
+        "signature_speedup": round(speedup, 3),
+        "identical_tables": tables_off == tables_on,
+        "eager": eager,
+        "coalesced": coalesced,
+        "coalesce_pass_reduction": round(
+            eager_passes / coalesced_passes, 2
+        ) if coalesced_passes else float("inf"),
+        "identical_coalesced_tables": tables_eager == tables_coalesced,
+    }
+
+
+def write_bench(payload: Dict[str, Any], out: str) -> None:
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

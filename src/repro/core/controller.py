@@ -7,9 +7,10 @@ deregistration, connection creation and connection destruction it
 1. re-derives the application-to-PL mapping (K-means over sensitivity
    coefficients, Section 5.3.1) when the application set changed;
 2. rebuilds the PL hierarchy (Section 5.3.2) for PL-to-queue mapping;
-3. for each switch output port whose flow set changed, solves Eq. 2
-   over the applications present, maps their PLs to the port's queues
-   via the hierarchy, and programs the port's SL/VL-style
+3. hands the affected ports to the shared
+   :class:`~repro.core.pipeline.AllocationPipeline`, which solves
+   Eq. 2 over the applications present, maps their PLs to the port's
+   queues via the hierarchy, and programs the port's SL/VL-style
    :class:`~repro.simnet.switch.QueueTable` with the summed per-queue
    weights.
 
@@ -18,20 +19,20 @@ The controller doubles as the fabric's allocation policy: it installs
 the live queue tables, so a reprogrammed port takes effect at the next
 rate recomputation -- exactly how a real switch update behaves.
 
-Equation 2 solutions are memoised per multiset of application models:
-datacenter workloads churn connections far faster than the set of
-co-located applications changes, so the cache eliminates nearly all
-optimiser invocations in steady state (the Figure 12 benchmark runs
-with the cache disabled to time raw calculations).
+This class is a thin *frontend*: registration, incremental clustering
+and per-port connection accounting live here; everything from "which
+applications send at this port" down to the programmed queue table
+(queue mapping, the memoised Eq. 2 solve, programming, fabric rate
+invalidation, signature caching and event coalescing) is the shared
+pipeline's job, identical between this and the distributed design.
 """
 
 from __future__ import annotations
 
 import random
-import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -42,26 +43,22 @@ from repro.obs.events import (
     CONN_CREATED,
     CONN_DESTROYED,
     NULL_OBSERVER,
-    PORT_PROGRAMMED,
-    PORT_RESET,
-    REALLOCATION,
-    SOLVE_BEGIN,
-    SOLVE_END,
     Observer,
 )
-from repro.core.allocation import DEFAULT_MIN_WEIGHT, optimize_weights
+from repro.core.allocation import DEFAULT_MIN_WEIGHT
 from repro.core.clustering import PLHierarchy
+from repro.core.pipeline import (
+    DEFAULT_C_SABA,
+    AllocationPipeline,
+    make_port_scheduler,
+)
 from repro.core.sensitivity import SensitivityModel
 from repro.core.table import SensitivityTable
 from repro.simnet.fabric import FluidFabric
-from repro.simnet.fairness import LinkScheduler, WFQScheduler, fecn_collapse
-from repro.simnet.flows import Flow
+from repro.simnet.fairness import LinkScheduler
 from repro.simnet.switch import NUM_PRIORITY_LEVELS
 
-#: Fraction of link capacity managed by Saba; both evaluations use
-#: 100 % ("we reserve 100% of the link capacity to be managed by
-#: Saba", Section 8.1).
-DEFAULT_C_SABA = 1.0
+__all__ = ["DEFAULT_C_SABA", "ControllerStats", "SabaController"]
 
 
 @dataclass
@@ -76,6 +73,33 @@ class ControllerStats:
     port_allocations: int = 0
     optimizer_calls: int = 0
     calc_times: List[float] = field(default_factory=list)
+
+
+class _ControllerView:
+    """Adapts the controller's clustering state to the pipeline's
+    :class:`~repro.core.pipeline.AllocationView` protocol."""
+
+    def __init__(self, controller: "SabaController") -> None:
+        self._c = controller
+
+    @property
+    def epoch(self) -> int:
+        return self._c._epoch
+
+    def pl_of(self, job_id: str) -> Optional[int]:
+        return self._c._pl_of.get(job_id)
+
+    def model_of(self, job_id: str) -> SensitivityModel:
+        return self._c._model_of(job_id)
+
+    def workload_of(self, job_id: str) -> Optional[str]:
+        return self._c._apps.get(job_id)
+
+    def hierarchy(self) -> Optional[PLHierarchy]:
+        return self._c._hierarchy
+
+    def row_of(self, pl: int) -> int:
+        return self._c._row_of[pl]
 
 
 class SabaController:
@@ -94,6 +118,8 @@ class SabaController:
         reserved_queue: Optional[int] = None,
         use_weight_cache: bool = True,
         use_group_models: bool = False,
+        use_signature_cache: bool = True,
+        coalesce_quantum: float = 0.0,
         seed: int = 0,
         observer: Optional[Observer] = None,
     ) -> None:
@@ -125,6 +151,12 @@ class SabaController:
             use_group_models: solve Eq. 2 with PL-group centroid models
                 instead of per-application models (the information a
                 database-driven distributed controller has).
+            use_signature_cache: skip reprogramming ports whose
+                programmed signature is unchanged (exact; see
+                :mod:`repro.core.pipeline`).
+            coalesce_quantum: sim-seconds over which connection-churn
+                port updates are batched into one reallocation pass
+                (0 = eager, the default).
             seed: K-means seeding (determinism).
         """
         if num_pls < 1:
@@ -149,9 +181,24 @@ class SabaController:
         self._pl_models: Dict[int, SensitivityModel] = {}
         self._hierarchy: Optional[PLHierarchy] = None
         self._hier_pls: List[int] = []  # hierarchy row -> PL id
+        self._row_of: Dict[int, int] = {}  # PL id -> hierarchy row
+        self._epoch = 0  # bumped on every centroid/hierarchy change
         self._port_apps: Dict[str, Counter] = {}  # link_id -> job_id counts
         self._schedulers: Dict[str, LinkScheduler] = {}
-        self._weight_cache: Dict[Tuple[str, ...], List[float]] = {}
+        self.pipeline = AllocationPipeline(
+            _ControllerView(self),
+            self._port_apps.get,
+            metrics_prefix="controller",
+            c_saba=c_saba,
+            min_weight=min_weight,
+            solver=solver,
+            reserved_queue=reserved_queue,
+            use_weight_cache=use_weight_cache,
+            use_signature_cache=use_signature_cache,
+            coalesce_quantum=coalesce_quantum,
+            observer=self.observer,
+            mirror_stats=self.stats,
+        )
 
     # -- software-interface endpoints (called via the Saba library) ---------
 
@@ -192,7 +239,7 @@ class SabaController:
                 APP_REGISTERED, self._sim_now(), job=job_id,
                 workload=workload, pl=self._pl_of[job_id],
             )
-        self._reallocate_ports(self._port_apps.keys())
+        self.pipeline.reallocate(self._port_apps.keys())
         return self._pl_of[job_id]
 
     def app_deregister(self, job_id: str) -> None:
@@ -207,7 +254,7 @@ class SabaController:
         if obs.enabled:
             obs.metrics.counter("controller.deregistrations").inc()
             obs.emit(APP_DEREGISTERED, self._sim_now(), job=job_id)
-        self._reallocate_ports(self._port_apps.keys())
+        self.pipeline.reallocate(self._port_apps.keys())
 
     def conn_create(self, job_id: str, path: Sequence[str]) -> None:
         """Account a new connection and re-enforce its ports."""
@@ -225,9 +272,15 @@ class SabaController:
                 CONN_CREATED, self._sim_now(), job=job_id,
                 links=list(path),
             )
-        self._reallocate_ports(path)
+        self.pipeline.reallocate(path, coalesce=True)
 
     def conn_destroy(self, job_id: str, path: Sequence[str]) -> None:
+        """Tear down a connection (symmetric with :meth:`conn_create`:
+        unregistered applications are rejected, not silently ignored)."""
+        if job_id not in self._apps:
+            raise RegistrationError(
+                f"teardown for unregistered application {job_id!r}"
+            )
         self.stats.conn_destroys += 1
         for link_id in path:
             counter = self._port_apps.get(link_id)
@@ -245,7 +298,7 @@ class SabaController:
                 CONN_DESTROYED, self._sim_now(), job=job_id,
                 links=list(path),
             )
-        self._reallocate_ports(path)
+        self.pipeline.reallocate(path, coalesce=True)
 
     def pl_of(self, job_id: str) -> int:
         try:
@@ -257,6 +310,7 @@ class SabaController:
 
     def attach(self, fabric: FluidFabric) -> None:
         self._fabric = fabric
+        self.pipeline.attach(fabric)
         for state in fabric.topology.link_states.values():
             state.efficiency_fn = None
 
@@ -266,23 +320,14 @@ class SabaController:
             if self._fabric is None:
                 raise RegistrationError("controller is not attached to a fabric")
             qtable = self._fabric.topology.port_table(link_id)
-            efficiency = (
-                fecn_collapse(self.collapse_alpha)
-                if self.collapse_alpha
-                else None
-            )
-            scheduler = WFQScheduler(
-                queue_of=lambda flow, t=qtable: t.queue_of(flow.pl),
-                weight_of=lambda q, t=qtable: t.weight_of(q),
-                efficiency_fn=efficiency,
-            )
+            scheduler = make_port_scheduler(qtable, self.collapse_alpha)
             self._schedulers[link_id] = scheduler
         return scheduler
 
-    def on_flow_started(self, flow: Flow) -> None:
+    def on_flow_started(self, flow) -> None:
         """No-op: the library reports connections via conn_create."""
 
-    def on_flow_finished(self, flow: Flow) -> None:
+    def on_flow_finished(self, flow) -> None:
         """No-op: the library reports teardown via conn_destroy."""
 
     # -- clustering --------------------------------------------------------------
@@ -340,7 +385,6 @@ class SabaController:
             del self._pl_members[pl]
             self._pl_models.pop(pl, None)
             self._rebuild_hierarchy()
-            self._weight_cache.clear()
         else:
             self._refresh_pl_state(pl)
 
@@ -349,7 +393,6 @@ class SabaController:
     ) -> None:
         """Recompute one PL's centroid model and rebuild the hierarchy."""
         self.stats.reclusterings += 1
-        self._weight_cache.clear()
         members = self._pl_members[pl]
         models = [self.table.get(self._apps[j]) for j in sorted(members)]
         if reference is None:
@@ -365,11 +408,17 @@ class SabaController:
         self._rebuild_hierarchy()
 
     def _rebuild_hierarchy(self) -> None:
+        # The epoch bump invalidates the pipeline's Eq. 2 cache and
+        # every port's programmed signature: centroid models changed,
+        # so cached solutions and signatures are stale.
+        self._epoch += 1
         if not self._pl_models:
             self._hierarchy = None
             self._hier_pls = []
+            self._row_of = {}
             return
         self._hier_pls = sorted(self._pl_models)
+        self._row_of = {pl: row for row, pl in enumerate(self._hier_pls)}
         degree = max(m.degree for m in self._pl_models.values())
         self._hierarchy = PLHierarchy(
             np.array([
@@ -383,153 +432,11 @@ class SabaController:
         """Simulated timestamp for event records (0 when detached)."""
         return self._fabric.sim.now if self._fabric is not None else 0.0
 
-    def _reallocate_ports(self, link_ids) -> None:
-        t0 = time.perf_counter()
-        link_ids = list(link_ids)
-        for link_id in link_ids:
-            self._reallocate_port(link_id)
-        elapsed = time.perf_counter() - t0
-        self.stats.calc_times.append(elapsed)
-        obs = self.observer
-        if obs.enabled:
-            obs.metrics.counter("controller.reallocations").inc()
-            obs.metrics.histogram("controller.realloc_seconds").observe(
-                elapsed
-            )
-            obs.emit(
-                REALLOCATION, self._sim_now(), ports=len(link_ids),
-                duration=elapsed,
-            )
-        if self._fabric is not None:
-            # Only the reprogrammed ports' congestion components need
-            # re-solving; the fabric falls back to a full recompute
-            # when component-scoped solving is off.
-            self._fabric.invalidate_rates(link_ids)
-
-    def _reallocate_port(self, link_id: str) -> None:
-        if self._fabric is None:
-            return
-        counter = self._port_apps.get(link_id)
-        qtable = self._fabric.topology.port_table(link_id)
-        obs = self.observer
-        if not counter:
-            qtable.reset()
-            if obs.enabled:
-                obs.emit(PORT_RESET, self._sim_now(), link=link_id,
-                         generation=qtable.generation)
-            return
-        self.stats.port_allocations += 1
-        apps = sorted(counter)
-        assert self._hierarchy is not None
-        # Hierarchy rows are indexed by position in _hier_pls; PL ids
-        # are stable across epochs, rows are not.
-        row_of = {pl: row for row, pl in enumerate(self._hier_pls)}
-        active_pls = sorted({self._pl_of[a] for a in apps})
-        active_rows = [row_of[pl] for pl in active_pls]
-        usable = qtable.num_queues - (1 if self.reserved_queue is not None else 0)
-        _level, row_to_queue = self._hierarchy.best_clustering(
-            active_rows, max_clusters=max(1, usable)
-        )
-        pl_to_queue = {
-            pl: row_to_queue[row_of[pl]] for pl in active_pls
-        }
-        if self.reserved_queue is not None:
-            # Shift Saba's queues off the reserved index.
-            pl_to_queue = {
-                pl: q if q < self.reserved_queue else q + 1
-                for pl, q in pl_to_queue.items()
-            }
-        app_weights = self._weights_for(apps)
-        queue_weights: Dict[int, float] = {}
-        for app, weight in zip(apps, app_weights):
-            queue = pl_to_queue[self._pl_of[app]]
-            queue_weights[queue] = queue_weights.get(queue, 0.0) + weight
-        if self.reserved_queue is not None:
-            queue_weights[self.reserved_queue] = max(0.0, 1.0 - self.c_saba)
-        qtable.program(pl_to_queue, queue_weights)
-        if self.reserved_queue is not None:
-            qtable.default_queue = self.reserved_queue
-        if obs.enabled:
-            obs.metrics.counter("controller.ports_programmed").inc()
-            obs.emit(
-                PORT_PROGRAMMED, self._sim_now(), link=link_id,
-                apps=len(apps), **qtable.snapshot(),
-            )
-
-    def _weights_for(self, apps: Sequence[str]) -> List[float]:
-        """Eq. 2 over the applications at one port (cached)."""
-        models = [self._model_of(a) for a in apps]
-        order = sorted(range(len(apps)), key=lambda i: models[i].name)
-        key = tuple(models[i].name for i in order)
-        weights_sorted = self._weight_cache.get(key) if self.use_weight_cache else None
-        obs = self.observer
-        if weights_sorted is None:
-            self.stats.optimizer_calls += 1
-            ordered_models = [models[i] for i in order]
-            solve_stats: Optional[dict] = None
-            if obs.enabled:
-                solve_stats = {}
-                obs.emit(
-                    SOLVE_BEGIN, self._sim_now(), apps=len(apps),
-                    solver=self.solver,
-                )
-            t0 = time.perf_counter()
-            weights_sorted = optimize_weights(
-                ordered_models,
-                total=self.c_saba,
-                min_weight=min(self.min_weight, self.c_saba / (2 * len(apps))),
-                solver=self.solver,
-                stats=solve_stats,
-            )
-            if obs.enabled:
-                elapsed = time.perf_counter() - t0
-                objective = sum(
-                    m.predict(w)
-                    for m, w in zip(ordered_models, weights_sorted)
-                )
-                obs.metrics.counter("controller.solver_calls").inc()
-                obs.metrics.histogram("controller.solve_seconds").observe(
-                    elapsed
-                )
-                obs.emit(
-                    SOLVE_END, self._sim_now(), apps=len(apps),
-                    solver=(solve_stats or {}).get("solver", self.solver),
-                    iterations=(solve_stats or {}).get("iterations"),
-                    objective=objective, duration=elapsed,
-                )
-            if self.use_weight_cache:
-                self._weight_cache[key] = weights_sorted
-        elif obs.enabled:
-            obs.metrics.counter("controller.solver_cache_hits").inc()
-        weights = [0.0] * len(apps)
-        for rank, i in enumerate(order):
-            weights[i] = weights_sorted[rank]
-        return weights
-
     # -- observability ------------------------------------------------------------
 
     def describe_port(self, link_id: str) -> Dict[str, object]:
-        """Operator view of one port: who sends there, the PL-to-queue
-        mapping in force, and the programmed weights."""
-        if self._fabric is None:
-            raise RegistrationError("controller is not attached to a fabric")
-        qtable = self._fabric.topology.port_table(link_id)
-        counter = self._port_apps.get(link_id, {})
-        apps = sorted(counter)
-        return {
-            "link": link_id,
-            "applications": {
-                app: {
-                    "workload": self._apps.get(app),
-                    "pl": self._pl_of.get(app),
-                    "connections": counter[app],
-                    "queue": qtable.queue_of(self._pl_of.get(app)),
-                }
-                for app in apps
-            },
-            "weights": qtable.weights,
-            "generation": qtable.generation,
-        }
+        """Operator view of one port (delegates to the pipeline)."""
+        return self.pipeline.describe_port(link_id)
 
     # -- benchmarking support ---------------------------------------------------
 
@@ -538,9 +445,7 @@ class SabaController:
 
         Used by the Figure 12 benchmark: "the time the controller takes
         to compute the bandwidth share of applications for all
-        switches".
+        switches".  Bypasses the signature cache -- the point is to
+        time the full calculation.
         """
-        t0 = time.perf_counter()
-        for link_id in list(self._port_apps):
-            self._reallocate_port(link_id)
-        return time.perf_counter() - t0
+        return self.pipeline.recompute_ports(list(self._port_apps))

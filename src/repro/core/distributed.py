@@ -22,6 +22,13 @@ Two components:
   ports and forwards the announcement to the shard owning the next
   switch, and so on (``stats.forwards`` counts the extra control-plane
   hops).
+
+Like the centralized controller, this class is a thin *frontend* over
+the shared :class:`~repro.core.pipeline.AllocationPipeline`: shard
+bookkeeping and the database lookup live here, while queue mapping,
+the Eq. 2 solve, port programming, reserved-queue handling and rate
+invalidation are the pipeline's -- so the two control planes cannot
+drift apart again.
 """
 
 from __future__ import annotations
@@ -29,11 +36,9 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
-
-import time
 
 from repro.errors import RegistrationError
 from repro.obs.events import (
@@ -42,19 +47,19 @@ from repro.obs.events import (
     CONN_CREATED,
     CONN_DESTROYED,
     NULL_OBSERVER,
-    PORT_PROGRAMMED,
-    REALLOCATION,
-    SOLVE_END,
     Observer,
 )
-from repro.core.allocation import DEFAULT_MIN_WEIGHT, optimize_weights
+from repro.core.allocation import DEFAULT_MIN_WEIGHT
 from repro.core.clustering import PLHierarchy, kmeans
-from repro.core.controller import DEFAULT_C_SABA
+from repro.core.pipeline import (
+    DEFAULT_C_SABA,
+    AllocationPipeline,
+    make_port_scheduler,
+)
 from repro.core.sensitivity import SensitivityModel
 from repro.core.table import SensitivityTable
 from repro.simnet.fabric import FluidFabric
-from repro.simnet.fairness import LinkScheduler, WFQScheduler, fecn_collapse
-from repro.simnet.flows import Flow
+from repro.simnet.fairness import LinkScheduler
 from repro.simnet.switch import NUM_PRIORITY_LEVELS
 
 
@@ -118,10 +123,13 @@ class DistributedStats:
     """Control-plane accounting across all shards."""
 
     registrations: int = 0
+    deregistrations: int = 0
     conn_creates: int = 0
     conn_destroys: int = 0
     forwards: int = 0
     port_allocations: int = 0
+    optimizer_calls: int = 0
+    calc_times: List[float] = field(default_factory=list)
     per_shard_messages: Counter = field(default_factory=Counter)
 
 
@@ -132,6 +140,41 @@ class _ControllerShard:
         self.shard_id = shard_id
         self.db = db
         self.port_apps: Dict[str, Counter] = {}
+
+
+class _DatabaseView:
+    """Adapts the static mapping database to the pipeline's
+    :class:`~repro.core.pipeline.AllocationView` protocol.
+
+    The database never re-clusters, so the epoch is constant and the
+    hierarchy rows are the dense PL ids themselves."""
+
+    def __init__(self, group: "DistributedControllerGroup") -> None:
+        self._g = group
+
+    @property
+    def epoch(self) -> int:
+        return 0
+
+    def pl_of(self, job_id: str) -> Optional[int]:
+        workload = self._g._apps.get(job_id)
+        if workload is None:
+            return None
+        return self._g.db.pl_of(workload)
+
+    def model_of(self, job_id: str) -> SensitivityModel:
+        pl = self.pl_of(job_id)
+        assert pl is not None
+        return self._g.db.pl_models[pl]
+
+    def workload_of(self, job_id: str) -> Optional[str]:
+        return self._g._apps.get(job_id)
+
+    def hierarchy(self) -> Optional[PLHierarchy]:
+        return self._g.db.hierarchy
+
+    def row_of(self, pl: int) -> int:
+        return pl
 
 
 class DistributedControllerGroup:
@@ -151,6 +194,10 @@ class DistributedControllerGroup:
         min_weight: float = DEFAULT_MIN_WEIGHT,
         solver: str = "auto",
         collapse_alpha: Optional[float] = None,
+        reserved_queue: Optional[int] = None,
+        use_weight_cache: bool = True,
+        use_signature_cache: bool = True,
+        coalesce_quantum: float = 0.0,
         observer: Optional[Observer] = None,
     ) -> None:
         if n_shards < 1:
@@ -161,6 +208,7 @@ class DistributedControllerGroup:
         self.min_weight = min_weight
         self.solver = solver
         self.collapse_alpha = collapse_alpha
+        self.reserved_queue = reserved_queue
         self.observer = observer if observer is not None else NULL_OBSERVER
         self.stats = DistributedStats()
         self._shards = [
@@ -170,7 +218,21 @@ class DistributedControllerGroup:
         self._apps: Dict[str, str] = {}
         self._fabric: Optional[FluidFabric] = None
         self._schedulers: Dict[str, LinkScheduler] = {}
-        self._weight_cache: Dict[Tuple[int, ...], List[float]] = {}
+        self.pipeline = AllocationPipeline(
+            _DatabaseView(self),
+            self._counter_of,
+            metrics_prefix="distributed",
+            c_saba=c_saba,
+            min_weight=min_weight,
+            solver=solver,
+            reserved_queue=reserved_queue,
+            use_weight_cache=use_weight_cache,
+            use_signature_cache=use_signature_cache,
+            coalesce_quantum=coalesce_quantum,
+            observer=self.observer,
+            mirror_stats=self.stats,
+            port_context=self._port_context,
+        )
 
     # -- controller RPC surface --------------------------------------------------
 
@@ -205,12 +267,24 @@ class DistributedControllerGroup:
         if job_id not in self._apps:
             raise RegistrationError(f"application {job_id!r} is not registered")
         del self._apps[job_id]
+        self.stats.deregistrations += 1
+        affected = [
+            link_id
+            for shard in self._shards
+            for link_id, counter in shard.port_apps.items()
+            if job_id in counter
+        ]
         for shard in self._shards:
             for counter in shard.port_apps.values():
                 counter.pop(job_id, None)
         obs = self.observer
         if obs.enabled:
+            obs.metrics.counter("distributed.deregistrations").inc()
             obs.emit(APP_DEREGISTERED, self._sim_now(), job=job_id)
+        # A deregistered application may leave connections behind on
+        # its ports; their allocations must be re-derived without it
+        # (the centralized controller always did -- parity fix).
+        self.pipeline.reallocate(affected)
 
     def conn_create(self, job_id: str, path: Sequence[str]) -> None:
         if job_id not in self._apps:
@@ -219,20 +293,31 @@ class DistributedControllerGroup:
             )
         self.stats.conn_creates += 1
         self._walk_path(path, job_id, delta=+1)
+        self.pipeline.reallocate(path, coalesce=True)
 
     def conn_destroy(self, job_id: str, path: Sequence[str]) -> None:
+        """Tear down a connection (symmetric with :meth:`conn_create`:
+        unregistered applications are rejected, not silently ignored)."""
+        if job_id not in self._apps:
+            raise RegistrationError(
+                f"teardown for unregistered application {job_id!r}"
+            )
         self.stats.conn_destroys += 1
         self._walk_path(path, job_id, delta=-1)
+        self.pipeline.reallocate(path, coalesce=True)
 
     def _sim_now(self) -> float:
         """Simulated timestamp for event records (0 when detached)."""
         return self._fabric.sim.now if self._fabric is not None else 0.0
 
     def _walk_path(self, path: Sequence[str], job_id: str, delta: int) -> None:
-        """Hop from shard to shard along the path (Section 5.4)."""
+        """Hop from shard to shard along the path (Section 5.4).
+
+        Pure control-plane accounting: the shard owning each port
+        updates its connection counters; the allocation itself is the
+        shared pipeline's job afterwards."""
         obs = self.observer
         if obs.enabled:
-            t0 = time.perf_counter()
             obs.emit(
                 CONN_CREATED if delta > 0 else CONN_DESTROYED,
                 self._sim_now(), job=job_id, links=list(path),
@@ -251,18 +336,6 @@ class DistributedControllerGroup:
                 del counter[job_id]
             if not counter:
                 del shard.port_apps[link_id]
-                self._reset_port(link_id)
-            else:
-                self._reallocate_port(shard, link_id)
-        if obs.enabled:
-            obs.metrics.counter("distributed.reallocations").inc()
-            obs.emit(
-                REALLOCATION, self._sim_now(), ports=len(path),
-                duration=time.perf_counter() - t0,
-            )
-        if self._fabric is not None:
-            # Scope the recompute to the walked path's ports.
-            self._fabric.invalidate_rates(path)
 
     def _shard_of_link(self, link_id: str) -> int:
         if self._fabric is None:
@@ -275,81 +348,30 @@ class DistributedControllerGroup:
             owner = self._owner_of_switch.get(link.dst, 0)
         return owner
 
-    # -- allocation ------------------------------------------------------------------
+    # -- pipeline wiring --------------------------------------------------------
 
-    def _reset_port(self, link_id: str) -> None:
-        if self._fabric is not None:
-            self._fabric.topology.port_table(link_id).reset()
+    def _counter_of(self, link_id: str) -> Optional[Counter]:
+        shard = self._shards[self._shard_of_link(link_id)]
+        return shard.port_apps.get(link_id)
 
-    def _reallocate_port(self, shard: _ControllerShard, link_id: str) -> None:
-        if self._fabric is None:
-            return
-        counter = shard.port_apps.get(link_id)
-        if not counter:
-            self._reset_port(link_id)
-            return
-        self.stats.port_allocations += 1
-        qtable = self._fabric.topology.port_table(link_id)
-        apps = sorted(counter)
-        pls = [shard.db.pl_of(self._apps[a]) for a in apps]
-        active_pls = sorted(set(pls))
-        _level, pl_to_queue = shard.db.hierarchy.best_clustering(
-            active_pls, max_clusters=qtable.num_queues
-        )
-        weights = self._weights_for(pls)
-        queue_weights: Dict[int, float] = {}
-        for pl, weight in zip(pls, weights):
-            queue = pl_to_queue[pl]
-            queue_weights[queue] = queue_weights.get(queue, 0.0) + weight
-        qtable.program(pl_to_queue, queue_weights)
-        obs = self.observer
-        if obs.enabled:
-            obs.metrics.counter("distributed.ports_programmed").inc()
-            obs.emit(
-                PORT_PROGRAMMED, self._sim_now(), link=link_id,
-                shard=shard.shard_id, apps=len(apps), **qtable.snapshot(),
-            )
+    def _port_context(self, link_id: str) -> Mapping[str, object]:
+        return {"shard": self._shard_of_link(link_id)}
 
-    def _weights_for(self, pls: Sequence[int]) -> List[float]:
-        """Eq. 2 over PL-centroid models (the database's knowledge)."""
-        order = sorted(range(len(pls)), key=lambda i: pls[i])
-        key = tuple(pls[i] for i in order)
-        weights_sorted = self._weight_cache.get(key)
-        obs = self.observer
-        if weights_sorted is None:
-            models = [self.db.pl_models[pls[i]] for i in order]
-            solve_stats: Optional[dict] = {} if obs.enabled else None
-            t0 = time.perf_counter()
-            weights_sorted = optimize_weights(
-                models,
-                total=self.c_saba,
-                min_weight=min(self.min_weight, self.c_saba / (2 * len(pls))),
-                solver=self.solver,
-                stats=solve_stats,
-            )
-            if obs.enabled:
-                elapsed = time.perf_counter() - t0
-                obs.metrics.counter("distributed.solver_calls").inc()
-                obs.metrics.histogram("distributed.solve_seconds").observe(
-                    elapsed
-                )
-                obs.emit(
-                    SOLVE_END, self._sim_now(), apps=len(pls),
-                    solver=(solve_stats or {}).get("solver", self.solver),
-                    iterations=(solve_stats or {}).get("iterations"),
-                    objective=sum(
-                        m.predict(w)
-                        for m, w in zip(models, weights_sorted)
-                    ),
-                    duration=elapsed,
-                )
-            self._weight_cache[key] = weights_sorted
-        elif obs.enabled:
-            obs.metrics.counter("distributed.solver_cache_hits").inc()
-        weights = [0.0] * len(pls)
-        for rank, i in enumerate(order):
-            weights[i] = weights_sorted[rank]
-        return weights
+    # -- observability ----------------------------------------------------------
+
+    def describe_port(self, link_id: str) -> Dict[str, object]:
+        """Operator view of one port (delegates to the pipeline)."""
+        return self.pipeline.describe_port(link_id)
+
+    # -- benchmarking support ---------------------------------------------------
+
+    def recompute_all_ports(self) -> float:
+        """Recompute every known port's allocation; returns seconds."""
+        return self.pipeline.recompute_ports([
+            link_id
+            for shard in self._shards
+            for link_id in shard.port_apps
+        ])
 
     # -- FabricPolicy -----------------------------------------------------------------
 
@@ -358,6 +380,7 @@ class DistributedControllerGroup:
         switches = sorted(fabric.topology.switches)
         for i, switch in enumerate(switches):
             self._owner_of_switch[switch] = i % self.n_shards
+        self.pipeline.attach(fabric)
         for state in fabric.topology.link_states.values():
             state.efficiency_fn = None
 
@@ -367,21 +390,12 @@ class DistributedControllerGroup:
             if self._fabric is None:
                 raise RegistrationError("controller group is not attached")
             qtable = self._fabric.topology.port_table(link_id)
-            efficiency = (
-                fecn_collapse(self.collapse_alpha)
-                if self.collapse_alpha
-                else None
-            )
-            scheduler = WFQScheduler(
-                queue_of=lambda flow, t=qtable: t.queue_of(flow.pl),
-                weight_of=lambda q, t=qtable: t.weight_of(q),
-                efficiency_fn=efficiency,
-            )
+            scheduler = make_port_scheduler(qtable, self.collapse_alpha)
             self._schedulers[link_id] = scheduler
         return scheduler
 
-    def on_flow_started(self, flow: Flow) -> None:  # noqa: D102
+    def on_flow_started(self, flow) -> None:  # noqa: D102
         pass
 
-    def on_flow_finished(self, flow: Flow) -> None:  # noqa: D102
+    def on_flow_finished(self, flow) -> None:  # noqa: D102
         pass

@@ -305,6 +305,11 @@ class SabaLibrary:
                     # The create never landed: there is nothing for
                     # the controller to undo.
                     self._unacked.discard(done_flow.flow_id)
+                elif job_id not in self._pl_of:
+                    # The application deregistered while the flow ran;
+                    # the controller already purged its port state and
+                    # would (rightly) reject the teardown.
+                    pass
                 else:
                     result = self._call_controller(
                         "conn_destroy", job_id=job_id, path=announced
@@ -391,9 +396,15 @@ class SabaLibrary:
                 if self._pl_of.get(job_id) is None:
                     self._unacked.discard(flow_id)
                     continue
-                result = self._call_controller(
-                    "conn_create", job_id=job_id, path=list(announced)
-                )
+                try:
+                    result = self._call_controller(
+                        "conn_create", job_id=job_id, path=list(announced)
+                    )
+                except RegistrationError:
+                    # The controller no longer knows this application
+                    # (deregistered during the outage): drop the replay.
+                    self._unacked.discard(flow_id)
+                    continue
                 if result is _DROPPED:
                     return False
                 self._unacked.discard(flow_id)
@@ -402,9 +413,16 @@ class SabaLibrary:
                     obs.metrics.counter("library.replayed_conns").inc()
             while self._undelivered_destroys:
                 job_id, announced = self._undelivered_destroys[0]
-                result = self._call_controller(
-                    "conn_destroy", job_id=job_id, path=list(announced)
-                )
+                try:
+                    result = self._call_controller(
+                        "conn_destroy", job_id=job_id, path=list(announced)
+                    )
+                except RegistrationError:
+                    # The application deregistered during the outage;
+                    # the controller purged its port state already, so
+                    # there is nothing left to tear down.
+                    self._undelivered_destroys.pop(0)
+                    continue
                 if result is _DROPPED:
                     return False
                 self._undelivered_destroys.pop(0)

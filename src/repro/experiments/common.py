@@ -128,6 +128,7 @@ def make_policy(
             policy=controller,
             connections_factory=SabaLibrary.factory(controller),
             controller=controller,
+            pipeline=controller.pipeline,
         )
     raise ValueError(f"unknown policy {name!r}")
 

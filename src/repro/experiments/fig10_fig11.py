@@ -155,6 +155,7 @@ def _make_sim_policy(name, table, collapse_alpha, num_pls=None) -> PolicySetup:
             policy=controller,
             connections_factory=SabaLibrary.factory(controller),
             controller=controller,
+            pipeline=controller.pipeline,
         )
     if name == "ideal-maxmin":
         return PolicySetup(policy=IdealMaxMin())

@@ -49,6 +49,9 @@ class TraceSummary:
     solver: Dict[str, float] = field(default_factory=dict)
     port_mean_utilization: Dict[str, float] = field(default_factory=dict)
     job_completion: Dict[str, float] = field(default_factory=dict)
+    #: link -> last programmed/reset state seen in the trace (the
+    #: describe_port view reconstructed post-hoc from port.* events).
+    final_ports: Dict[str, Dict[str, object]] = field(default_factory=dict)
     sim_span: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
@@ -60,6 +63,7 @@ class TraceSummary:
             "solver": dict(self.solver),
             "port_mean_utilization": dict(self.port_mean_utilization),
             "job_completion": dict(self.job_completion),
+            "final_ports": {k: dict(v) for k, v in self.final_ports.items()},
             "sim_span": self.sim_span,
         }
 
@@ -93,6 +97,24 @@ def summarize_trace(records: Iterable[Mapping[str, object]]) -> TraceSummary:
             duration = record.get("duration")
             if duration is not None:
                 summary.job_completion[job] = float(duration)
+        elif etype == ev.PORT_PROGRAMMED:
+            state: Dict[str, object] = {
+                "state": "programmed",
+                "apps": int(record.get("apps", 0)),
+            }
+            weights = record.get("weights")
+            if hasattr(weights, "__len__"):
+                state["queues"] = len(weights)
+            generation = record.get("generation")
+            if generation is not None:
+                state["generation"] = int(generation)
+            summary.final_ports[str(record.get("link"))] = state
+        elif etype == ev.PORT_RESET:
+            state = {"state": "reset"}
+            generation = record.get("generation")
+            if generation is not None:
+                state["generation"] = int(generation)
+            summary.final_ports[str(record.get("link"))] = state
     summary.reallocations = summary.counts.get(ev.REALLOCATION, 0)
     summary.ports_programmed = summary.counts.get(ev.PORT_PROGRAMMED, 0)
     if summary.n_events:
@@ -157,6 +179,19 @@ def format_summary(summary: TraceSummary) -> str:
             lines.append(
                 f"  {link:28s} {summary.port_mean_utilization[link]:6.1%}"
             )
+    if summary.final_ports:
+        lines.append("final port state:")
+        for link in sorted(summary.final_ports):
+            state = summary.final_ports[link]
+            if state.get("state") == "programmed":
+                detail = (
+                    f"programmed apps={state.get('apps', '?')} "
+                    f"queues={state.get('queues', '?')} "
+                    f"gen={state.get('generation', '?')}"
+                )
+            else:
+                detail = f"reset gen={state.get('generation', '?')}"
+            lines.append(f"  {link:28s} {detail}")
     if summary.counts:
         lines.append("event counts:")
         for etype in sorted(summary.counts):

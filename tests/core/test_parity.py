@@ -1,0 +1,146 @@
+"""Centralized/distributed control-plane parity.
+
+Both frontends drive the same :class:`repro.core.pipeline.
+AllocationPipeline`; with aligned PL ids their programmed port state
+must be *identical*, not merely similar.  A 1-shard distributed group
+differs from the centralized controller only in where the PL mapping
+comes from (the offline database vs online incremental clustering), so
+with one PL per workload -- k-means centroids degenerate to the
+workload models themselves -- the same event sequence must produce the
+same queue tables bit for bit.
+"""
+
+import pytest
+
+from repro.core.controller import SabaController
+from repro.core.distributed import DistributedControllerGroup, MappingDatabase
+from repro.obs import events as ev
+from repro.obs.events import Observer
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.topology import single_switch
+
+WORKLOADS = ("LR", "PR", "Sort")
+
+
+def _nic(i):
+    return f"server{i}->switch0"
+
+
+def _egress(i):
+    return f"switch0->server{i}"
+
+
+#: Registrations + connection churn touching shared and private ports.
+EVENTS = (
+    ("create", "job0", (_nic(0), _egress(1))),
+    ("create", "job1", (_nic(0), _egress(2))),
+    ("create", "job2", (_nic(1), _egress(2))),
+    ("create", "job0", (_nic(3), _egress(2))),
+    ("destroy", "job0", (_nic(0), _egress(1))),
+)
+
+
+def _drive(frontend, db):
+    """Run the canonical event sequence; returns final port tables
+    (generation excluded: reallocation *count* may legitimately differ,
+    programmed state may not)."""
+    fabric = FluidFabric(single_switch(4, capacity=100.0))
+    fabric.set_policy(frontend)
+    # Register in database-PL order so the centralized controller's
+    # incrementally assigned PL ids coincide with the database's.
+    for i, workload in enumerate(sorted(WORKLOADS, key=db.pl_of)):
+        frontend.app_register(f"job{i}", workload)
+    for op, job, path in EVENTS:
+        if op == "create":
+            frontend.conn_create(job, list(path))
+        else:
+            frontend.conn_destroy(job, list(path))
+    links = sorted({link for _, _, path in EVENTS for link in path})
+    tables = {}
+    for link in links:
+        snapshot = fabric.topology.port_table(link).snapshot()
+        snapshot.pop("generation")
+        tables[link] = snapshot
+    return tables
+
+
+@pytest.fixture()
+def db(small_table):
+    return MappingDatabase(small_table)
+
+
+def test_one_shard_group_matches_centralized(small_table, db):
+    centralized = _drive(SabaController(small_table), db)
+    distributed = _drive(DistributedControllerGroup(db, n_shards=1), db)
+    assert distributed == centralized
+
+
+def test_one_shard_group_matches_centralized_with_reserved_queue(
+    small_table, db,
+):
+    kwargs = dict(reserved_queue=0, c_saba=0.9)
+    centralized = _drive(SabaController(small_table, **kwargs), db)
+    distributed = _drive(
+        DistributedControllerGroup(db, n_shards=1, **kwargs), db,
+    )
+    assert distributed == centralized
+
+
+def test_port_programmed_snapshots_identical_on_both_frontends(
+    small_table, db,
+):
+    """Neither frontend has its own programming loop: the shared
+    pipeline emits the PORT_PROGRAMMED stream, so the same event
+    sequence yields the same snapshots in the same order (modulo the
+    frontend-specific context fields)."""
+
+    def capture(make_frontend):
+        observer = Observer()
+        records = []
+        observer.bus.subscribe(
+            lambda e: records.append(e.fields), types=[ev.PORT_PROGRAMMED]
+        )
+        _drive(make_frontend(observer), db)
+        keep = ("link", "apps", "mapping", "weights", "default_queue")
+        return [{k: r[k] for k in keep} for r in records]
+
+    centralized = capture(
+        lambda obs: SabaController(small_table, observer=obs)
+    )
+    distributed = capture(
+        lambda obs: DistributedControllerGroup(db, n_shards=1, observer=obs)
+    )
+    assert len(centralized) > 0
+    assert distributed == centralized
+
+
+def test_distributed_honors_reserved_queue(small_table, db):
+    group = DistributedControllerGroup(
+        db, n_shards=2, reserved_queue=0, c_saba=0.9,
+    )
+    fabric = FluidFabric(single_switch(4, capacity=100.0))
+    fabric.set_policy(group)
+    for i, workload in enumerate(WORKLOADS):
+        group.app_register(f"job{i}", workload)
+        group.conn_create(f"job{i}", [_egress(3)])
+    snapshot = fabric.topology.port_table(_egress(3)).snapshot()
+    assert snapshot["default_queue"] == 0
+    assert 0 not in set(snapshot["mapping"].values())
+    assert snapshot["weights"][0] == pytest.approx(0.1)
+
+
+def test_distributed_deregister_resets_ports(small_table, db):
+    """Parity fix: deregistering an app re-allocates the ports it was
+    using, like the centralized controller does."""
+    group = DistributedControllerGroup(db, n_shards=2)
+    fabric = FluidFabric(single_switch(4, capacity=100.0))
+    fabric.set_policy(group)
+    group.app_register("a", "LR")
+    group.conn_create("a", [_nic(0)])
+    qtable = fabric.topology.port_table(_nic(0))
+    assert qtable.generation > 0
+    gen = qtable.generation
+    group.app_deregister("a")
+    # The port emptied out: its table is reset, not left stale.
+    assert qtable.generation > gen
+    assert qtable.snapshot()["mapping"] == {}

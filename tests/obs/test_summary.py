@@ -82,6 +82,27 @@ def test_summarize_job_completion():
     assert json.dumps(summary.to_dict())  # JSON-serialisable
 
 
+def test_summarize_final_port_state():
+    summary = summarize_trace([
+        _record(ev.PORT_PROGRAMMED, 1.0, link="sw->a", apps=2,
+                mapping={0: 0}, weights=[0.5, 0.5], generation=1),
+        _record(ev.PORT_PROGRAMMED, 2.0, link="sw->a", apps=3,
+                mapping={0: 0}, weights=[0.3, 0.7], generation=2),
+        _record(ev.PORT_RESET, 3.0, link="sw->b", generation=4),
+    ])
+    # Last write wins per link: the summary shows the state in force
+    # at the end of the trace.
+    assert summary.final_ports["sw->a"] == {
+        "state": "programmed", "apps": 3, "queues": 2, "generation": 2,
+    }
+    assert summary.final_ports["sw->b"] == {"state": "reset",
+                                            "generation": 4}
+    rendered = format_summary(summary)
+    assert "final port state" in rendered
+    assert "programmed apps=3" in rendered
+    assert summary.to_dict()["final_ports"]["sw->b"]["state"] == "reset"
+
+
 # -- end-to-end: the acceptance-criterion co-run ----------------------------
 
 
@@ -135,8 +156,10 @@ def test_saba_corun_trace_and_metrics(small_table, tmp_path):
     assert summary.reallocations >= 1
     assert summary.solver["count"] >= 1
     assert summary.job_completion.keys() == {"lr0", "pr0"}
+    assert summary.final_ports  # describe_port-style final state
     rendered = format_summary(summary)
     assert "reallocations" in rendered and "solver latency" in rendered
+    assert "final port state" in rendered
 
 
 def test_disabled_observability_is_bit_identical(small_table):
