@@ -274,6 +274,37 @@ def _faults(args) -> None:
         print(f"wrote {args.out}", file=sys.stderr)
 
 
+def _online(args) -> None:
+    from repro.experiments.extension_online import (
+        run_online, run_online_smoke,
+    )
+    from repro.sweep import SweepRunner, default_cache
+    from repro.sweep.registry import get_experiment
+
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=None if args.no_cache else default_cache(),
+        progress=None if args.quiet else (
+            lambda msg: print(msg, file=sys.stderr)
+        ),
+    )
+    if args.smoke:
+        result = run_online_smoke(seed=args.seed, runner=runner)
+    else:
+        result = run_online(seed=args.seed, waves=args.waves,
+                            runner=runner)
+    payload = result.to_json()
+    if args.json:
+        print(payload)
+    else:
+        print(get_experiment("online").render(result))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+
 def _fabric(args) -> None:
     import json
 
@@ -366,6 +397,7 @@ COMMANDS = {
     "fabric": _fabric,
     "control": _control,
     "faults": _faults,
+    "online": _online,
     "fig1a": _fig1a,
     "fig1b": _fig1b,
     "fig2": _fig2,
@@ -459,6 +491,31 @@ def main(argv=None) -> int:
                            help="master seed (default 7)")
             p.add_argument("--no-failover", action="store_true",
                            help="skip the saba-failover series")
+            p.add_argument("--jobs", default="1",
+                           help="worker processes, or 'auto' (default 1)")
+            p.add_argument("--no-cache", action="store_true",
+                           help="recompute every task")
+            p.add_argument("--json", action="store_true",
+                           help="print canonical JSON instead of the table")
+            p.add_argument("--out", default=None,
+                           help="also write the canonical JSON here")
+            p.add_argument("--quiet", action="store_true",
+                           help="suppress progress narration")
+            continue
+        if name == "online":
+            p = sub.add_parser(
+                name,
+                help="cold-start online sensitivity estimation vs "
+                     "offline profiling",
+            )
+            p.add_argument("--smoke", action="store_true",
+                           help="fixed CI configuration "
+                                "(golden-file compatible)")
+            p.add_argument("--waves", type=int, default=3,
+                           help="consecutive learning co-runs "
+                                "(default 3)")
+            p.add_argument("--seed", type=int, default=7,
+                           help="master seed (default 7)")
             p.add_argument("--jobs", default="1",
                            help="worker processes, or 'auto' (default 1)")
             p.add_argument("--no-cache", action="store_true",

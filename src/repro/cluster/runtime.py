@@ -108,6 +108,15 @@ class PolicySetup:
     stats (signature skips, coalesce flushes) or force
     ``flush_pending()`` without reaching into frontend internals.
 
+    For online-estimation sessions (``make_policy("saba-online")``)
+    three more handles travel along: ``provider`` (the
+    :class:`repro.online.provider.ModelProvider` the controller reads
+    models through), ``estimator`` (the
+    :class:`repro.online.estimator.OnlineSensitivityEstimator` behind
+    it, reusable across consecutive runs), and ``sampler`` (the
+    :class:`repro.online.sampler.StageSampler`; the harness must
+    register its jobs with it and attach it to the run's observer).
+
     Iteration yields ``(policy, connections_factory)`` so existing
     two-element tuple unpacking keeps working during migration::
 
@@ -120,6 +129,9 @@ class PolicySetup:
     ] = None
     controller: Optional[object] = None
     pipeline: Optional[object] = None
+    provider: Optional[object] = None
+    estimator: Optional[object] = None
+    sampler: Optional[object] = None
 
     def __iter__(self) -> Iterator[object]:
         yield self.policy

@@ -42,6 +42,7 @@ from repro.obs.events import (
     APP_REGISTERED,
     CONN_CREATED,
     CONN_DESTROYED,
+    MODEL_LOW_FIT,
     NULL_OBSERVER,
     Observer,
 )
@@ -52,7 +53,7 @@ from repro.core.pipeline import (
     AllocationPipeline,
     make_port_scheduler,
 )
-from repro.core.sensitivity import SensitivityModel
+from repro.core.sensitivity import LOW_FIT_R2, SensitivityModel
 from repro.core.table import SensitivityTable
 from repro.simnet.fabric import FluidFabric
 from repro.simnet.fairness import LinkScheduler
@@ -84,7 +85,12 @@ class _ControllerView:
 
     @property
     def epoch(self) -> int:
-        return self._c._epoch
+        # Sum of two monotonic revisions: the controller's own
+        # clustering epoch and the model provider's.  Online refits
+        # change model *coefficients* without changing model *names*,
+        # so without the provider term the pipeline's weight and
+        # signature caches would keep serving pre-refit solutions.
+        return self._c._epoch + self._c._provider.epoch
 
     def pl_of(self, job_id: str) -> Optional[int]:
         return self._c._pl_of.get(job_id)
@@ -122,6 +128,7 @@ class SabaController:
         coalesce_quantum: float = 0.0,
         seed: int = 0,
         observer: Optional[Observer] = None,
+        model_provider: Optional[object] = None,
     ) -> None:
         """
         Args:
@@ -158,10 +165,24 @@ class SabaController:
                 port updates are batched into one reallocation pass
                 (0 = eager, the default).
             seed: K-means seeding (determinism).
+            model_provider: where sensitivity models come from (a
+                :class:`~repro.online.provider.ModelProvider`).  The
+                default wraps ``table`` in an
+                :class:`~repro.online.provider.OfflineModelProvider`,
+                which reproduces the classic table-lookup behaviour
+                bit for bit; pass an online/hybrid provider to admit
+                applications the profiler has never seen.
         """
         if num_pls < 1:
             raise RegistrationError(f"num_pls must be >= 1: {num_pls}")
         self.table = table
+        if model_provider is None:
+            # Imported lazily: repro.online imports repro.core, so a
+            # module-level import here would be circular.
+            from repro.online.provider import OfflineModelProvider
+
+            model_provider = OfflineModelProvider(table)
+        self._provider = model_provider
         self.num_pls = num_pls
         self.c_saba = c_saba
         self.min_weight = min_weight
@@ -224,7 +245,7 @@ class SabaController:
         """
         if job_id in self._apps:
             raise RegistrationError(f"application {job_id!r} already registered")
-        if workload not in self.table:
+        if not self._provider.has_model(workload):
             raise RegistrationError(
                 f"workload {workload!r} has no profile; run the offline "
                 "profiler first"
@@ -239,6 +260,17 @@ class SabaController:
                 APP_REGISTERED, self._sim_now(), job=job_id,
                 workload=workload, pl=self._pl_of[job_id],
             )
+            model = self._provider.model_of(workload)
+            if model.r_squared is not None and model.r_squared < LOW_FIT_R2:
+                # The allocation this application gets rests on a fit
+                # that explains little of its profiled variance; warn
+                # the operator at the moment the model is consumed.
+                obs.emit(
+                    MODEL_LOW_FIT, self._sim_now(), job=job_id,
+                    workload=workload, model=model.name,
+                    r_squared=model.r_squared, threshold=LOW_FIT_R2,
+                    source="registration",
+                )
         self.pipeline.reallocate(self._port_apps.keys())
         return self._pl_of[job_id]
 
@@ -335,7 +367,7 @@ class SabaController:
     def _model_of(self, job_id: str) -> SensitivityModel:
         if self.use_group_models and self._pl_models:
             return self._pl_models[self._pl_of[job_id]]
-        return self.table.get(self._apps[job_id])
+        return self._provider.model_of(self._apps[job_id])
 
     # Section 5.3.1 asks for K-means over registered applications.  A
     # batch re-clustering on every (de)registration would renumber
@@ -349,7 +381,7 @@ class SabaController:
     # the paper's K-means grouping.
 
     def _assign_pl(self, job_id: str) -> None:
-        model = self.table.get(self._apps[job_id])
+        model = self._provider.model_of(self._apps[job_id])
         degree = model.degree
         vec = model.as_vector(degree)
         chosen: Optional[int] = None
@@ -394,7 +426,9 @@ class SabaController:
         """Recompute one PL's centroid model and rebuild the hierarchy."""
         self.stats.reclusterings += 1
         members = self._pl_members[pl]
-        models = [self.table.get(self._apps[j]) for j in sorted(members)]
+        models = [
+            self._provider.model_of(self._apps[j]) for j in sorted(members)
+        ]
         if reference is None:
             reference = models[0]
         degree = max(m.degree for m in models)
@@ -425,6 +459,36 @@ class SabaController:
                 self._pl_models[pl].as_vector(degree) for pl in self._hier_pls
             ])
         )
+
+    # -- online model updates ----------------------------------------------------
+
+    def on_models_updated(self, workloads: Sequence[str]) -> None:
+        """React to the model provider changing models mid-run.
+
+        Designed as the callback for
+        :meth:`~repro.online.estimator.OnlineSensitivityEstimator.subscribe`:
+        refreshes the PL centroids of every priority level with a
+        member of an affected workload (the provider now answers
+        ``model_of`` differently for them) and re-enforces all known
+        ports.  PL *membership* is deliberately untouched -- a PL is
+        carried in the headers of in-flight connections, so, exactly
+        as for registrations, only centroids may move.
+
+        Cheap no-op when no registered application runs an affected
+        workload: the provider's epoch bump alone invalidates the
+        pipeline caches for future passes.
+        """
+        affected = set(workloads)
+        pls = sorted({
+            self._pl_of[job_id]
+            for job_id, workload in self._apps.items()
+            if workload in affected and job_id in self._pl_of
+        })
+        if not pls:
+            return
+        for pl in pls:
+            self._refresh_pl_state(pl)
+        self.pipeline.reallocate(self._port_apps.keys())
 
     # -- allocation ---------------------------------------------------------------
 

@@ -33,8 +33,8 @@ shrinks), keeping Eq. 2 well-posed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +42,14 @@ from repro.errors import ProfilingError
 
 #: Bandwidth fractions the reference profiler sweeps (Section 7.1).
 PROFILE_FRACTIONS = (0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 1.0)
+
+#: Below this R^2 a fitted model is considered low quality: consumers
+#: (controller registration, the online estimator's confidence gate)
+#: emit a ``model.low_fit`` warning / refuse to trust the fit.  The
+#: paper reports R^2 >= 0.96 for every Table-1 workload at k=3
+#: (Figure 6a), so 0.8 flags genuinely bad fits without tripping on
+#: profiling noise.
+LOW_FIT_R2 = 0.8
 
 _BASES = ("inverse", "power")
 
@@ -58,12 +66,18 @@ class SensitivityModel:
             predictions clip to it because polynomials extrapolate
             wildly.
         basis: ``"inverse"`` or ``"power"`` (see module docstring).
+        r_squared: goodness of fit against the samples the model was
+            fitted on (:func:`fit_sensitivity_model` attaches it);
+            ``None`` for hand-constructed models.  Consumers compare
+            it against :data:`LOW_FIT_R2` to decide whether the model
+            is trustworthy.
     """
 
     name: str
     coefficients: Tuple[float, ...]
     fit_domain: Tuple[float, float] = (PROFILE_FRACTIONS[0], 1.0)
     basis: str = "inverse"
+    r_squared: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.coefficients:
@@ -154,6 +168,7 @@ def fit_sensitivity_model(
     degree: int = 3,
     basis: str = "inverse",
     monotone: bool = True,
+    convex: bool = False,
 ) -> SensitivityModel:
     """Least-squares fit of Eq. 1 to profiling samples.
 
@@ -165,6 +180,15 @@ def fit_sensitivity_model(
             ``"power"`` (x = b, the paper's literal Eq. 1).
         monotone: constrain the fit to be non-increasing in b over the
             fit domain (see module docstring).
+        convex: additionally constrain D''(b) >= 0 over the fit domain,
+            making the fitted model convex-decreasing by construction.
+            The offline profiler's dense 7-point grids rarely need
+            this; the online estimator's small noisy windows do, so
+            its refits always stay inside the Eq. 2 water-filling
+            solver's fast path.
+
+    The fitted model carries its own goodness of fit in
+    ``model.r_squared`` (against the samples it was fitted on).
 
     Raises:
         ProfilingError: fewer samples than coefficients, or samples
@@ -194,14 +218,25 @@ def fit_sensitivity_model(
     # Monotone in b: non-decreasing in x for inverse basis,
     # non-increasing in x for power basis.
     sign = 1.0 if basis == "inverse" else -1.0
-    if monotone and _min_signed_derivative(coeffs, x_lo, x_hi, sign) < -1e-9:
-        coeffs = _monotone_fit(vander, ds, coeffs, x_lo, x_hi, degree, sign)
-    return SensitivityModel(
+    needs_monotone = monotone and _min_signed_derivative(
+        coeffs, x_lo, x_hi, sign
+    ) < -1e-9
+    needs_convex = convex and _min_b_second_derivative(
+        coeffs, domain, basis
+    ) < -1e-9
+    if needs_monotone or needs_convex:
+        coeffs = _constrained_fit(
+            vander, ds, coeffs, x_lo, x_hi, degree, sign,
+            domain=domain, basis=basis,
+            monotone=monotone, convex=convex,
+        )
+    model = SensitivityModel(
         name=name,
         coefficients=tuple(float(c) for c in coeffs),
         fit_domain=domain,
         basis=basis,
     )
+    return replace(model, r_squared=r_squared(model, samples))
 
 
 def _signed_derivative_grid(
@@ -220,7 +255,32 @@ def _min_signed_derivative(
     return float(_signed_derivative_grid(coeffs, x_lo, x_hi, sign).min())
 
 
-def _monotone_fit(
+def _b_second_derivative_rows(
+    degree: int, domain: Tuple[float, float], basis: str, grid: int = 65
+) -> np.ndarray:
+    """Rows of D''(b) at grid points, linear in the coefficients.
+
+    Inverse basis: ``D(b) = sum c_i b^-i`` so ``D'' = sum c_i i (i+1)
+    b^-(i+2)``; power basis: ``D'' = sum c_i i (i-1) b^(i-2)``.
+    """
+    bs = np.linspace(domain[0], domain[1], grid)
+    rows = np.zeros((grid, degree + 1))
+    for i in range(1, degree + 1):
+        if basis == "inverse":
+            rows[:, i] = i * (i + 1) * bs ** (-(i + 2))
+        elif i >= 2:
+            rows[:, i] = i * (i - 1) * bs ** (i - 2)
+    return rows
+
+
+def _min_b_second_derivative(
+    coeffs: np.ndarray, domain: Tuple[float, float], basis: str
+) -> float:
+    rows = _b_second_derivative_rows(len(coeffs) - 1, domain, basis)
+    return float((rows @ coeffs).min())
+
+
+def _constrained_fit(
     vander: np.ndarray,
     ds: np.ndarray,
     x0: np.ndarray,
@@ -228,20 +288,30 @@ def _monotone_fit(
     x_hi: float,
     degree: int,
     sign: float,
+    domain: Tuple[float, float],
+    basis: str,
+    monotone: bool,
+    convex: bool,
     grid: int = 65,
 ) -> np.ndarray:
-    """Least squares with a monotonicity constraint at grid points.
+    """Least squares with monotonicity/convexity constraints at grid
+    points.
 
-    The constraint is linear in the coefficients, so this is a small
-    convex QP; SLSQP solves it in a few milliseconds for k <= 3.
+    Both constraints are linear in the coefficients, so this is a
+    small convex QP; SLSQP solves it in a few milliseconds for k <= 3.
     """
     from scipy import optimize
 
-    xs = np.linspace(x_lo, x_hi, grid)
-    dmat = np.zeros((grid, degree + 1))
-    for i in range(1, degree + 1):
-        dmat[:, i] = i * xs ** (i - 1)
-    dmat *= sign  # rows must be >= 0
+    blocks = []
+    if monotone:
+        xs = np.linspace(x_lo, x_hi, grid)
+        dmat = np.zeros((grid, degree + 1))
+        for i in range(1, degree + 1):
+            dmat[:, i] = i * xs ** (i - 1)
+        blocks.append(sign * dmat)  # rows must be >= 0
+    if convex:
+        blocks.append(_b_second_derivative_rows(degree, domain, basis, grid))
+    cmat = np.vstack(blocks)
 
     def objective(c: np.ndarray) -> float:
         r = vander @ c - ds
@@ -257,15 +327,13 @@ def _monotone_fit(
         method="SLSQP",
         constraints=[{
             "type": "ineq",
-            "fun": lambda c: dmat @ c,
-            "jac": lambda c: dmat,
+            "fun": lambda c: cmat @ c,
+            "jac": lambda c: cmat,
         }],
         options={"maxiter": 300, "ftol": 1e-12},
     )
-    if not result.success and _min_signed_derivative(
-        result.x, x_lo, x_hi, sign
-    ) < -1e-6:
-        raise ProfilingError(f"monotone fit failed: {result.message}")
+    if not result.success and float((cmat @ result.x).min()) < -1e-6:
+        raise ProfilingError(f"constrained fit failed: {result.message}")
     return result.x
 
 

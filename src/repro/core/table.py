@@ -62,14 +62,16 @@ class SensitivityTable:
     # -- persistence -------------------------------------------------------
 
     def to_json(self) -> str:
-        payload = {
-            name: {
+        payload = {}
+        for name, m in sorted(self._models.items()):
+            entry = {
                 "coefficients": list(m.coefficients),
                 "fit_domain": list(m.fit_domain),
                 "basis": m.basis,
             }
-            for name, m in sorted(self._models.items())
-        }
+            if m.r_squared is not None:
+                entry["r_squared"] = m.r_squared
+            payload[name] = entry
         return json.dumps(payload, indent=2, sort_keys=True)
 
     @classmethod
@@ -86,6 +88,7 @@ class SensitivityTable:
                     coefficients=tuple(entry["coefficients"]),
                     fit_domain=tuple(entry["fit_domain"]),
                     basis=entry.get("basis", "inverse"),
+                    r_squared=entry.get("r_squared"),
                 )
             )
         return table

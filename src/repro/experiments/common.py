@@ -88,17 +88,36 @@ def make_policy(
     table: Optional[SensitivityTable] = None,
     collapse_alpha: Optional[float] = DEFAULT_COLLAPSE_ALPHA,
     observer=None,
+    online_config=None,
+    estimator=None,
+    warm_start: bool = False,
+    link_capacity: float = GBPS_56,
     **controller_kwargs,
 ) -> PolicySetup:
     """Build the :class:`PolicySetup` for a policy name.
 
     ``name`` is one of ``"baseline"`` (InfiniBand FECN), ``"ideal"``
-    (ideal max-min), or ``"saba"`` (needs ``table``).  Testbed-style
-    comparisons keep ``collapse_alpha`` so Saba runs on the same
-    congestion-control substrate as the baseline; pass ``None`` for
-    the idealized simulation studies.  ``observer`` attaches an
+    (ideal max-min), ``"saba"`` (needs ``table``), or
+    ``"saba-online"``.  Testbed-style comparisons keep
+    ``collapse_alpha`` so Saba runs on the same congestion-control
+    substrate as the baseline; pass ``None`` for the idealized
+    simulation studies.  ``observer`` attaches an
     :class:`repro.obs.Observer` to the Saba controller so its solve
     and port-programming decisions are traced.
+
+    ``"saba-online"`` builds the telemetry-driven estimation stack
+    (:mod:`repro.online`): applications may register with *no*
+    profile.  ``table`` is optional there -- with a table the provider
+    is hybrid (trusted online fit, else table entry, else prior),
+    without it purely online.  ``online_config`` tunes the estimator;
+    ``estimator`` passes an existing
+    :class:`~repro.online.OnlineSensitivityEstimator` so learned
+    models survive across consecutive runs; ``warm_start`` probes the
+    sweep result cache for previously profiled grids before falling
+    back to the conservative prior.  The harness must still register
+    its jobs with ``setup.sampler`` and ``setup.sampler.attach`` the
+    run's observer -- the sampler cannot guess job specs from bus
+    events.
 
     The returned setup iterates as ``(policy, connections_factory)``
     for callers still unpacking the pre-:class:`PolicySetup` tuple;
@@ -129,6 +148,63 @@ def make_policy(
             connections_factory=SabaLibrary.factory(controller),
             controller=controller,
             pipeline=controller.pipeline,
+        )
+    if name == "saba-online":
+        from repro.online import (
+            HybridModelProvider,
+            OnlineModelProvider,
+            OnlineSensitivityEstimator,
+            StageSampler,
+            conservative_prior,
+            warm_start_model,
+        )
+
+        if estimator is None:
+            estimator = OnlineSensitivityEstimator(
+                config=online_config, observer=observer
+            )
+        elif observer is not None:
+            # A reused estimator (wave N of a convergence study) must
+            # announce refits on the *current* run's bus, not the bus
+            # of the run it was created for.
+            estimator.observer = observer
+        if warm_start:
+            def prior_of(workload: str):
+                cached = warm_start_model(workload)
+                return (
+                    cached if cached is not None
+                    else conservative_prior(workload)
+                )
+        else:
+            prior_of = conservative_prior
+        if table is not None:
+            provider = HybridModelProvider(
+                estimator, table, prior_of=prior_of, observer=observer
+            )
+        else:
+            provider = OnlineModelProvider(
+                estimator, prior_of=prior_of, observer=observer
+            )
+        if observer is not None:
+            controller_kwargs.setdefault("observer", observer)
+        controller = SabaController(
+            table if table is not None else SensitivityTable(),
+            collapse_alpha=collapse_alpha,
+            model_provider=provider,
+            **controller_kwargs,
+        )
+        # Refits move centroids and reprogram ports mid-run.  The
+        # subscription outlives the controller harmlessly: once its
+        # jobs deregister, on_models_updated is an empty-set no-op.
+        estimator.subscribe(controller.on_models_updated)
+        return PolicySetup(
+            policy=controller,
+            connections_factory=SabaLibrary.factory(controller),
+            controller=controller,
+            pipeline=controller.pipeline,
+            provider=provider,
+            estimator=estimator,
+            sampler=StageSampler(estimator, link_capacity=link_capacity),
         )
     raise ValueError(f"unknown policy {name!r}")
 

@@ -49,6 +49,12 @@ LIB_FAILOVER = "lib.failover"          # promoted the standby controller
 FAULT_CRASH = "faults.crash"           # endpoint entered a down window
 FAULT_RECOVER = "faults.recover"       # ... and came back
 FAULT_INJECTED = "faults.injected"     # one call hit loss/stall
+# Online sensitivity estimation (repro.online)
+ONLINE_SAMPLE = "online.sample"        # one (fraction, slowdown) observation
+ONLINE_REFIT = "online.refit"          # window re-fitted (accepted or not)
+ONLINE_DRIFT = "online.drift"          # Page-Hinkley tripped; window shrunk
+ONLINE_FALLBACK = "online.fallback"    # provider served offline/prior model
+MODEL_LOW_FIT = "model.low_fit"        # a consumed fit's R^2 is below gate
 # Cluster runtime
 JOB_STARTED = "job.started"
 JOB_FINISHED = "job.finished"
@@ -74,6 +80,8 @@ EVENT_TYPES = frozenset({
     LIB_REGISTERED, LIB_DEREGISTERED, LIB_CONN_OPENED,
     LIB_REREGISTERED, LIB_FAILOVER,
     FAULT_CRASH, FAULT_RECOVER, FAULT_INJECTED,
+    ONLINE_SAMPLE, ONLINE_REFIT, ONLINE_DRIFT, ONLINE_FALLBACK,
+    MODEL_LOW_FIT,
     JOB_STARTED, JOB_FINISHED, STAGE_STARTED, STAGE_FINISHED,
     SWEEP_STARTED, SWEEP_FINISHED, SWEEP_TASK_STARTED,
     SWEEP_TASK_FINISHED, SWEEP_TASK_RETRIED, SWEEP_TASK_FAILED,

@@ -1,0 +1,43 @@
+"""Telemetry-driven online sensitivity estimation.
+
+Lets applications register with the controller *without* an offline
+profiling run: a :class:`StageSampler` harvests (achieved bandwidth
+fraction, observed slowdown) pairs from live stage telemetry, an
+:class:`OnlineSensitivityEstimator` re-fits Eq. 1 models over a
+sliding window with drift detection, and a :class:`ModelProvider`
+implementation decides -- per lookup -- whether the controller sees
+the trusted online fit, the offline table entry, or a conservative
+prior.  See ``DESIGN.md`` section 5g.
+"""
+
+from repro.online.estimator import (
+    EstimatorConfig,
+    OnlineSensitivityEstimator,
+    PageHinkley,
+)
+from repro.online.prior import (
+    DEFAULT_PRIOR_BETA,
+    conservative_prior,
+    warm_start_model,
+)
+from repro.online.provider import (
+    HybridModelProvider,
+    ModelProvider,
+    OfflineModelProvider,
+    OnlineModelProvider,
+)
+from repro.online.sampler import StageSampler
+
+__all__ = [
+    "DEFAULT_PRIOR_BETA",
+    "EstimatorConfig",
+    "HybridModelProvider",
+    "ModelProvider",
+    "OfflineModelProvider",
+    "OnlineModelProvider",
+    "OnlineSensitivityEstimator",
+    "PageHinkley",
+    "StageSampler",
+    "conservative_prior",
+    "warm_start_model",
+]

@@ -1,0 +1,393 @@
+"""Online sensitivity estimation from live observation streams.
+
+The offline profiler (Section 4) needs a dedicated per-application
+profiling run before the controller can place the application in the
+Eq. 2 solve -- a non-starter for a control plane admitting tenants
+cold.  Söze-style systems show that per-flow weighted allocation can
+be driven purely by in-network telemetry; this module learns the
+Eq. 1 sensitivity curve ``D(b)`` *while the application runs*:
+
+* each observation is an ``(achieved bandwidth fraction, observed
+  slowdown)`` pair harvested from the cluster runtime's stage
+  telemetry (:class:`repro.online.sampler.StageSampler`);
+* per workload, a bounded sliding window of observations is re-fitted
+  with the offline profiler's exact machinery
+  (:func:`repro.core.sensitivity.fit_sensitivity_model`), with the
+  monotone *and* convex constraints on so refitted models always stay
+  inside the Eq. 2 water-filling solver's fast path;
+* a Page-Hinkley detector watches the relative fit residuals; when the
+  workload's behaviour drifts (dataset growth, phase change), the
+  window is shrunk to the most recent samples so the next refit tracks
+  the new regime instead of averaging across regimes;
+* a confidence gate (sample count, observed-fraction spread, and the
+  fit's ``r_squared``) decides when the online model is *trusted*.
+  Until then the model provider falls back to the offline table entry
+  or a conservative prior (:mod:`repro.online.provider`).
+
+The estimator is deliberately fabric-agnostic: it holds no simulation
+state, so one estimator can persist across many co-runs (the
+``extension_online`` experiment reuses it across waves to show cold
+applications converging).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.sensitivity import (
+    LOW_FIT_R2,
+    SensitivityModel,
+    fit_sensitivity_model,
+)
+from repro.errors import ProfilingError
+from repro.obs.events import (
+    MODEL_LOW_FIT,
+    NULL_OBSERVER,
+    ONLINE_DRIFT,
+    ONLINE_REFIT,
+    ONLINE_SAMPLE,
+    Observer,
+)
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Tuning knobs of the online estimator.
+
+    Attributes:
+        window: maximum observations retained per workload (sliding).
+        min_samples: confidence gate -- observations required before a
+            fit can be trusted.
+        min_spread: confidence gate -- the observed bandwidth
+            fractions must span at least this range; a fit through a
+            near-vertical stack of samples at one fraction says
+            nothing about the curve's shape.
+        min_r_squared: confidence gate -- fits scoring below this are
+            announced via ``model.low_fit`` and not trusted.
+        degree: Eq. 1 polynomial degree for refits (reduced
+            automatically while the window holds fewer than
+            ``degree + 1`` samples).
+        basis: regression basis, as in
+            :func:`~repro.core.sensitivity.fit_sensitivity_model`.
+        refit_interval: refit after every this many new observations
+            (fits are milliseconds, but refitting on *every* sample
+            would thrash the downstream weight/signature caches).
+        drift_delta: Page-Hinkley insensitivity margin -- residual
+            drift smaller than this is treated as noise.
+        drift_threshold: Page-Hinkley trip level on the cumulative
+            residual excess.
+        shrink_to: observations kept (most recent) when drift trips.
+        min_fraction: floor for observed bandwidth fractions
+            (slowdowns diverge as b -> 0; the profiler's grid floor).
+    """
+
+    window: int = 64
+    min_samples: int = 8
+    min_spread: float = 0.10
+    min_r_squared: float = LOW_FIT_R2
+    degree: int = 3
+    basis: str = "inverse"
+    refit_interval: int = 4
+    drift_delta: float = 0.05
+    drift_threshold: float = 1.5
+    shrink_to: int = 8
+    min_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ProfilingError(f"window must be >= 2: {self.window}")
+        if self.min_samples < 2:
+            raise ProfilingError(
+                f"min_samples must be >= 2: {self.min_samples}"
+            )
+        if not 0.0 < self.min_fraction < 1.0:
+            raise ProfilingError(
+                f"min_fraction must be in (0, 1): {self.min_fraction}"
+            )
+        if self.refit_interval < 1:
+            raise ProfilingError(
+                f"refit_interval must be >= 1: {self.refit_interval}"
+            )
+        if self.shrink_to < 2:
+            raise ProfilingError(f"shrink_to must be >= 2: {self.shrink_to}")
+
+
+class PageHinkley:
+    """Page-Hinkley change detector on a stream of residuals.
+
+    Tracks the running mean of the observed values and the cumulative
+    sum of their excess over ``(mean + delta)``; a trip is declared
+    when the cumulative sum rises more than ``threshold`` above its
+    historical minimum -- the classic one-sided PH test for an upward
+    mean shift, which is what a regime change looks like through the
+    lens of fit residuals.
+    """
+
+    def __init__(self, delta: float = 0.05, threshold: float = 1.5) -> None:
+        self.delta = delta
+        self.threshold = threshold
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one residual; returns ``True`` when drift is declared."""
+        self._n += 1
+        self._mean += (value - self._mean) / self._n
+        self._cumulative += value - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        return (self._cumulative - self._minimum) > self.threshold
+
+
+@dataclass
+class _WorkloadState:
+    """Everything the estimator knows about one workload."""
+
+    samples: Deque[Tuple[float, float, float]]  # (time, fraction, slowdown)
+    detector: PageHinkley
+    model: Optional[SensitivityModel] = None
+    trusted: bool = False
+    samples_seen: int = 0
+    refits: int = 0
+    rejected_refits: int = 0
+    drift_trips: int = 0
+    since_refit: int = 0
+    last_r_squared: Optional[float] = None
+
+
+class OnlineSensitivityEstimator:
+    """Re-fits each workload's ``D(b)`` incrementally from live samples.
+
+    Thread one estimator through a run (or several consecutive runs)
+    and feed it via :meth:`observe`.  Consumers read models through a
+    :class:`~repro.online.provider.ModelProvider`; interested parties
+    (the controller's PL-centroid refresh) can :meth:`subscribe` to be
+    told which workloads' trusted models changed.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EstimatorConfig] = None,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        self.config = config if config is not None else EstimatorConfig()
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self._states: Dict[str, _WorkloadState] = {}
+        self._epoch = 0
+        self._listeners: List[Callable[[Set[str]], None]] = []
+
+    # -- wiring -----------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic revision, bumped whenever any trusted model
+        changes (model providers expose it so the allocation
+        pipeline's weight and signature caches invalidate)."""
+        return self._epoch
+
+    def subscribe(
+        self, callback: Callable[[Set[str]], None]
+    ) -> Callable[[], None]:
+        """Call ``callback(workloads)`` after trusted-model changes;
+        returns an unsubscribe function."""
+        self._listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self, workloads: Set[str]) -> None:
+        self._epoch += 1
+        for callback in list(self._listeners):
+            callback(set(workloads))
+
+    # -- ingestion --------------------------------------------------------
+
+    def observe(
+        self, workload: str, fraction: float, slowdown: float, time: float
+    ) -> None:
+        """Ingest one ``(achieved fraction, observed slowdown)`` sample.
+
+        ``fraction`` is clamped to ``[min_fraction, 1]`` and
+        ``slowdown`` floored at 1.0 (an application cannot run faster
+        than unthrottled).  May trigger a drift trip and/or a refit;
+        both are announced on the observer bus.
+        """
+        cfg = self.config
+        fraction = min(max(float(fraction), cfg.min_fraction), 1.0)
+        slowdown = max(1.0, float(slowdown))
+        state = self._states.get(workload)
+        if state is None:
+            state = _WorkloadState(
+                samples=deque(maxlen=cfg.window),
+                detector=PageHinkley(cfg.drift_delta, cfg.drift_threshold),
+            )
+            self._states[workload] = state
+        state.samples_seen += 1
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("online.samples").inc()
+            obs.emit(
+                ONLINE_SAMPLE, time, workload=workload,
+                fraction=fraction, slowdown=slowdown,
+            )
+        # Drift detection runs against the *current* trusted model's
+        # prediction, before the sample joins the window -- a regime
+        # change shows up as a run of one-sided residuals.
+        if state.trusted and state.model is not None:
+            predicted = state.model.predict(fraction)
+            residual = abs(slowdown - predicted) / predicted
+            if state.detector.update(residual):
+                self._trip_drift(workload, state, time)
+        state.samples.append((time, fraction, slowdown))
+        state.since_refit += 1
+        if (
+            state.since_refit >= cfg.refit_interval
+            and len(state.samples) >= 2
+        ):
+            self._refit(workload, state, time)
+
+    def _trip_drift(
+        self, workload: str, state: _WorkloadState, time: float
+    ) -> None:
+        """Regime change: keep only the freshest samples and force the
+        next refit to start from the new regime's evidence."""
+        cfg = self.config
+        state.drift_trips += 1
+        kept = list(state.samples)[-cfg.shrink_to:]
+        state.samples.clear()
+        state.samples.extend(kept)
+        state.detector.reset()
+        was_trusted = state.trusted
+        state.trusted = False
+        state.since_refit = cfg.refit_interval  # refit on this sample
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("online.drift_trips").inc()
+            obs.emit(
+                ONLINE_DRIFT, time, workload=workload,
+                window=len(state.samples), trips=state.drift_trips,
+            )
+        if was_trusted:
+            self._notify({workload})
+
+    # -- fitting ----------------------------------------------------------
+
+    def _refit(
+        self, workload: str, state: _WorkloadState, time: float
+    ) -> None:
+        cfg = self.config
+        state.since_refit = 0
+        samples = [(b, d) for _, b, d in state.samples]
+        fractions = [b for b, _ in samples]
+        spread = max(fractions) - min(fractions)
+        degree = max(1, min(cfg.degree, len(samples) - 1))
+        fitted: Optional[SensitivityModel] = None
+        if spread > 1e-6:
+            try:
+                fitted = fit_sensitivity_model(
+                    workload, samples, degree=degree, basis=cfg.basis,
+                    monotone=True, convex=True,
+                )
+            except ProfilingError:
+                fitted = None
+        state.refits += 1
+        r2 = fitted.r_squared if fitted is not None else None
+        state.last_r_squared = r2
+        trusted = (
+            fitted is not None
+            and len(samples) >= cfg.min_samples
+            and spread >= cfg.min_spread
+            and r2 is not None
+            and r2 >= cfg.min_r_squared
+        )
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter("online.refits").inc()
+            obs.metrics.gauge(f"online.window.{workload}").set(
+                float(len(samples))
+            )
+            obs.emit(
+                ONLINE_REFIT, time, workload=workload,
+                window=len(samples), spread=spread, degree=degree,
+                r_squared=r2, trusted=trusted,
+            )
+            if fitted is not None and not trusted and (
+                r2 is not None and r2 < cfg.min_r_squared
+            ):
+                obs.emit(
+                    MODEL_LOW_FIT, time, workload=workload,
+                    model=workload, r_squared=r2,
+                    threshold=cfg.min_r_squared, source="online",
+                )
+        if not trusted:
+            state.rejected_refits += 1
+            if state.trusted:
+                # Quality collapsed below the gate: revoke trust so
+                # providers fall back to the offline entry / prior.
+                state.trusted = False
+                self._notify({workload})
+            return
+        assert fitted is not None
+        changed = (
+            state.model is None
+            or fitted.coefficients != state.model.coefficients
+            or fitted.fit_domain != state.model.fit_domain
+        )
+        state.model = fitted
+        newly_trusted = not state.trusted
+        state.trusted = True
+        if changed or newly_trusted:
+            self._notify({workload})
+
+    # -- queries ----------------------------------------------------------
+
+    def model_for(self, workload: str) -> Optional[SensitivityModel]:
+        """The trusted online model, or ``None`` while the confidence
+        gate holds (callers fall back to offline table / prior)."""
+        state = self._states.get(workload)
+        if state is None or not state.trusted:
+            return None
+        return state.model
+
+    def workloads(self) -> List[str]:
+        """Workloads for which observations have been seen."""
+        return sorted(self._states)
+
+    def window_of(self, workload: str) -> List[Tuple[float, float, float]]:
+        """The current sample window (time, fraction, slowdown)."""
+        state = self._states.get(workload)
+        return list(state.samples) if state is not None else []
+
+    def stats_of(self, workload: str) -> Dict[str, object]:
+        """Counters for one workload (tests, experiment reporting)."""
+        state = self._states.get(workload)
+        if state is None:
+            return {
+                "samples_seen": 0, "window": 0, "refits": 0,
+                "rejected_refits": 0, "drift_trips": 0, "trusted": False,
+                "r_squared": None,
+            }
+        return {
+            "samples_seen": state.samples_seen,
+            "window": len(state.samples),
+            "refits": state.refits,
+            "rejected_refits": state.rejected_refits,
+            "drift_trips": state.drift_trips,
+            "trusted": state.trusted,
+            "r_squared": state.last_r_squared,
+        }
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-workload counters, sorted by workload name."""
+        return {w: self.stats_of(w) for w in self.workloads()}

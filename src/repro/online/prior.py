@@ -1,0 +1,112 @@
+"""Fallback models for workloads the online estimator cannot vouch for.
+
+Two sources, in decreasing order of information:
+
+* :func:`warm_start_model` -- re-fit from *cached* offline profiling
+  measurements.  Every profiling grid point ever run through the sweep
+  subsystem sits in the content-addressed cache keyed on
+  ``(task name, config hash, package version)``; if the full grid for
+  a workload is present, the Eq. 1 fit is reconstructed without
+  running anything.  A partial grid is a miss -- fitting through half
+  a grid silently yields a different (worse) model than the offline
+  table would hold, which is exactly the kind of quiet skew golden
+  tests exist to prevent.
+* :func:`conservative_prior` -- a pessimistic synthetic curve,
+  ``D(b) = (1 - beta) + beta / b``, for workloads with no history at
+  all.  It is exact at full bandwidth (``D(1) = 1``), monotone
+  decreasing and convex in ``b`` (so the Eq. 2 fast path applies), and
+  treats the application as ``beta``-network-bound.  Overstating
+  sensitivity is the safe direction: a cold application is granted
+  *more* protection than it may need until real observations arrive,
+  rather than being starved on an optimistic guess.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.sensitivity import (
+    PROFILE_FRACTIONS,
+    SensitivityModel,
+    fit_sensitivity_model,
+)
+from repro.sweep.cache import SweepCache, cache_key, default_cache
+from repro.units import GBPS_56
+from repro.workloads.catalog import CATALOG, PROFILER_NODES
+
+#: Assumed network-bound share of a cold application's critical path.
+DEFAULT_PRIOR_BETA = 0.5
+
+
+def conservative_prior(
+    workload: str,
+    beta: float = DEFAULT_PRIOR_BETA,
+    fit_domain: Tuple[float, float] = (PROFILE_FRACTIONS[0], 1.0),
+) -> SensitivityModel:
+    """Pessimistic Eq. 1 curve ``D(b) = (1 - beta) + beta / b``.
+
+    In the inverse basis (x = 1/b) this is the exact two-coefficient
+    polynomial ``(1 - beta) + beta * x``, so no fitting is involved.
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1]: {beta}")
+    return SensitivityModel(
+        name=workload,
+        coefficients=(1.0 - beta, beta),
+        fit_domain=fit_domain,
+        basis="inverse",
+        r_squared=None,
+    )
+
+
+def warm_start_model(
+    workload: str,
+    cache: Optional[SweepCache] = None,
+    fractions: Sequence[float] = PROFILE_FRACTIONS,
+    degree: int = 3,
+    n_instances: int = PROFILER_NODES,
+    link_capacity: float = GBPS_56,
+    methods: Sequence[str] = ("simulate", "analytic"),
+) -> Optional[SensitivityModel]:
+    """Rebuild ``workload``'s offline fit from cached profiling points.
+
+    Probes the sweep cache for the exact tasks
+    :meth:`~repro.core.profiler.OfflineProfiler.point_task` would
+    enqueue, for each measurement ``method`` in turn; the first method
+    whose *entire* grid is cached wins.  Returns ``None`` when no
+    method has full coverage or the workload is not in the catalog
+    (tenant-private workloads never went through the profiler).
+    """
+    # Imported here: profiler -> cluster runtime is a heavy import
+    # chain that pure-estimator users (and their tests) skip.
+    from repro.core.profiler import OfflineProfiler
+
+    template = CATALOG.get(workload)
+    if template is None:
+        return None
+    cache = cache if cache is not None else default_cache()
+    spec = template.instantiate(
+        n_instances=n_instances, link_capacity=link_capacity
+    )
+    for method in methods:
+        profiler = OfflineProfiler(
+            fractions=fractions, degree=degree, n_nodes=n_instances,
+            link_capacity=link_capacity, method=method,
+        )
+        times = []
+        for fraction in profiler.fractions:
+            hit, value = cache.get(
+                cache_key(profiler.point_task(spec, fraction))
+            )
+            if not hit:
+                times = []
+                break
+            times.append((fraction, float(value)))
+        if not times:
+            continue
+        baseline = dict(times)[1.0]
+        if baseline <= 0:
+            continue
+        samples = [(f, t / baseline) for f, t in times]
+        return fit_sensitivity_model(workload, samples, degree=degree)
+    return None

@@ -1,0 +1,154 @@
+"""Harvesting (fraction, slowdown) samples from live stage telemetry.
+
+The estimator wants ``(achieved bandwidth fraction, observed
+slowdown)`` pairs; the cluster runtime announces ``stage.started`` /
+``stage.finished`` on the observer bus.  :class:`StageSampler` bridges
+the two:
+
+* **slowdown** -- the observed stage duration divided by the stage
+  model's unthrottled duration ``duration_at(B)``.  This is exactly
+  the quantity the offline profiler measures, just per-stage and in
+  situ instead of per-run on a dedicated pod.
+* **achieved fraction** -- inverted from the flow-level physics: a
+  network-bound stage spends ``duration - flow_release_offset()``
+  transferring ``comm_bytes``, so the harmonic-mean effective rate is
+  ``comm_bytes / comm_time``; subtracting the stage's auxiliary drain
+  and dividing by link capacity yields the bandwidth fraction the
+  network actually granted.  When a :class:`UtilizationRecorder` is
+  attached, the fraction is instead read off the NIC telemetry as the
+  mean network utilization of the job's servers over the
+  communication window (valid when the job does not share servers --
+  NIC counters cannot attribute bytes to tenants).
+
+Stages that finish at (or within ``tol`` of) their unthrottled
+duration are recorded as ``(1.0, 1.0)``: the network demonstrably did
+not slow them, and ``D(1) = 1`` holds by definition, so the sample
+anchors the fit's full-bandwidth end exactly like the profiler's
+``b = 1`` grid point.  Compute-only stages and single-instance jobs
+are skipped outright -- they carry no bandwidth signal at any
+fraction, so even the ``(1.0, 1.0)`` anchor would be unearned.
+
+The sampler must be told about jobs up front (:meth:`register_job`):
+the bus events carry identifiers and byte counts, not full stage
+specs, and the inversion needs ``overlap`` / ``rate_cap`` /
+``aux_rate``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cluster.jobs import Job
+from repro.obs.events import (
+    STAGE_FINISHED,
+    STAGE_STARTED,
+    EventRecord,
+    Observer,
+)
+from repro.online.estimator import OnlineSensitivityEstimator
+from repro.simnet.telemetry import UtilizationRecorder
+from repro.units import GBPS_56
+
+
+class StageSampler:
+    """Turns stage lifecycle events into estimator observations."""
+
+    def __init__(
+        self,
+        estimator: OnlineSensitivityEstimator,
+        link_capacity: float = GBPS_56,
+        recorder: Optional[UtilizationRecorder] = None,
+        tol: float = 1e-6,
+    ) -> None:
+        if link_capacity <= 0:
+            raise ValueError(f"link_capacity must be > 0: {link_capacity}")
+        self.estimator = estimator
+        self.link_capacity = link_capacity
+        self.recorder = recorder
+        self.tol = tol
+        self._jobs: Dict[str, Job] = {}
+        # (job_id, instance-or-None, stage index) -> start time
+        self._starts: Dict[Tuple[str, Optional[int], int], float] = {}
+        self.samples = 0
+        self.skipped = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def register_job(self, job: Job) -> None:
+        """Declare a job the sampler should learn from.  Events for
+        unregistered jobs are ignored (counted in ``skipped``)."""
+        self._jobs[job.job_id] = job
+
+    def attach(self, observer: Observer) -> Callable[[], None]:
+        """Subscribe to the observer's bus; returns unsubscribe."""
+        return observer.bus.subscribe(
+            self._on_event, types=[STAGE_STARTED, STAGE_FINISHED]
+        )
+
+    # -- event handling ---------------------------------------------------
+
+    def _on_event(self, record: EventRecord) -> None:
+        fields = record.fields
+        job_id = fields.get("job")
+        stage_index = fields.get("stage")
+        if not isinstance(job_id, str) or not isinstance(stage_index, int):
+            return
+        key = (job_id, fields.get("instance"), stage_index)
+        if record.type == STAGE_STARTED:
+            self._starts[key] = record.time
+            return
+        start = self._starts.pop(key, None)
+        job = self._jobs.get(job_id)
+        if start is None or job is None:
+            self.skipped += 1
+            return
+        sample = self._derive_sample(job, stage_index, start, record.time)
+        if sample is None:
+            self.skipped += 1
+            return
+        fraction, slowdown = sample
+        self.samples += 1
+        self.estimator.observe(job.workload, fraction, slowdown, record.time)
+
+    def _derive_sample(
+        self, job: Job, stage_index: int, start: float, finish: float
+    ) -> Optional[Tuple[float, float]]:
+        spec = job.spec
+        if not 0 <= stage_index < len(spec.stages):
+            return None
+        stage = spec.stages[stage_index]
+        if stage.comm_bytes <= 0 or spec.n_instances < 2:
+            return None  # no bandwidth signal at any fraction
+        duration = finish - start
+        ideal = stage.duration_at(self.link_capacity)
+        if duration <= 0 or ideal <= 0:
+            return None
+        slowdown = duration / ideal
+        if slowdown <= 1.0 + self.tol:
+            # The network never visibly slowed this stage; the only
+            # honest placement is the exact D(1) = 1 anchor.
+            return 1.0, 1.0
+        release = stage.flow_release_offset()
+        comm_time = duration - release
+        if comm_time <= 0:
+            return None
+        if self.recorder is not None:
+            fraction = self._telemetry_fraction(
+                job, start + release, finish
+            )
+        else:
+            net_rate = stage.comm_bytes / comm_time - stage.aux_rate
+            if net_rate <= 0:
+                return None
+            fraction = net_rate / self.link_capacity
+        return min(1.0, fraction), slowdown
+
+    def _telemetry_fraction(
+        self, job: Job, t_start: float, t_end: float
+    ) -> float:
+        assert self.recorder is not None
+        means = [
+            self.recorder.window_mean(server, "network", t_start, t_end)
+            for server in job.placement
+        ]
+        return max(means) if means else 0.0

@@ -29,6 +29,18 @@ class _StepSeries:
     values: List[float] = field(default_factory=list)
 
     def append(self, time: float, value: float) -> None:
+        """Record ``value`` from ``time`` onward.
+
+        Samples must arrive in non-decreasing time order.  A sample at
+        *exactly* the last recorded timestamp overwrites the previous
+        value (last-write-wins) instead of growing the series: the
+        series is piecewise-constant, so two values at one instant
+        would make it ill-defined, and fabric rate recomputations
+        legitimately sample the same simulated instant several times
+        within one event cascade -- only the final state of the
+        instant holds for the following interval.  The online
+        estimator's sampling path relies on this collapse.
+        """
         if self.times and time < self.times[-1]:
             raise ValueError("telemetry samples must be time-ordered")
         if self.times and time == self.times[-1]:
@@ -89,6 +101,13 @@ class UtilizationRecorder:
     def servers(self) -> List[str]:
         return sorted(set(self._network) | set(self._cpu))
 
+    def _series_of(self, server: str, metric: str) -> _StepSeries:
+        if metric == "network":
+            return self._network.get(server, _StepSeries())
+        if metric == "cpu":
+            return self._cpu.get(server, _StepSeries())
+        raise ValueError(f"unknown metric {metric!r}")
+
     def series(
         self,
         server: str,
@@ -102,12 +121,7 @@ class UtilizationRecorder:
         ``metric`` is ``"network"`` or ``"cpu"``.  Returns parallel
         lists of timestamps and utilization values in [0, 1].
         """
-        if metric == "network":
-            series = self._network.get(server, _StepSeries())
-        elif metric == "cpu":
-            series = self._cpu.get(server, _StepSeries())
-        else:
-            raise ValueError(f"unknown metric {metric!r}")
+        series = self._series_of(server, metric)
         if resolution <= 0:
             raise ValueError("resolution must be > 0")
         times: List[float] = []
@@ -126,12 +140,23 @@ class UtilizationRecorder:
         series divided by ``t_end`` -- no resampling grid, so unevenly
         spaced samples carry exactly their holding time's weight.
         """
-        if metric == "network":
-            series = self._network.get(server, _StepSeries())
-        elif metric == "cpu":
-            series = self._cpu.get(server, _StepSeries())
-        else:
-            raise ValueError(f"unknown metric {metric!r}")
+        series = self._series_of(server, metric)
         if t_end <= 0.0:
             return series.value_at(0.0)
         return series.integral(0.0, t_end) / t_end
+
+    def window_mean(
+        self, server: str, metric: str, t_start: float, t_end: float
+    ) -> float:
+        """Time-weighted mean utilization over ``[t_start, t_end]``.
+
+        The windowed counterpart of :meth:`mean_utilization` -- the
+        online estimator's stage sampler uses it to read the achieved
+        bandwidth fraction of one stage's communication phase off the
+        NIC telemetry.  Degenerate windows return the instantaneous
+        value at ``t_start``.
+        """
+        series = self._series_of(server, metric)
+        if t_end <= t_start:
+            return series.value_at(t_start)
+        return series.integral(t_start, t_end) / (t_end - t_start)

@@ -173,6 +173,48 @@ def _render_faults(result: Any) -> str:
     return "\n".join(lines)
 
 
+# -- online -----------------------------------------------------------------
+
+
+def _build_online(options: Mapping[str, Any]) -> SweepSpec:
+    from repro.experiments.extension_online import (
+        DEFAULT_WAVES,
+        online_sweep_spec,
+    )
+
+    if bool(_opt(options, "smoke", False)):
+        return online_sweep_spec(seed=int(_opt(options, "seed", 7)))
+    return online_sweep_spec(
+        seed=int(_opt(options, "seed", 7)),
+        waves=int(_opt(options, "waves", DEFAULT_WAVES)),
+    )
+
+
+def _render_online(result: Any) -> str:
+    lines = [
+        "cold-start online estimation vs offline profiling "
+        f"(seed={result.seed}):",
+        f"  offline speedup (ceiling): {result.speedup_offline:7.4f}",
+    ]
+    for i, p in enumerate(result.wave_points, start=1):
+        lines.append(
+            f"  wave {i}: speedup {p.speedup:7.4f}  "
+            f"fallback {p.fallback_ratio:6.1%}  "
+            f"samples {p.stage_samples:4d}"
+        )
+    lines.append(
+        f"  convergence gap: {result.convergence_gap:.2%} "
+        "(acceptance: <= 5%)"
+    )
+    trusted = sum(
+        1 for s in result.estimator.values() if s.get("trusted")
+    )
+    lines.append(
+        f"  trusted workload models: {trusted}/{len(result.estimator)}"
+    )
+    return "\n".join(lines)
+
+
 # -- fig10 ------------------------------------------------------------------
 
 
@@ -243,6 +285,14 @@ REGISTRY: Dict[str, Experiment] = {
             render=_render_faults,
             defaults={"smoke": False, "mtbfs": None, "mttr": 6.0,
                       "seed": 7, "series": None},
+        ),
+        Experiment(
+            name="online",
+            help="cold-start online sensitivity estimation vs offline "
+                 "profiling (extension study)",
+            build=_build_online,
+            render=_render_online,
+            defaults={"smoke": False, "seed": 7, "waves": None},
         ),
     )
 }

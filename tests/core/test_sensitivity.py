@@ -171,3 +171,63 @@ def test_fitted_models_monotone_for_random_hyperbolas(c, degree):
     preds = [model.predict(float(x)) for x in xs]
     for a, b in zip(preds, preds[1:]):
         assert b <= a + 1e-5
+
+
+def test_near_flat_curve_fits_without_blowup():
+    """A network-insensitive app's curve is ~1.0 everywhere.
+
+    The residual variance is near machine epsilon; the fit must stay
+    numerically stable, keep D >= 1, and remain monotone rather than
+    amplifying the noise into spurious slope.
+    """
+    samples = [(b, 1.0 + 1e-9 * (1.0 - b)) for b in PROFILE_FRACTIONS]
+    model = fit_sensitivity_model("flat", samples, degree=3)
+    for b in PROFILE_FRACTIONS:
+        assert model.predict(b) == pytest.approx(1.0, abs=1e-6)
+    lo, hi = model.fit_domain
+    preds = [model.predict(float(x)) for x in np.linspace(lo, hi, 40)]
+    for a, b in zip(preds, preds[1:]):
+        assert b <= a + 1e-6
+
+
+def test_two_point_window_linear_fit_exact():
+    """Degree 1 with exactly two samples: the minimal online window.
+
+    The online estimator clamps degree to len(samples) - 1, so its
+    first refit is a two-point line -- which must interpolate both
+    samples exactly.
+    """
+    samples = [(0.5, 2.0), (1.0, 1.0)]
+    model = fit_sensitivity_model("tiny", samples, degree=1)
+    assert model.predict(0.5) == pytest.approx(2.0, abs=1e-8)
+    assert model.predict(1.0) == pytest.approx(1.0, abs=1e-8)
+    assert model.r_squared == pytest.approx(1.0)
+
+
+def test_fit_attaches_r_squared():
+    model = fit_sensitivity_model("x", _hyperbolic_samples(), degree=3)
+    assert model.r_squared is not None
+    assert model.r_squared == pytest.approx(
+        r_squared(model, _hyperbolic_samples())
+    )
+
+
+@given(
+    c=st.floats(min_value=0.05, max_value=4.0),
+    noise=st.floats(min_value=0.0, max_value=0.3),
+    degree=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_convex_fits_stay_in_waterfilling_fast_path(c, noise, degree):
+    """``convex=True`` fits satisfy ``is_convex_decreasing`` on the
+    fit range even for noisy windows -- the invariant that keeps the
+    online estimator's refits inside the Eq. 2 fast path."""
+    samples = []
+    for i, b in enumerate(PROFILE_FRACTIONS):
+        bump = noise if i % 2 else -noise  # deterministic "noise"
+        samples.append((b, max(1.0, (1 - c) + c / b + bump)))
+    model = fit_sensitivity_model(
+        "x", samples, degree=degree, monotone=True, convex=True
+    )
+    lo, hi = model.fit_domain
+    assert model.is_convex_decreasing(lo, hi)

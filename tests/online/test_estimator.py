@@ -1,0 +1,201 @@
+"""Unit tests for the online sensitivity estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.obs.events import (
+    MODEL_LOW_FIT,
+    ONLINE_DRIFT,
+    ONLINE_REFIT,
+    ONLINE_SAMPLE,
+    Observer,
+)
+from repro.online import EstimatorConfig, OnlineSensitivityEstimator, PageHinkley
+
+
+def curve(b: float, beta: float = 0.6) -> float:
+    """Ground-truth slowdown: (1 - beta) + beta / b."""
+    return (1.0 - beta) + beta / b
+
+
+FRACTIONS = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+
+
+def feed_curve(est, workload="W", beta=0.6, rounds=3, t0=0.0):
+    t = t0
+    for _ in range(rounds):
+        for b in FRACTIONS:
+            est.observe(workload, b, curve(b, beta), t)
+            t += 1.0
+    return t
+
+
+class TestPageHinkley:
+    def test_stationary_stream_never_trips(self):
+        ph = PageHinkley(delta=0.05, threshold=1.5)
+        assert not any(ph.update(0.02) for _ in range(1000))
+
+    def test_mean_shift_trips(self):
+        ph = PageHinkley(delta=0.05, threshold=1.5)
+        for _ in range(50):
+            assert not ph.update(0.02)
+        tripped = False
+        for _ in range(50):
+            if ph.update(0.8):
+                tripped = True
+                break
+        assert tripped
+
+    def test_reset_forgets_history(self):
+        ph = PageHinkley(delta=0.05, threshold=0.5)
+        for _ in range(20):
+            ph.update(0.9)
+        ph.reset()
+        assert not ph.update(0.02)
+
+
+class TestConfidenceGate:
+    def test_no_model_before_min_samples(self):
+        est = OnlineSensitivityEstimator(EstimatorConfig(min_samples=8))
+        for i, b in enumerate([0.25, 0.5, 0.75, 1.0]):
+            est.observe("W", b, curve(b), float(i))
+        assert est.model_for("W") is None
+
+    def test_no_trust_without_spread(self):
+        est = OnlineSensitivityEstimator(
+            EstimatorConfig(min_samples=4, min_spread=0.3)
+        )
+        for i in range(12):
+            est.observe("W", 0.5 + 0.01 * (i % 2), curve(0.5), float(i))
+        assert est.model_for("W") is None
+
+    def test_trusts_clean_curve(self):
+        est = OnlineSensitivityEstimator(EstimatorConfig(min_samples=6))
+        feed_curve(est)
+        model = est.model_for("W")
+        assert model is not None
+        assert model.r_squared is not None and model.r_squared > 0.95
+        # The constrained refit keeps the Eq. 2 fast-path invariant.
+        lo, hi = model.fit_domain
+        assert model.is_convex_decreasing(lo, hi)
+        assert model.predict(0.1) == pytest.approx(curve(0.1), rel=0.15)
+
+    def test_noisy_curve_below_r2_gate_not_trusted(self):
+        est = OnlineSensitivityEstimator(
+            EstimatorConfig(min_samples=6, min_r_squared=0.99)
+        )
+        # Deterministic "noise": alternate large offsets on a flat-ish
+        # curve so no polynomial explains the variance.
+        t = 0.0
+        for i in range(24):
+            b = FRACTIONS[i % len(FRACTIONS)]
+            noise = 3.0 if i % 2 else 0.0
+            est.observe("W", b, curve(b) + noise, t)
+            t += 1.0
+        assert est.model_for("W") is None
+        assert est.stats_of("W")["rejected_refits"] > 0
+
+
+class TestEpochAndListeners:
+    def test_epoch_bumps_on_trust_and_notifies(self):
+        est = OnlineSensitivityEstimator(EstimatorConfig(min_samples=6))
+        seen = []
+        unsubscribe = est.subscribe(seen.append)
+        assert est.epoch == 0
+        feed_curve(est)
+        assert est.epoch > 0
+        assert any("W" in s for s in seen)
+        n = est.epoch
+        unsubscribe()
+        feed_curve(est, beta=0.2, t0=100.0)
+        assert est.epoch >= n
+        assert len(seen) == len([s for s in seen])  # no growth recorded
+
+    def test_unsubscribe_stops_callbacks(self):
+        est = OnlineSensitivityEstimator(EstimatorConfig(min_samples=6))
+        seen = []
+        unsubscribe = est.subscribe(seen.append)
+        unsubscribe()
+        feed_curve(est)
+        assert seen == []
+
+
+class TestDrift:
+    def test_regime_change_trips_and_shrinks_window(self):
+        cfg = EstimatorConfig(
+            min_samples=6, window=64, shrink_to=8,
+            drift_delta=0.02, drift_threshold=0.5,
+        )
+        est = OnlineSensitivityEstimator(cfg)
+        t = feed_curve(est, beta=0.2, rounds=4)
+        assert est.model_for("W") is not None
+        # The workload becomes drastically more network-bound.
+        for _ in range(6):
+            for b in FRACTIONS:
+                est.observe("W", b, curve(b, 0.95), t)
+                t += 1.0
+        stats = est.stats_of("W")
+        assert stats["drift_trips"] >= 1
+        # After relearning, the model tracks the new regime.
+        model = est.model_for("W")
+        assert model is not None
+        assert model.predict(0.1) == pytest.approx(curve(0.1, 0.95), rel=0.2)
+
+    def test_drift_emits_event_and_untrusts(self):
+        cfg = EstimatorConfig(
+            min_samples=6, shrink_to=8,
+            drift_delta=0.02, drift_threshold=0.5,
+        )
+        obs = Observer()
+        est = OnlineSensitivityEstimator(cfg, observer=obs)
+        t = feed_curve(est, beta=0.2, rounds=4)
+        for _ in range(6):
+            for b in FRACTIONS:
+                est.observe("W", b, curve(b, 0.95), t)
+                t += 1.0
+        assert obs.bus.counts.get(ONLINE_DRIFT, 0) >= 1
+        assert obs.bus.counts.get(ONLINE_SAMPLE, 0) > 0
+        assert obs.bus.counts.get(ONLINE_REFIT, 0) > 0
+
+
+class TestObservability:
+    def test_low_fit_refits_emit_model_low_fit(self):
+        obs = Observer()
+        est = OnlineSensitivityEstimator(
+            EstimatorConfig(min_samples=6, min_r_squared=0.99),
+            observer=obs,
+        )
+        t = 0.0
+        for i in range(24):
+            b = FRACTIONS[i % len(FRACTIONS)]
+            est.observe("W", b, curve(b) + (3.0 if i % 2 else 0.0), t)
+            t += 1.0
+        assert obs.bus.counts.get(MODEL_LOW_FIT, 0) >= 1
+
+    def test_stats_shape_for_unknown_workload(self):
+        est = OnlineSensitivityEstimator()
+        stats = est.stats_of("nope")
+        assert stats["samples_seen"] == 0
+        assert stats["trusted"] is False
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"window": 1},
+        {"min_samples": 1},
+        {"min_fraction": 0.0},
+        {"refit_interval": 0},
+        {"shrink_to": 1},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ProfilingError):
+            EstimatorConfig(**kwargs)
+
+    def test_inputs_clamped(self):
+        est = OnlineSensitivityEstimator(EstimatorConfig(min_fraction=0.05))
+        est.observe("W", -1.0, 0.5, 0.0)
+        (_, fraction, slowdown), = est.window_of("W")
+        assert fraction == 0.05
+        assert slowdown == 1.0

@@ -1,0 +1,68 @@
+"""Unit tests for fallback priors and cache warm-starting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import OfflineProfiler
+from repro.online import conservative_prior, warm_start_model
+from repro.sweep.cache import SweepCache, cache_key
+from repro.workloads.catalog import CATALOG
+
+
+class TestConservativePrior:
+    def test_shape(self):
+        model = conservative_prior("cold", beta=0.5)
+        assert model.name == "cold"
+        assert model.predict(1.0) == pytest.approx(1.0)
+        lo, hi = model.fit_domain
+        assert model.is_convex_decreasing(lo, hi)
+        # beta-network-bound: halving bandwidth costs beta of a run.
+        assert model.predict(0.5) == pytest.approx(1.5)
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            conservative_prior("w", beta=1.5)
+
+    def test_pessimism_grows_with_beta(self):
+        mild = conservative_prior("w", beta=0.2)
+        harsh = conservative_prior("w", beta=0.9)
+        assert harsh.predict(0.1) > mild.predict(0.1)
+
+
+class TestWarmStart:
+    def test_unknown_workload_is_none(self):
+        assert warm_start_model("not-a-workload", cache=SweepCache()) is None
+
+    def test_empty_cache_is_none(self):
+        assert warm_start_model("LR", cache=SweepCache()) is None
+
+    def test_partial_grid_is_none(self):
+        cache = SweepCache()
+        profiler = OfflineProfiler(method="analytic")
+        spec = CATALOG["LR"].instantiate(
+            n_instances=profiler.n_nodes,
+            link_capacity=profiler.link_capacity,
+        )
+        # Cache only one grid point: coverage must be judged
+        # incomplete, not fitted through a fragment.
+        task = profiler.point_task(spec, profiler.fractions[0])
+        cache.put(cache_key(task), 123.0)
+        assert warm_start_model(
+            "LR", cache=cache, methods=("analytic",)
+        ) is None
+
+    def test_full_grid_reconstructs_offline_fit(self):
+        cache = SweepCache()
+        profiler = OfflineProfiler(method="analytic")
+        spec = CATALOG["LR"].instantiate(
+            n_instances=profiler.n_nodes,
+            link_capacity=profiler.link_capacity,
+        )
+        for fraction in profiler.fractions:
+            task = profiler.point_task(spec, fraction)
+            cache.put(cache_key(task), task.fn(**task.params))
+        model = warm_start_model("LR", cache=cache, methods=("analytic",))
+        assert model is not None
+        reference = profiler.profile(CATALOG["LR"]).model
+        assert model.coefficients == pytest.approx(reference.coefficients)

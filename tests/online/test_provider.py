@@ -1,0 +1,107 @@
+"""Unit tests for the model-provider seam."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sensitivity import SensitivityModel
+from repro.core.table import SensitivityTable
+from repro.errors import ProfilingError
+from repro.obs.events import ONLINE_FALLBACK, Observer
+from repro.online import (
+    EstimatorConfig,
+    HybridModelProvider,
+    ModelProvider,
+    OfflineModelProvider,
+    OnlineModelProvider,
+    OnlineSensitivityEstimator,
+    conservative_prior,
+)
+
+from .test_estimator import feed_curve
+
+
+def make_table() -> SensitivityTable:
+    return SensitivityTable([
+        SensitivityModel(name="W", coefficients=(0.3, 0.7)),
+    ])
+
+
+class TestOfflineProvider:
+    def test_matches_table_lookup(self):
+        table = make_table()
+        provider = OfflineModelProvider(table)
+        assert provider.has_model("W")
+        assert not provider.has_model("cold")
+        assert provider.model_of("W") is table.get("W")
+        with pytest.raises(ProfilingError):
+            provider.model_of("cold")
+
+    def test_epoch_pinned_at_zero(self):
+        provider = OfflineModelProvider(make_table())
+        assert provider.epoch == 0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(OfflineModelProvider(make_table()), ModelProvider)
+
+
+class TestOnlineProvider:
+    def test_cold_workload_gets_prior(self):
+        est = OnlineSensitivityEstimator()
+        provider = OnlineModelProvider(est)
+        assert provider.has_model("anything")
+        model = provider.model_of("anything")
+        assert model.coefficients == conservative_prior("anything").coefficients
+        assert provider.fallback_ratio == 1.0
+
+    def test_prior_cached_per_workload(self):
+        est = OnlineSensitivityEstimator()
+        provider = OnlineModelProvider(est)
+        assert provider.model_of("w") is provider.model_of("w")
+
+    def test_trusted_fit_replaces_prior_and_epoch_moves(self):
+        est = OnlineSensitivityEstimator(EstimatorConfig(min_samples=6))
+        provider = OnlineModelProvider(est)
+        before = provider.epoch
+        assert provider.model_of("W").r_squared is None  # the prior
+        feed_curve(est)
+        assert provider.epoch > before
+        model = provider.model_of("W")
+        assert model is est.model_for("W")
+        assert provider.fallback_ratio < 1.0
+
+    def test_fallback_event_once_per_workload(self):
+        obs = Observer()
+        est = OnlineSensitivityEstimator()
+        provider = OnlineModelProvider(est, observer=obs)
+        for _ in range(5):
+            provider.model_of("cold")
+        assert obs.bus.counts.get(ONLINE_FALLBACK, 0) == 1
+        for _ in range(3):
+            provider.model_of("other")
+        assert obs.bus.counts.get(ONLINE_FALLBACK, 0) == 2
+
+
+class TestHybridProvider:
+    def test_lookup_order_online_table_prior(self):
+        table = make_table()
+        est = OnlineSensitivityEstimator(EstimatorConfig(min_samples=6))
+        provider = HybridModelProvider(est, table)
+        # Profiled workload without online trust: the table entry.
+        assert provider.model_of("W") is table.get("W")
+        # Unprofiled workload: the prior.
+        prior = provider.model_of("cold")
+        assert prior.coefficients == conservative_prior("cold").coefficients
+        # Once the online fit earns trust it wins over the table.
+        feed_curve(est)
+        assert provider.model_of("W") is est.model_for("W")
+
+    def test_stats_track_fallbacks(self):
+        est = OnlineSensitivityEstimator()
+        provider = HybridModelProvider(est, make_table())
+        provider.model_of("W")
+        provider.model_of("cold")
+        stats = provider.stats()
+        assert stats["lookups"] == 2
+        assert stats["fallbacks"] == 2
+        assert stats["fallback_ratio"] == 1.0

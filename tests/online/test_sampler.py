@@ -1,0 +1,156 @@
+"""Unit tests for the stage-event sampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.jobs import Job
+from repro.obs.events import STAGE_FINISHED, STAGE_STARTED, Observer
+from repro.online import EstimatorConfig, OnlineSensitivityEstimator, StageSampler
+from repro.simnet.telemetry import UtilizationRecorder
+from repro.workloads.model import ApplicationSpec, Stage
+
+B = 1e9  # test link capacity, bytes/s
+
+
+def make_job(
+    job_id: str = "j1",
+    stage: Stage | None = None,
+    n_instances: int = 2,
+    workload: str = "W",
+) -> Job:
+    stage = stage or Stage(compute_time=10.0, comm_bytes=10e9)
+    spec = ApplicationSpec(
+        name=workload, stages=(stage,), n_instances=n_instances, fanout=1
+    )
+    return Job(
+        job_id=job_id,
+        spec=spec,
+        workload=workload,
+        placement=[f"s{i}" for i in range(n_instances)],
+    )
+
+
+def make_sampler(recorder=None):
+    est = OnlineSensitivityEstimator(EstimatorConfig(min_samples=6))
+    sampler = StageSampler(est, link_capacity=B, recorder=recorder)
+    obs = Observer()
+    sampler.attach(obs)
+    return est, sampler, obs
+
+
+class TestRateInversion:
+    def test_throttled_stage_recovers_fraction(self):
+        # compute 10s then 10 GB shuffle: ideal = 20s at B.  Finishing
+        # at t = 30 means the 10 GB drained in 20s -> rate B/2.
+        est, sampler, obs = make_sampler()
+        sampler.register_job(make_job())
+        obs.bus.publish(STAGE_STARTED, 0.0, job="j1", stage=0)
+        obs.bus.publish(STAGE_FINISHED, 30.0, job="j1", stage=0)
+        assert sampler.samples == 1
+        ((_, fraction, slowdown),) = est.window_of("W")
+        assert fraction == pytest.approx(0.5)
+        assert slowdown == pytest.approx(1.5)
+
+    def test_aux_rate_subtracted_from_inversion(self):
+        # With an auxiliary drain the NIC only carries part of the
+        # bytes; inversion must return the *network* fraction.
+        stage = Stage(compute_time=10.0, comm_bytes=10e9, aux_rate=0.25e9)
+        est, sampler, obs = make_sampler()
+        sampler.register_job(make_job(stage=stage))
+        fraction = 0.4
+        duration = stage.duration_at(fraction * B)
+        obs.bus.publish(STAGE_STARTED, 0.0, job="j1", stage=0)
+        obs.bus.publish(STAGE_FINISHED, duration, job="j1", stage=0)
+        ((_, got, _),) = est.window_of("W")
+        assert got == pytest.approx(fraction)
+
+    def test_unslowed_stage_anchors_at_one(self):
+        est, sampler, obs = make_sampler()
+        sampler.register_job(make_job())
+        ideal = Stage(compute_time=10.0, comm_bytes=10e9).duration_at(B)
+        obs.bus.publish(STAGE_STARTED, 0.0, job="j1", stage=0)
+        obs.bus.publish(STAGE_FINISHED, ideal, job="j1", stage=0)
+        ((_, fraction, slowdown),) = est.window_of("W")
+        assert fraction == 1.0
+        assert slowdown == 1.0
+
+
+class TestSkips:
+    def test_unregistered_job_skipped(self):
+        est, sampler, obs = make_sampler()
+        obs.bus.publish(STAGE_STARTED, 0.0, job="ghost", stage=0)
+        obs.bus.publish(STAGE_FINISHED, 30.0, job="ghost", stage=0)
+        assert sampler.samples == 0
+        assert sampler.skipped == 1
+        assert est.window_of("W") == []
+
+    def test_compute_only_stage_skipped(self):
+        est, sampler, obs = make_sampler()
+        sampler.register_job(make_job(stage=Stage(compute_time=5.0)))
+        obs.bus.publish(STAGE_STARTED, 0.0, job="j1", stage=0)
+        obs.bus.publish(STAGE_FINISHED, 9.0, job="j1", stage=0)
+        assert sampler.samples == 0
+        assert sampler.skipped == 1
+
+    def test_single_instance_job_skipped(self):
+        est, sampler, obs = make_sampler()
+        sampler.register_job(make_job(n_instances=1))
+        obs.bus.publish(STAGE_STARTED, 0.0, job="j1", stage=0)
+        obs.bus.publish(STAGE_FINISHED, 30.0, job="j1", stage=0)
+        assert sampler.samples == 0
+        assert sampler.skipped == 1
+
+    def test_finish_without_start_skipped(self):
+        est, sampler, obs = make_sampler()
+        sampler.register_job(make_job())
+        obs.bus.publish(STAGE_FINISHED, 30.0, job="j1", stage=0)
+        assert sampler.skipped == 1
+
+
+class TestPerInstanceKeying:
+    def test_overlapping_instances_tracked_separately(self):
+        est, sampler, obs = make_sampler()
+        sampler.register_job(make_job())
+        obs.bus.publish(STAGE_STARTED, 0.0, job="j1", stage=0, instance=0)
+        obs.bus.publish(STAGE_STARTED, 5.0, job="j1", stage=0, instance=1)
+        obs.bus.publish(STAGE_FINISHED, 30.0, job="j1", stage=0, instance=0)
+        obs.bus.publish(STAGE_FINISHED, 35.0, job="j1", stage=0, instance=1)
+        assert sampler.samples == 2
+        fractions = [f for _, f, _ in est.window_of("W")]
+        assert fractions == pytest.approx([0.5, 0.5])
+
+
+class TestTelemetryPath:
+    def test_recorder_window_mean_wins_over_inversion(self):
+        recorder = UtilizationRecorder()
+        # s0's NIC ran at 40% of line rate for the whole comm window
+        # [10, 30]; s1 idled.  The sampler takes the max over the
+        # placement so idle peers don't dilute the reading.
+        recorder.record_network("s0", 0.0, 0.0)
+        recorder.record_network("s0", 10.0, 0.4)
+        recorder.record_network("s0", 30.0, 0.0)
+        recorder.record_network("s1", 0.0, 0.0)
+        est, sampler, obs = make_sampler(recorder=recorder)
+        sampler.register_job(make_job())
+        obs.bus.publish(STAGE_STARTED, 0.0, job="j1", stage=0)
+        obs.bus.publish(STAGE_FINISHED, 30.0, job="j1", stage=0)
+        ((_, fraction, _),) = est.window_of("W")
+        assert fraction == pytest.approx(0.4)
+
+
+class TestDetach:
+    def test_unsubscribe_stops_sampling(self):
+        est = OnlineSensitivityEstimator()
+        sampler = StageSampler(est, link_capacity=B)
+        obs = Observer()
+        detach = sampler.attach(obs)
+        sampler.register_job(make_job())
+        detach()
+        obs.bus.publish(STAGE_STARTED, 0.0, job="j1", stage=0)
+        obs.bus.publish(STAGE_FINISHED, 30.0, job="j1", stage=0)
+        assert sampler.samples == 0
+
+    def test_bad_link_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            StageSampler(OnlineSensitivityEstimator(), link_capacity=0.0)

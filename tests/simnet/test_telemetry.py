@@ -112,3 +112,42 @@ def test_mean_utilization_degenerate_span():
     assert rec.mean_utilization("missing", "cpu", t_end=10.0) == 0.0
     with pytest.raises(ValueError):
         rec.mean_utilization("s0", "disk", t_end=1.0)
+
+
+def test_equal_timestamp_burst_collapses_to_final_value():
+    """Last-write-wins at one instant is a documented contract.
+
+    Fabric rate recomputations sample the same simulated instant
+    several times within one event cascade; only the final state of
+    the instant may hold for the following interval.  A burst of
+    rewrites must neither grow the series nor leak intermediate
+    values into the integral.
+    """
+    rec = UtilizationRecorder()
+    rec.record_network("s0", 0.0, 0.1)
+    for value in (0.9, 0.3, 0.6):
+        rec.record_network("s0", 1.0, value)
+    # The intermediate 0.9 and 0.3 never held for any interval.
+    assert rec.mean_utilization("s0", "network", t_end=2.0) == \
+        pytest.approx((0.1 + 0.6) / 2, abs=1e-12)
+    times, values = rec.series("s0", "network", t_end=2.0, resolution=1.0)
+    assert values == [0.1, 0.6, 0.6]
+
+
+def test_window_mean_interior_window():
+    rec = UtilizationRecorder()
+    rec.record_network("s0", 0.0, 0.0)
+    rec.record_network("s0", 10.0, 0.4)
+    rec.record_network("s0", 30.0, 0.0)
+    assert rec.window_mean("s0", "network", 10.0, 30.0) == \
+        pytest.approx(0.4, abs=1e-12)
+    # Half idle, half at 0.4.
+    assert rec.window_mean("s0", "network", 0.0, 20.0) == \
+        pytest.approx(0.2, abs=1e-12)
+
+
+def test_window_mean_degenerate_window_is_instantaneous():
+    rec = UtilizationRecorder()
+    rec.record_network("s0", 0.0, 0.7)
+    assert rec.window_mean("s0", "network", 5.0, 5.0) == 0.7
+    assert rec.window_mean("missing", "network", 0.0, 1.0) == 0.0
