@@ -305,6 +305,49 @@ def _online(args) -> None:
         print(f"wrote {args.out}", file=sys.stderr)
 
 
+def _service(args) -> None:
+    from repro.experiments.extension_service import (
+        run_service, run_service_smoke,
+    )
+    from repro.sweep import SweepRunner, default_cache
+    from repro.sweep.registry import get_experiment
+
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=None if args.no_cache else default_cache(),
+        progress=None if args.quiet else (
+            lambda msg: print(msg, file=sys.stderr)
+        ),
+    )
+    if args.smoke:
+        result = run_service_smoke(seed=args.seed, runner=runner)
+    else:
+        kwargs = dict(seed=args.seed, runner=runner)
+        if args.flaps:
+            kwargs["flap_counts"] = tuple(args.flaps)
+        result = run_service(**kwargs)
+    payload = result.to_json()
+    if args.json:
+        print(payload)
+    else:
+        print(get_experiment("service").render(result))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if not result.identical:
+        raise SystemExit(
+            "error: zero-fault service run diverged from the static "
+            "harness"
+        )
+    if not all(p.recovered for p in result.points):
+        raise SystemExit(
+            "error: flows were left off their canonical paths after "
+            "the last recovery"
+        )
+
+
 def _fabric(args) -> None:
     import json
 
@@ -398,6 +441,7 @@ COMMANDS = {
     "control": _control,
     "faults": _faults,
     "online": _online,
+    "service": _service,
     "fig1a": _fig1a,
     "fig1b": _fig1b,
     "fig2": _fig2,
@@ -514,6 +558,31 @@ def main(argv=None) -> int:
             p.add_argument("--waves", type=int, default=3,
                            help="consecutive learning co-runs "
                                 "(default 3)")
+            p.add_argument("--seed", type=int, default=7,
+                           help="master seed (default 7)")
+            p.add_argument("--jobs", default="1",
+                           help="worker processes, or 'auto' (default 1)")
+            p.add_argument("--no-cache", action="store_true",
+                           help="recompute every task")
+            p.add_argument("--json", action="store_true",
+                           help="print canonical JSON instead of the table")
+            p.add_argument("--out", default=None,
+                           help="also write the canonical JSON here")
+            p.add_argument("--quiet", action="store_true",
+                           help="suppress progress narration")
+            continue
+        if name == "service":
+            p = sub.add_parser(
+                name,
+                help="allocation service under link flaps: identity, "
+                     "availability, recovery",
+            )
+            p.add_argument("--smoke", action="store_true",
+                           help="reduced CI grid (fixed parameters; "
+                                "golden-file compatible)")
+            p.add_argument("--flaps", type=int, nargs="+", default=None,
+                           help="link flap counts to sweep "
+                                "(default 0 1 2 3 4)")
             p.add_argument("--seed", type=int, default=7,
                            help="master seed (default 7)")
             p.add_argument("--jobs", default="1",

@@ -127,6 +127,7 @@ class SabaLibrary:
         self.dropped_control_messages = 0
         self.reregistrations = 0
         self.replayed_conns = 0
+        self.rerouted_conns = 0
         self._endpoint = CONTROLLER_ENDPOINT
         self._failed_over = False
         self._failures_in_row = 0
@@ -337,6 +338,58 @@ class SabaLibrary:
                 managed=managed,
             )
         return self._fabric.start_flow(flow, on_complete=_teardown)
+
+    def conn_rerouted(self, flow: Flow, old_path: Tuple[str, ...]) -> bool:
+        """Re-announce a managed connection after the fabric moved it.
+
+        A link transition (:meth:`FluidFabric.set_link_state`) re-hashes
+        the ECMP choice of affected flows; the controller's port state
+        still reflects the path announced at creation time.  This
+        tears down the old announcement and announces the new one, so
+        the pipeline reallocates exactly the ports the flow left and
+        joined -- the "reallocated within one sim quantum" step of the
+        dynamic-topology story.  Returns ``True`` when an announcement
+        was actually re-issued (unmanaged or already-closed flows, and
+        multipath announcements whose link set is unchanged, are
+        no-ops).
+        """
+        entry = self._open_conns.get(flow.flow_id)
+        if entry is None:
+            return False
+        job_id, announced = entry
+        if self._multipath:
+            new_announced = sorted({
+                lid
+                for path in self._fabric.router.equal_cost_paths(
+                    flow.src, flow.dst
+                )
+                for lid in path
+            })
+        else:
+            new_announced = list(flow.path)
+        if tuple(new_announced) == announced:
+            return False
+        self._open_conns[flow.flow_id] = (job_id, tuple(new_announced))
+        if flow.flow_id in self._unacked:
+            # The original create never reached the controller; the
+            # recovery replay will announce the updated path.
+            return True
+        if job_id in self._pl_of:
+            result = self._call_controller(
+                "conn_destroy", job_id=job_id, path=list(announced)
+            )
+            if result is _DROPPED:
+                self._undelivered_destroys.append((job_id, announced))
+            result = self._call_controller(
+                "conn_create", job_id=job_id, path=new_announced
+            )
+            if result is _DROPPED:
+                self._unacked.add(flow.flow_id)
+        self.rerouted_conns += 1
+        obs = self._observer
+        if obs.enabled:
+            obs.metrics.counter("library.rerouted_conns").inc()
+        return True
 
     # -- recovery ---------------------------------------------------------------
 

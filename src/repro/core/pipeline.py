@@ -402,6 +402,22 @@ class AllocationPipeline:
         self._flush_scheduled = False
         self.flush_pending()
 
+    def forget_ports(self, link_ids: Iterable[str]) -> int:
+        """Drop the signature cache for the given ports; returns how
+        many entries were dropped.
+
+        Used when a port's hardware state can no longer be trusted --
+        e.g. a link came back from an outage and must be reprogrammed
+        even if the app mix at the port is unchanged.  The next
+        :meth:`reallocate` pass over a forgotten port always programs
+        it.
+        """
+        dropped = 0
+        for link_id in link_ids:
+            if self._signatures.pop(link_id, None) is not None:
+                dropped += 1
+        return dropped
+
     def recompute_ports(
         self, link_ids: Iterable[str], force: bool = True
     ) -> float:

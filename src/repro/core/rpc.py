@@ -231,6 +231,14 @@ class RpcBus:
     def has_endpoint(self, target: str) -> bool:
         return target in self._endpoints
 
+    def endpoints(self) -> Dict[str, int]:
+        """Live endpoints and their method counts, in registration
+        order (the allocation service reports this from ``health``)."""
+        return {
+            target: len(methods)
+            for target, methods in self._endpoints.items()
+        }
+
     # -- calls -------------------------------------------------------------
 
     def call(self, target: str, method: str, **kwargs: Any) -> Any:

@@ -47,3 +47,19 @@ class SweepError(ReproError):
 
 class FaultError(ReproError):
     """A fault specification is invalid or the injector is misused."""
+
+
+class ServiceError(ReproError):
+    """Base class for allocation-service request failures."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant exceeded its admission-control quota."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded request queue is full (backpressure)."""
+
+
+class ServiceDrainingError(ServiceError):
+    """The service is draining and no longer admits new work."""

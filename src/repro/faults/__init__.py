@@ -8,10 +8,12 @@ exactness-when-disabled argument.
 """
 
 from repro.faults.injector import CLEAN_FATE, CallFate, FaultInjector
+from repro.faults.links import LinkFaultDriver
 from repro.faults.spec import (
     FAULT_KINDS,
     KIND_CRASH,
     KIND_LATENCY,
+    KIND_LINK_DOWN,
     KIND_LOSS,
     KIND_STALL,
     FaultPlan,
@@ -27,6 +29,8 @@ __all__ = [
     "FAULT_KINDS",
     "KIND_CRASH",
     "KIND_LATENCY",
+    "KIND_LINK_DOWN",
     "KIND_LOSS",
     "KIND_STALL",
+    "LinkFaultDriver",
 ]

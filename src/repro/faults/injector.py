@@ -21,7 +21,7 @@ independent of another kind's outcomes.
 from __future__ import annotations
 
 import random
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -30,6 +30,7 @@ from repro.errors import FaultError
 from repro.faults.spec import (
     KIND_CRASH,
     KIND_LATENCY,
+    KIND_LINK_DOWN,
     KIND_LOSS,
     KIND_STALL,
     FaultPlan,
@@ -81,15 +82,23 @@ class _CrashTimeline:
         self._starts: List[float] = [w[0] for w in self._windows]
         self._cursor = spec.start  # end of the generated timeline
 
+    @property
+    def explicit(self) -> bool:
+        """True for scripted windows (a finite schedule)."""
+        return self._explicit
+
+    def _generate_one(self) -> None:
+        down_at = self._cursor + self._rng.expovariate(1.0 / self._mtbf)
+        up_at = down_at + self._rng.expovariate(1.0 / self._mttr)
+        self._windows.append((down_at, up_at))
+        self._starts.append(down_at)
+        self._cursor = up_at
+
     def _extend(self, t: float) -> None:
         if self._explicit:
             return
         while self._cursor <= t:
-            down_at = self._cursor + self._rng.expovariate(1.0 / self._mtbf)
-            up_at = down_at + self._rng.expovariate(1.0 / self._mttr)
-            self._windows.append((down_at, up_at))
-            self._starts.append(down_at)
-            self._cursor = up_at
+            self._generate_one()
 
     def window_at(self, t: float) -> Optional[Tuple[float, float]]:
         """The down window covering ``t``, if any."""
@@ -99,6 +108,22 @@ class _CrashTimeline:
             start, end = self._windows[i]
             if start <= t < end:
                 return (start, end)
+        return None
+
+    def next_window(self, after: float) -> Optional[Tuple[float, float]]:
+        """First down window with ``start >= after`` (``None`` when a
+        scripted schedule is exhausted).
+
+        Windows are generated in timeline order by the same draws as
+        :meth:`window_at`, so interleaving the two query styles yields
+        one consistent schedule.
+        """
+        if not self._explicit:
+            while not self._starts or self._starts[-1] < after:
+                self._generate_one()
+        i = bisect_left(self._starts, after)
+        if i < len(self._windows):
+            return self._windows[i]
         return None
 
 
@@ -163,8 +188,22 @@ class FaultInjector:
         #: crash per rejected call).
         self.stats: Counter = Counter()
         by_target: Dict[str, List[FaultSpec]] = {}
+        #: Link-down timelines keyed by directed link id, in spec
+        #: order.  Kept apart from the RPC-endpoint faults: ``fate_of``
+        #: never consults them, they only answer schedule queries.
+        self._links: Dict[str, _CrashTimeline] = {}
+        self._link_specs: Dict[str, FaultSpec] = {}
         for spec in plan.specs:
-            by_target.setdefault(spec.target, []).append(spec)
+            if spec.kind == KIND_LINK_DOWN:
+                self._links[spec.target] = _CrashTimeline(
+                    spec,
+                    random.Random(
+                        f"faults:{plan.seed}:{spec.target}:link_down"
+                    ),
+                )
+                self._link_specs[spec.target] = spec
+            else:
+                by_target.setdefault(spec.target, []).append(spec)
         self._targets: Dict[str, _TargetFaults] = {
             target: _TargetFaults(target, specs, plan.seed)
             for target, specs in by_target.items()
@@ -187,6 +226,39 @@ class FaultInjector:
         if tf is None or tf.crash is None:
             return None
         return tf.crash.window_at(self.now if t is None else t)
+
+    # -- link fault schedules ----------------------------------------------
+
+    def link_targets(self) -> Tuple[str, ...]:
+        """Directed link ids with ``link_down`` specs, in spec order."""
+        return tuple(self._links)
+
+    def link_schedule_is_finite(self, link_id: str) -> bool:
+        """True when the link's schedule is scripted windows (so a
+        driver can schedule it exhaustively without a horizon)."""
+        timeline = self._links.get(link_id)
+        if timeline is None:
+            raise FaultError(f"no link_down spec for {link_id!r}")
+        return timeline.explicit
+
+    def link_window_at(
+        self, link_id: str, t: Optional[float] = None,
+    ) -> Optional[Tuple[float, float]]:
+        """The down window covering ``t`` (default: now), if any."""
+        timeline = self._links.get(link_id)
+        if timeline is None:
+            return None
+        return timeline.window_at(self.now if t is None else t)
+
+    def next_link_window(
+        self, link_id: str, after: float,
+    ) -> Optional[Tuple[float, float]]:
+        """First down window of ``link_id`` starting at or after
+        ``after`` (``None`` when a scripted schedule is exhausted)."""
+        timeline = self._links.get(link_id)
+        if timeline is None:
+            raise FaultError(f"no link_down spec for {link_id!r}")
+        return timeline.next_window(after)
 
     def fate_of(self, target: str, method: str) -> CallFate:
         """Decide the fate of one RPC attempt, advancing per-call RNG."""

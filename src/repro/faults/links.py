@@ -1,0 +1,112 @@
+"""Applying ``link_down`` schedules to a live fabric.
+
+The :class:`~repro.faults.injector.FaultInjector` only *answers*
+schedule queries -- it never touches the event engine, preserving the
+"no faults, no events" property of PR 4.  Link faults are different
+from RPC faults: nothing polls a link, so lazily evaluating its state
+at query time would never actually take it down.  The
+:class:`LinkFaultDriver` closes that gap: it walks each link's
+deterministic window sequence, schedules the down/up transitions on
+the simulated clock, and applies them through
+:meth:`~repro.simnet.fabric.FluidFabric.set_link_state` (which
+reroutes the affected flows).
+
+The driver is deliberately service-agnostic: the allocation service
+passes an ``on_transition`` callback to re-announce rerouted
+connections to the controller, but a bare fabric experiment can run
+the same schedule with no control plane at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import FaultError
+from repro.faults.injector import FaultInjector
+from repro.simnet.fabric import FluidFabric, RerouteReport
+
+
+class LinkFaultDriver:
+    """Schedules a plan's link transitions on one fabric's sim clock.
+
+    One :meth:`start` call schedules the first down window of every
+    link carrying a ``link_down`` spec; each recovery then schedules
+    that link's next window, so at most one pending event per link
+    exists at any time and the event queue drains once the schedule is
+    exhausted.  Stochastic (MTBF/MTTR) schedules are unbounded, so
+    they require a ``horizon``: windows starting after it are not
+    scheduled (scripted-window schedules may omit it).
+    """
+
+    def __init__(
+        self,
+        fabric: FluidFabric,
+        injector: FaultInjector,
+        horizon: Optional[float] = None,
+        on_transition: Optional[Callable[[RerouteReport], None]] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.injector = injector
+        self.horizon = horizon
+        self.on_transition = on_transition
+        self.transitions = 0
+        self._started = False
+
+    def start(self) -> int:
+        """Schedule each faulted link's first outage; returns how many.
+
+        Binds the injector to the fabric's clock if it is not bound
+        yet.  Must be called before :meth:`FluidFabric.run` processes
+        the first window's start time.
+        """
+        if self._started:
+            raise FaultError("LinkFaultDriver.start called twice")
+        self._started = True
+        if getattr(self.injector, "_sim", None) is None:
+            self.injector.bind(self.fabric.sim)
+        topology = self.fabric.topology
+        scheduled = 0
+        for link_id in self.injector.link_targets():
+            if link_id not in topology.links:
+                raise FaultError(
+                    f"link_down spec targets unknown link {link_id!r}"
+                )
+            if (self.horizon is None
+                    and not self.injector.link_schedule_is_finite(link_id)):
+                raise FaultError(
+                    f"stochastic link_down schedule for {link_id!r} "
+                    "needs a horizon"
+                )
+            scheduled += self._schedule_next(link_id, self.fabric.sim.now)
+        return scheduled
+
+    def _schedule_next(self, link_id: str, after: float) -> int:
+        window = self.injector.next_link_window(link_id, after)
+        if window is None:
+            return 0
+        down_at, up_at = window
+        if self.horizon is not None and down_at > self.horizon:
+            return 0
+
+        def fire_down(link_id: str = link_id, up_at: float = up_at) -> None:
+            self._apply(link_id, up=False)
+            self.fabric.sim.schedule_at(
+                up_at,
+                lambda: self._recover(link_id, up_at),
+            )
+
+        self.fabric.sim.schedule_at(down_at, fire_down)
+        return 1
+
+    def _recover(self, link_id: str, up_at: float) -> None:
+        self._apply(link_id, up=True)
+        # Windows are non-overlapping, so the next one starts at or
+        # after this recovery; querying from ``up_at`` (not ``now``)
+        # keeps the schedule exact even if the engine coalesced events.
+        self._schedule_next(link_id, up_at)
+
+    def _apply(self, link_id: str, up: bool) -> None:
+        self.transitions += 1
+        report = self.fabric.set_link_state(link_id, up)
+        if self.on_transition is not None:
+            self.on_transition(report)

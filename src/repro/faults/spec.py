@@ -20,6 +20,16 @@ A :class:`FaultSpec` names one failure mode of one RPC endpoint:
   controller -- the caller may time out even though the side effect
   happened).
 
+One kind targets the *data plane* instead of an RPC endpoint:
+
+* ``link_down`` -- the target is a directed link id; the link is down
+  during its windows (same MTBF/MTTR renewal process or scripted
+  windows as ``crash``).  The injector only answers schedule queries
+  (:meth:`~repro.faults.injector.FaultInjector.next_link_window`);
+  applying transitions to a fabric is the job of
+  :class:`~repro.faults.links.LinkFaultDriver`, so the same
+  deterministic schedule is reusable outside the allocation service.
+
 A :class:`FaultPlan` bundles specs with the seed that drives every
 random draw; :meth:`FaultPlan.build` turns it into a live
 :class:`~repro.faults.injector.FaultInjector`.  Both dataclasses are
@@ -39,8 +49,12 @@ KIND_CRASH = "crash"
 KIND_LATENCY = "latency"
 KIND_LOSS = "loss"
 KIND_STALL = "stall"
+#: A network link (the spec's ``target`` is a directed link id) is
+#: down during its windows, unlike the four RPC-endpoint kinds above.
+KIND_LINK_DOWN = "link_down"
 
-FAULT_KINDS = (KIND_CRASH, KIND_LATENCY, KIND_LOSS, KIND_STALL)
+FAULT_KINDS = (KIND_CRASH, KIND_LATENCY, KIND_LOSS, KIND_STALL,
+               KIND_LINK_DOWN)
 
 
 @dataclass(frozen=True)
@@ -79,22 +93,24 @@ class FaultSpec:
             self, "windows",
             tuple((float(s), float(e)) for s, e in self.windows),
         )
-        if self.kind == KIND_CRASH:
+        if self.kind in (KIND_CRASH, KIND_LINK_DOWN):
             stochastic = self.mtbf is not None or self.mttr is not None
             if stochastic and self.windows:
                 raise FaultError(
-                    "crash spec takes either mtbf/mttr or explicit "
+                    f"{self.kind} spec takes either mtbf/mttr or explicit "
                     "windows, not both"
                 )
             if stochastic:
                 if not (self.mtbf and self.mtbf > 0
                         and self.mttr and self.mttr > 0):
                     raise FaultError(
-                        f"crash spec needs mtbf > 0 and mttr > 0, got "
+                        f"{self.kind} spec needs mtbf > 0 and mttr > 0, got "
                         f"mtbf={self.mtbf} mttr={self.mttr}"
                     )
             elif not self.windows:
-                raise FaultError("crash spec needs mtbf/mttr or windows")
+                raise FaultError(
+                    f"{self.kind} spec needs mtbf/mttr or windows"
+                )
             previous_end = 0.0
             for s, e in self.windows:
                 if s < previous_end or e <= s:
@@ -153,6 +169,24 @@ class FaultSpec:
         """Handler runs but its reply is ``duration`` seconds late."""
         return cls(target=target, kind=KIND_STALL, prob=prob,
                    duration=duration, start=start)
+
+    @classmethod
+    def link_down(cls, link_id: str, mtbf: float, mttr: float,
+                  start: float = 0.0) -> "FaultSpec":
+        """Link failure renewal process (exponential up/down holds).
+
+        ``link_id`` names a *directed* link (``"a->b"``); model a full
+        cable cut by adding a second spec for the reverse direction.
+        """
+        return cls(target=link_id, kind=KIND_LINK_DOWN, mtbf=mtbf,
+                   mttr=mttr, start=start)
+
+    @classmethod
+    def link_flap(cls, link_id: str,
+                  windows: Tuple[Tuple[float, float], ...]) -> "FaultSpec":
+        """Scripted link outage windows ``((down_at, up_at), ...)``."""
+        return cls(target=link_id, kind=KIND_LINK_DOWN,
+                   windows=tuple(windows))
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,14 @@ LIB_FAILOVER = "lib.failover"          # promoted the standby controller
 FAULT_CRASH = "faults.crash"           # endpoint entered a down window
 FAULT_RECOVER = "faults.recover"       # ... and came back
 FAULT_INJECTED = "faults.injected"     # one call hit loss/stall
+# Dynamic topology (repro.simnet under link faults)
+LINK_DOWN = "link.down"                # a link transitioned down
+LINK_UP = "link.up"                    # ... and came back up
+FLOW_REROUTED = "flow.rerouted"        # an active flow changed path
+# Allocation service (repro.service)
+SERVICE_REQUEST = "service.request"    # an admitted API request
+SERVICE_REJECTED = "service.rejected"  # a request rejected (quota/queue/drain)
+SERVICE_DRAIN = "service.drain"        # graceful shutdown drained
 # Online sensitivity estimation (repro.online)
 ONLINE_SAMPLE = "online.sample"        # one (fraction, slowdown) observation
 ONLINE_REFIT = "online.refit"          # window re-fitted (accepted or not)
@@ -80,6 +88,8 @@ EVENT_TYPES = frozenset({
     LIB_REGISTERED, LIB_DEREGISTERED, LIB_CONN_OPENED,
     LIB_REREGISTERED, LIB_FAILOVER,
     FAULT_CRASH, FAULT_RECOVER, FAULT_INJECTED,
+    LINK_DOWN, LINK_UP, FLOW_REROUTED,
+    SERVICE_REQUEST, SERVICE_REJECTED, SERVICE_DRAIN,
     ONLINE_SAMPLE, ONLINE_REFIT, ONLINE_DRIFT, ONLINE_FALLBACK,
     MODEL_LOW_FIT,
     JOB_STARTED, JOB_FINISHED, STAGE_STARTED, STAGE_FINISHED,

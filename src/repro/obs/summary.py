@@ -52,6 +52,9 @@ class TraceSummary:
     #: link -> last programmed/reset state seen in the trace (the
     #: describe_port view reconstructed post-hoc from port.* events).
     final_ports: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Allocation-service view (``service.*`` / link transition
+    #: events); empty when the trace has no service activity.
+    service: Dict[str, float] = field(default_factory=dict)
     sim_span: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
@@ -64,6 +67,7 @@ class TraceSummary:
             "port_mean_utilization": dict(self.port_mean_utilization),
             "job_completion": dict(self.job_completion),
             "final_ports": {k: dict(v) for k, v in self.final_ports.items()},
+            "service": dict(self.service),
             "sim_span": self.sim_span,
         }
 
@@ -74,6 +78,12 @@ def summarize_trace(records: Iterable[Mapping[str, object]]) -> TraceSummary:
     solve_durations: List[float] = []
     # link -> parallel (time, utilization) step series
     port_series: Dict[str, List[tuple]] = {}
+    # Degraded-allocation accounting: union of the intervals during
+    # which at least one link was down.
+    down_links: set = set()
+    degraded_since: float = math.nan
+    degraded_total = 0.0
+    max_queued = 0.0
     t_min = math.inf
     t_max = -math.inf
     for record in records:
@@ -115,6 +125,20 @@ def summarize_trace(records: Iterable[Mapping[str, object]]) -> TraceSummary:
             if generation is not None:
                 state["generation"] = int(generation)
             summary.final_ports[str(record.get("link"))] = state
+        elif etype == ev.SERVICE_REQUEST:
+            max_queued = max(max_queued, float(record.get("queued", 0.0)))
+        elif etype == ev.LINK_DOWN:
+            if not down_links:
+                degraded_since = time
+            down_links.add(str(record.get("link")))
+        elif etype == ev.LINK_UP:
+            down_links.discard(str(record.get("link")))
+            if not down_links and not math.isnan(degraded_since):
+                degraded_total += time - degraded_since
+                degraded_since = math.nan
+    if down_links and not math.isnan(degraded_since):
+        # Trace ends with links still down: degraded to the end.
+        degraded_total += t_max - degraded_since
     summary.reallocations = summary.counts.get(ev.REALLOCATION, 0)
     summary.ports_programmed = summary.counts.get(ev.PORT_PROGRAMMED, 0)
     if summary.n_events:
@@ -130,6 +154,18 @@ def summarize_trace(records: Iterable[Mapping[str, object]]) -> TraceSummary:
         }
     for link, series in port_series.items():
         summary.port_mean_utilization[link] = _step_mean(series, t_max)
+    service_counts = {
+        "admitted": summary.counts.get(ev.SERVICE_REQUEST, 0),
+        "rejected": summary.counts.get(ev.SERVICE_REJECTED, 0),
+        "drains": summary.counts.get(ev.SERVICE_DRAIN, 0),
+        "link_downs": summary.counts.get(ev.LINK_DOWN, 0),
+        "link_ups": summary.counts.get(ev.LINK_UP, 0),
+        "flows_rerouted": summary.counts.get(ev.FLOW_REROUTED, 0),
+    }
+    if any(service_counts.values()):
+        summary.service = {k: float(v) for k, v in service_counts.items()}
+        summary.service["max_queued"] = max_queued
+        summary.service["degraded_seconds"] = degraded_total
     return summary
 
 
@@ -168,6 +204,20 @@ def format_summary(summary: TraceSummary) -> str:
             f"n={int(s['count'])} p50={s['p50'] * 1e3:.3f}ms "
             f"p95={s['p95'] * 1e3:.3f}ms p99={s['p99'] * 1e3:.3f}ms "
             f"max={s['max'] * 1e3:.3f}ms"
+        )
+    if summary.service:
+        s = summary.service
+        lines.append(
+            "service           "
+            f"admitted={int(s['admitted'])} "
+            f"rejected={int(s['rejected'])} "
+            f"max_queued={int(s['max_queued'])}"
+        )
+        lines.append(
+            "topology churn    "
+            f"downs={int(s['link_downs'])} ups={int(s['link_ups'])} "
+            f"reroutes={int(s['flows_rerouted'])} "
+            f"degraded={s['degraded_seconds']:.3f}s"
         )
     if summary.job_completion:
         lines.append("job completion times:")

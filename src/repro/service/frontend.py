@@ -1,0 +1,147 @@
+"""Asyncio front-end for the allocation service.
+
+The :class:`~repro.service.service.AllocationService` itself is
+synchronous and deterministic (it lives on the simulated clock).  Real
+deployments sit behind an event loop: requests arrive concurrently,
+queue in a bounded buffer, and a worker applies them one at a time.
+:class:`ServiceFrontend` provides that layer with asyncio:
+
+* a bounded :class:`asyncio.Queue` (size =
+  ``quotas.max_queue_depth``, unbounded when unset) -- a full queue
+  sheds the request *immediately* with
+  :class:`~repro.errors.ServiceOverloadedError` (backpressure, never
+  unbounded buffering);
+* one worker task draining the queue in FIFO order, so request
+  handling is serialised exactly like the synchronous service;
+* graceful drain: :meth:`drain` stops intake, lets queued requests
+  finish, then drains the service itself.
+
+Because the worker applies requests sequentially against the same
+synchronous service, a front-ended run with an idle queue produces
+byte-for-byte the same control-plane state as direct calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.errors import ServiceDrainingError, ServiceOverloadedError
+from repro.service.service import AllocationService
+
+#: Queue sentinel telling the worker to exit after the backlog.
+_STOP = object()
+
+
+class ServiceFrontend:
+    """Bounded-queue asyncio wrapper around one service instance."""
+
+    def __init__(
+        self,
+        service: AllocationService,
+        max_queue_depth: Optional[int] = None,
+    ) -> None:
+        depth = (
+            max_queue_depth
+            if max_queue_depth is not None
+            else service.quotas.max_queue_depth
+        )
+        self.service = service
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue(
+            maxsize=depth if depth is not None else 0
+        )
+        self._worker: Optional["asyncio.Task[None]"] = None
+        self._stopping = False
+        self.shed = 0
+        self.max_depth_seen = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker task (idempotent)."""
+        if self._worker is None:
+            self._worker = asyncio.get_running_loop().create_task(
+                self._run()
+            )
+
+    async def _run(self) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                future, method, kwargs = item
+                if future.cancelled():
+                    continue
+                try:
+                    result = getattr(self.service, method)(**kwargs)
+                except Exception as exc:  # typed service errors included
+                    future.set_exception(exc)
+                else:
+                    future.set_result(result)
+            finally:
+                self._queue.task_done()
+
+    async def drain(self) -> Dict[str, object]:
+        """Graceful shutdown: stop intake, finish the backlog, drain
+        the underlying service; returns its drain report."""
+        self._stopping = True
+        if self._worker is not None:
+            await self._queue.put(_STOP)
+            await self._worker
+            self._worker = None
+        return self.service.drain()
+
+    # -- request path -----------------------------------------------------------
+
+    async def submit(self, method: str, **kwargs: Any) -> Any:
+        """Enqueue one request; resolves with the service's reply.
+
+        Raises :class:`ServiceOverloadedError` immediately when the
+        queue is full and :class:`ServiceDrainingError` after
+        :meth:`drain` began; service-level rejections propagate from
+        the worker through the returned future.
+        """
+        if self._stopping:
+            self.service.rejected += 1
+            raise ServiceDrainingError(f"{method}: front-end is draining")
+        if self._worker is None:
+            self.start()
+        future: "asyncio.Future[Any]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        try:
+            self._queue.put_nowait((future, method, kwargs))
+        except asyncio.QueueFull:
+            self.shed += 1
+            self.service.rejected += 1
+            raise ServiceOverloadedError(
+                f"{method}: request queue full "
+                f"(depth {self._queue.maxsize})"
+            ) from None
+        self.max_depth_seen = max(self.max_depth_seen, self._queue.qsize())
+        return await future
+
+    # Convenience wrappers mirroring the wire-shaped API ------------------------
+
+    async def register_app(self, app_id: str, workload: str) -> Any:
+        return await self.submit(
+            "register_app", app_id=app_id, workload=workload
+        )
+
+    async def deregister(self, app_id: str) -> Any:
+        return await self.submit("deregister", app_id=app_id)
+
+    async def conn_create(self, **kwargs: Any) -> Any:
+        return await self.submit("conn_create", **kwargs)
+
+    async def conn_destroy(self, flow_id: int) -> Any:
+        return await self.submit("conn_destroy", flow_id=flow_id)
+
+    async def get_allocation(self, link_id: str) -> Any:
+        return await self.submit("get_allocation", link_id=link_id)
+
+    async def health(self) -> Any:
+        # Health is exempt from admission control *and* queueing: an
+        # operator can always probe a saturated service.
+        return self.service.health()

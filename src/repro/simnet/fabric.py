@@ -37,12 +37,16 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Protocol, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import RoutingError, SimulationError
 from repro.obs.events import (
     FLOW_FINISHED,
+    FLOW_REROUTED,
     FLOW_STARTED,
+    LINK_DOWN,
+    LINK_UP,
     NULL_OBSERVER,
     PORT_UTILIZATION,
     RATE_SOLVE,
@@ -57,6 +61,27 @@ from repro.simnet.telemetry import UtilizationRecorder
 from repro.simnet.topology import Topology
 
 _EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class RerouteReport:
+    """Outcome of one link up/down transition.
+
+    ``rerouted`` pairs each moved flow with the path it left; the flow
+    itself already carries the new path.  ``stranded`` lists flows for
+    which no route exists after the transition (network partition, or
+    a downed NIC link): they stay on their dead path with zero usable
+    capacity and stall until a recovery reroutes them.
+    """
+
+    link_id: str
+    up: bool
+    rerouted: Tuple[Tuple[Flow, Tuple[str, ...]], ...]
+    stranded: Tuple[int, ...]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.rerouted or self.stranded)
 
 
 class FabricPolicy(Protocol):
@@ -223,6 +248,91 @@ class FluidFabric:
                 dirty[lid] = None
         self._rates_dirty = True
 
+    # -- dynamic topology --------------------------------------------------
+
+    def set_link_state(self, link_id: str, up: bool) -> RerouteReport:
+        """Transition a link and reroute the flows it affects.
+
+        On *down*: the routing cache entries traversing the link are
+        invalidated and exactly the flows riding it are re-hashed onto
+        the surviving equal-cost paths (other flows' paths remain
+        shortest -- removing a link cannot improve a path that avoided
+        it).  On *up*: the whole routing cache is invalidated and
+        every active flow is re-hashed; flows whose canonical ECMP
+        choice lies on the recovered link move back, so the
+        path assignment converges to exactly what a fresh router over
+        the repaired topology would pick -- the no-fault baseline.
+
+        Rerouted flows keep their identity and remaining bytes
+        (progress is materialised at the transition instant); both the
+        old and new path links are marked dirty so the next event
+        re-solves precisely the disturbed components.  A no-op
+        transition (already in that state) returns an empty report.
+        """
+        changed = self.topology.set_link_up(link_id, up)
+        if not changed:
+            return RerouteReport(link_id, up, (), ())
+        now = self.sim.now
+        dirty = self._dirty_links
+        dirty[link_id] = None
+        if up:
+            self.router.invalidate()
+            candidates = sorted(
+                self._active.values(), key=self._order_key
+            )
+        else:
+            self.router.invalidate([link_id])
+            candidates = sorted(
+                self._incidence.flows_on(link_id), key=self._order_key
+            )
+        rerouted: List[Tuple[Flow, Tuple[str, ...]]] = []
+        stranded: List[int] = []
+        for flow in candidates:
+            try:
+                new_path = tuple(
+                    self.router.path_for_flow(flow.src, flow.dst, flow.flow_id)
+                )
+            except RoutingError:
+                stranded.append(flow.flow_id)
+                continue
+            old_path = tuple(flow.path)
+            if new_path == old_path:
+                continue
+            flow.sync(now)
+            self._incidence.remove(flow)
+            flow.path = new_path
+            self._incidence.add(flow)
+            for lid in old_path:
+                dirty[lid] = None
+            for lid in new_path:
+                dirty[lid] = None
+            rerouted.append((flow, old_path))
+        self._rates_dirty = True
+        obs = self.observer
+        if obs.enabled:
+            obs.metrics.counter(
+                "fabric.link_ups" if up else "fabric.link_downs"
+            ).inc()
+            obs.emit(
+                LINK_UP if up else LINK_DOWN, now, link=link_id,
+                rerouted=len(rerouted), stranded=len(stranded),
+            )
+            if rerouted:
+                obs.metrics.counter("fabric.flows_rerouted").inc(
+                    len(rerouted)
+                )
+                for flow, old_path in rerouted:
+                    obs.emit(
+                        FLOW_REROUTED, now, flow_id=flow.flow_id,
+                        app=flow.app, link=link_id, up=up,
+                        old_path=list(old_path), new_path=list(flow.path),
+                    )
+            if stranded:
+                obs.metrics.counter("fabric.flows_stranded").inc(
+                    len(stranded)
+                )
+        return RerouteReport(link_id, up, tuple(rerouted), tuple(stranded))
+
     # -- flow lifecycle ------------------------------------------------------
 
     @property
@@ -266,6 +376,23 @@ class FluidFabric:
                 app=flow.app, pl=flow.pl, src=flow.src, dst=flow.dst,
                 size=flow.size,
             )
+        return flow
+
+    def cancel_flow(self, flow_id: int) -> Flow:
+        """Tear down an active flow before it drains (service
+        ``conn_destroy``).
+
+        The flow leaves the network at the current instant with its
+        undelivered bytes still in ``remaining``; completion callbacks
+        and policy hooks run exactly as for a natural completion, so
+        connection managers announce the teardown to the controller
+        the same way.
+        """
+        flow = self._active.get(flow_id)
+        if flow is None:
+            raise SimulationError(f"flow {flow_id} is not active")
+        flow.sync(self.sim.now)
+        self._finish_flow(flow)
         return flow
 
     def _finish_flow(self, flow: Flow) -> None:

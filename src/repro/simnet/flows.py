@@ -19,6 +19,20 @@ def _next_flow_id() -> int:
     return next(_flow_ids)
 
 
+def reset_flow_ids(start: int = 0) -> None:
+    """Restart the process-global flow-id sequence.
+
+    Flow ids seed the deterministic ECMP hash, so two runs assign the
+    same flows the same paths only if their id sequences match.
+    Experiment harnesses that compare runs bit-for-bit (the service
+    experiment's zero-fault identity check) call this before each run;
+    ids only need to be unique within one fabric, so resetting between
+    independent runs is safe.
+    """
+    global _flow_ids
+    _flow_ids = itertools.count(start)
+
+
 @dataclass
 class Flow:
     """A fluid flow.

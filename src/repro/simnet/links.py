@@ -51,14 +51,23 @@ class LinkState:
     ``efficiency_fn`` maps the number of competing flows to a usable
     fraction of capacity, modelling congestion-control inefficiency.
     ``None`` means the link is ideal.
+
+    ``up`` is the link's administrative/physical state.  A downed link
+    carries nothing: its effective capacity is zero, so any flow still
+    routed over it stalls until rerouted.  Transitions are driven
+    through :meth:`repro.simnet.topology.Topology.set_link_up` (which
+    keeps the routing view consistent), not by writing this field.
     """
 
     link: Link
     throttle: float = 1.0
     efficiency_fn: Optional[Callable[[int], float]] = field(default=None)
+    up: bool = True
 
     def effective_capacity(self, n_flows: int) -> float:
         """Capacity usable by ``n_flows`` competing flows, in bytes/s."""
+        if not self.up:
+            return 0.0
         cap = self.link.capacity * self.throttle
         if self.efficiency_fn is not None and n_flows > 0:
             eff = self.efficiency_fn(n_flows)

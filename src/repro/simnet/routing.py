@@ -8,14 +8,24 @@ over the directed topology graph; when several shortest paths exist
 a given flow always takes the same path -- matching per-flow ECMP.
 
 Results are cached per ``(src, dst)`` pair: the set of equal-cost
-paths is computed once, and each flow indexes into it.
+paths is computed once, and each flow indexes into it.  The cache is
+kept honest under topology mutation two ways:
+
+* callers that mutate the graph (``FluidFabric.set_link_state``) call
+  :meth:`Router.invalidate` -- targeted by link ids after a link goes
+  *down* (only pairs whose cached paths traverse it can change), full
+  after a link comes *up* (any pair may gain equal-cost paths);
+* as a safety net, the router compares the topology's
+  ``generation`` counter on every lookup and performs a full
+  invalidation if the graph changed without an explicit call, so a
+  mutated topology can never serve stale paths.
 """
 
 from __future__ import annotations
 
 import hashlib
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import RoutingError
 from repro.simnet.topology import Topology
@@ -34,9 +44,49 @@ class Router:
         self.topology = topology
         self.max_equal_paths = max_equal_paths
         self._cache: Dict[Tuple[str, str], List[List[str]]] = {}
+        #: link id -> (src, dst) keys whose cached paths traverse it.
+        #: Entries may linger after their key was evicted (popping a
+        #: missing cache key is harmless); re-caching re-adds them.
+        self._keys_via: Dict[str, Set[Tuple[str, str]]] = {}
+        #: Bumped on every invalidation; callers caching per-flow path
+        #: choices can compare it instead of the paths themselves.
+        self.generation = 0
+        self._topo_generation = topology.generation
+
+    def invalidate(self, link_ids: Optional[Iterable[str]] = None) -> int:
+        """Drop cached equal-cost path sets; returns how many.
+
+        With ``link_ids``, only ``(src, dst)`` pairs whose cached
+        paths traverse one of those links are dropped -- sufficient
+        (and exact) for links going *down*, since removing a link
+        cannot change the shortest-path set of any pair that avoided
+        it.  Without arguments the whole cache is cleared; required
+        for additive mutations (link up, link added) where any pair
+        may gain paths.  Either form acknowledges the topology's
+        current ``generation`` and bumps the router's own.
+        """
+        self.generation += 1
+        self._topo_generation = self.topology.generation
+        if link_ids is None:
+            dropped = len(self._cache)
+            self._cache.clear()
+            self._keys_via.clear()
+            return dropped
+        keys: Set[Tuple[str, str]] = set()
+        for lid in link_ids:
+            keys |= self._keys_via.pop(lid, set())
+        dropped = 0
+        for key in keys:
+            if self._cache.pop(key, None) is not None:
+                dropped += 1
+        return dropped
 
     def equal_cost_paths(self, src: str, dst: str) -> List[List[str]]:
         """All (up to ``max_equal_paths``) shortest paths, as link-id lists."""
+        if self._topo_generation != self.topology.generation:
+            # The graph changed and nobody told us: never serve stale
+            # paths (the pre-invalidation cache had exactly this bug).
+            self.invalidate()
         key = (src, dst)
         cached = self._cache.get(key)
         if cached is not None:
@@ -45,6 +95,13 @@ class Router:
         if not paths:
             raise RoutingError(f"no route from {src!r} to {dst!r}")
         self._cache[key] = paths
+        keys_via = self._keys_via
+        for path in paths:
+            for lid in path:
+                bucket = keys_via.get(lid)
+                if bucket is None:
+                    bucket = keys_via[lid] = set()
+                bucket.add(key)
         return paths
 
     def path_for_flow(self, src: str, dst: str, flow_id: int) -> List[str]:

@@ -40,6 +40,13 @@ class Topology:
         #: link_id -> QueueTable of the port driving that link (server
         #: NIC ports included).
         self._port_tables: Dict[str, QueueTable] = {}
+        #: Currently-down links (insertion order, for determinism).
+        self._down_links: Dict[str, None] = {}
+        #: Bumped on every mutation of the routable graph (link added,
+        #: link up/down).  Consumers that cache derived routing state
+        #: (:class:`repro.simnet.routing.Router`) compare it to detect
+        #: unacknowledged staleness.
+        self.generation = 0
 
     # -- construction ---------------------------------------------------
 
@@ -69,6 +76,7 @@ class Topology:
         self.links[link_id] = link
         self.link_states[link_id] = LinkState(link=link)
         self._adjacency[src].append(dst)
+        self.generation += 1
         if src in self.switches:
             port = self.switches[src].add_port(link_id)
             self._port_tables[link_id] = port.table
@@ -83,13 +91,60 @@ class Topology:
         """Add both directions between ``a`` and ``b``."""
         return self.add_link(a, b, capacity), self.add_link(b, a, capacity)
 
+    # -- dynamic link state ------------------------------------------------
+
+    def set_link_up(self, link_id: str, up: bool = True) -> bool:
+        """Transition one directed link up or down.
+
+        Returns ``True`` if the state actually changed.  The link stays
+        in the topology (its port table, queue programming and
+        :class:`~repro.simnet.links.LinkState` survive the outage); it
+        merely stops being routable -- :meth:`neighbors` hides the far
+        end and :meth:`~repro.simnet.links.LinkState.effective_capacity`
+        reports zero -- until it comes back.  Bumps :attr:`generation`
+        so routers can detect the mutation.
+        """
+        state = self.link_states.get(link_id)
+        if state is None:
+            raise TopologyError(f"unknown link {link_id!r}")
+        if state.up == up:
+            return False
+        state.up = up
+        if up:
+            self._down_links.pop(link_id, None)
+        else:
+            self._down_links[link_id] = None
+        self.generation += 1
+        return True
+
+    def link_is_up(self, link_id: str) -> bool:
+        state = self.link_states.get(link_id)
+        if state is None:
+            raise TopologyError(f"unknown link {link_id!r}")
+        return state.up
+
+    def down_links(self) -> List[str]:
+        """Currently-down link ids, in the order they went down."""
+        return list(self._down_links)
+
     # -- queries ----------------------------------------------------------
 
     def neighbors(self, node: str) -> List[str]:
+        """Destinations reachable over *up* links out of ``node``.
+
+        With no outages this is the construction-order adjacency list
+        itself (zero overhead on the routing hot path); during an
+        outage the down destinations are filtered out, preserving
+        order, so BFS path enumeration stays deterministic.
+        """
         try:
-            return self._adjacency[node]
+            base = self._adjacency[node]
         except KeyError:
             raise TopologyError(f"unknown node {node!r}") from None
+        if not self._down_links:
+            return base
+        down = self._down_links
+        return [dst for dst in base if f"{node}->{dst}" not in down]
 
     def has_node(self, node: str) -> bool:
         return node in self._adjacency

@@ -215,6 +215,46 @@ def _render_online(result: Any) -> str:
     return "\n".join(lines)
 
 
+# -- service ----------------------------------------------------------------
+
+
+def _build_service(options: Mapping[str, Any]) -> SweepSpec:
+    from repro.experiments.extension_service import (
+        DEFAULT_FLAP_COUNTS,
+        SMOKE_FLAP_COUNTS,
+        service_sweep_spec,
+    )
+
+    if bool(_opt(options, "smoke", False)):
+        return service_sweep_spec(
+            flap_counts=SMOKE_FLAP_COUNTS,
+            seed=int(_opt(options, "seed", 7)),
+        )
+    return service_sweep_spec(
+        flap_counts=tuple(_opt(options, "flaps", DEFAULT_FLAP_COUNTS)),
+        seed=int(_opt(options, "seed", 7)),
+    )
+
+
+def _render_service(result: Any) -> str:
+    lines = [
+        f"allocation service under link flaps (seed={result.seed}):",
+        "  zero-fault identity vs static harness: "
+        + ("OK" if result.identical else "FAILED"),
+        f"  {'flaps':>5s} {'slowdown':>9s} {'recovered':>9s} "
+        f"{'degraded':>9s} {'rerouted':>9s} {'rejected':>9s}",
+    ]
+    for p in result.points:
+        recovered = "yes" if p.recovered else "NO"
+        lines.append(
+            f"  {p.flaps:>5d} {p.slowdown:>9.4f} {recovered:>9s} "
+            f"{p.degraded_seconds:>8.1f}s "
+            f"{p.counters.get('flows_rerouted', 0.0):>9.0f} "
+            f"{p.counters.get('rejected', 0.0):>9.0f}"
+        )
+    return "\n".join(lines)
+
+
 # -- fig10 ------------------------------------------------------------------
 
 
@@ -285,6 +325,14 @@ REGISTRY: Dict[str, Experiment] = {
             render=_render_faults,
             defaults={"smoke": False, "mtbfs": None, "mttr": 6.0,
                       "seed": 7, "series": None},
+        ),
+        Experiment(
+            name="service",
+            help="allocation service under link flaps: identity, "
+                 "availability, recovery (extension study)",
+            build=_build_service,
+            render=_render_service,
+            defaults={"smoke": False, "flaps": None, "seed": 7},
         ),
         Experiment(
             name="online",

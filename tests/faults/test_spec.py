@@ -46,7 +46,9 @@ def test_invalid_specs_rejected(bad):
 
 
 def test_every_kind_is_constructible():
-    assert set(FAULT_KINDS) == {"crash", "latency", "loss", "stall"}
+    assert set(FAULT_KINDS) == {
+        "crash", "latency", "loss", "stall", "link_down",
+    }
 
 
 def test_plan_rejects_duplicate_target_kind():

@@ -103,6 +103,39 @@ def test_summarize_final_port_state():
     assert summary.to_dict()["final_ports"]["sw->b"]["state"] == "reset"
 
 
+def test_summarize_service_section():
+    summary = summarize_trace([
+        _record(ev.SERVICE_REQUEST, 0.0, op="register_app", queued=1),
+        _record(ev.SERVICE_REQUEST, 0.0, op="conn_create", queued=3),
+        _record(ev.SERVICE_REJECTED, 0.5, op="conn_create",
+                reason="quota"),
+        # Overlapping outages: degraded time is the union [1, 4].
+        _record(ev.LINK_DOWN, 1.0, link="a->b"),
+        _record(ev.LINK_DOWN, 2.0, link="c->d"),
+        _record(ev.FLOW_REROUTED, 2.0, flow=7),
+        _record(ev.LINK_UP, 3.0, link="a->b"),
+        _record(ev.LINK_UP, 4.0, link="c->d"),
+        # A second outage left open: degraded to the end of the trace.
+        _record(ev.LINK_DOWN, 6.0, link="a->b"),
+        _record(ev.SERVICE_DRAIN, 7.0, open_conns=0),
+    ])
+    assert summary.service["admitted"] == 2
+    assert summary.service["rejected"] == 1
+    assert summary.service["max_queued"] == 3
+    assert summary.service["flows_rerouted"] == 1
+    assert summary.service["drains"] == 1
+    assert summary.service["degraded_seconds"] == pytest.approx(4.0)
+    rendered = format_summary(summary)
+    assert "service           admitted=2 rejected=1 max_queued=3" in rendered
+    assert "downs=3 ups=2 reroutes=1 degraded=4.000s" in rendered
+
+
+def test_service_section_absent_without_service_events():
+    summary = summarize_trace([_record(ev.REALLOCATION, 1.0, ports=1)])
+    assert summary.service == {}
+    assert "service " not in format_summary(summary)
+
+
 # -- end-to-end: the acceptance-criterion co-run ----------------------------
 
 

@@ -1,0 +1,214 @@
+"""The allocation service: admission, quotas, drain, health, reroute."""
+
+import pytest
+
+from repro.errors import (
+    QuotaExceededError,
+    RegistrationError,
+    ServiceDrainingError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.core.controller import SabaController
+from repro.service import (
+    SERVICE_ENDPOINT,
+    AllocationService,
+    ServiceQuotas,
+    tenant_of,
+)
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.routing import Router
+from repro.simnet.topology import fat_tree, single_switch
+
+
+def _service(small_table, topo=None, quotas=None):
+    ctrl = SabaController(small_table)
+    fabric = FluidFabric(
+        topo if topo is not None else single_switch(4, capacity=100.0)
+    )
+    fabric.set_policy(ctrl)
+    return AllocationService(fabric, ctrl, quotas=quotas)
+
+
+# -- quotas ------------------------------------------------------------------
+
+
+def test_tenant_derivation():
+    assert tenant_of("acme/train-3") == "acme"
+    assert tenant_of("solo") == "default"
+    assert tenant_of("/odd") == "default"
+
+
+def test_invalid_quotas_rejected():
+    with pytest.raises(ServiceError):
+        ServiceQuotas(max_apps_per_tenant=0)
+    with pytest.raises(ServiceError):
+        ServiceQuotas(max_queue_depth=-1)
+
+
+def test_app_quota_per_tenant(small_table):
+    service = _service(
+        small_table, quotas=ServiceQuotas(max_apps_per_tenant=2)
+    )
+    service.register_app("acme/a", "LR")
+    service.register_app("acme/b", "PR")
+    with pytest.raises(QuotaExceededError):
+        service.register_app("acme/c", "LR")
+    # Another tenant is unaffected; the rejected request left no state.
+    service.register_app("beta/a", "LR")
+    assert service.rejected == 1
+    service.deregister("acme/a")
+    service.register_app("acme/c", "LR")
+
+
+def test_conn_quotas(small_table):
+    service = _service(
+        small_table,
+        quotas=ServiceQuotas(max_conns_per_app=2, max_conns_per_tenant=3),
+    )
+    service.register_app("t/a", "LR")
+    service.register_app("t/b", "LR")
+    service.conn_create("t/a", "server0", "server1", 1e6)
+    service.conn_create("t/a", "server0", "server2", 1e6)
+    with pytest.raises(QuotaExceededError):
+        service.conn_create("t/a", "server0", "server3", 1e6)
+    service.conn_create("t/b", "server1", "server2", 1e6)
+    with pytest.raises(QuotaExceededError):  # tenant-wide cap
+        service.conn_create("t/b", "server1", "server3", 1e6)
+    # Completions release quota.
+    service.fabric.run()
+    service.conn_create("t/a", "server0", "server3", 1e6)
+
+
+def test_same_instant_burst_backpressure(small_table):
+    service = _service(small_table, quotas=ServiceQuotas(max_queue_depth=3))
+    service.register_app("a", "LR")
+    service.register_app("b", "PR")
+    service.conn_create("a", "server0", "server1", 1e6)
+    with pytest.raises(ServiceOverloadedError):
+        service.get_allocation("server0->switch0")
+    assert service.rejected == 1
+    assert service.max_burst == 4  # peak includes the shed request
+    # Time advancing resets the burst window.
+    service.fabric.run()
+    assert service.get_allocation("server0->switch0")["link"] \
+        == "server0->switch0"
+
+
+def test_conn_create_requires_registration(small_table):
+    service = _service(small_table)
+    with pytest.raises(RegistrationError):
+        service.conn_create("ghost", "server0", "server1", 1.0)
+
+
+def test_conn_destroy_cancels_in_flight(small_table):
+    service = _service(small_table)
+    service.register_app("a", "LR")
+    done = []
+    flow = service.conn_create(
+        "a", "server0", "server1", 1e9,
+        on_complete=lambda f: done.append(f.flow_id),
+    )
+    destroys_before = service.controller.stats.conn_destroys
+    returned = service.conn_destroy(flow.flow_id)
+    assert returned is flow
+    assert done == [flow.flow_id]
+    # The teardown announcement reached the controller.
+    assert service.controller.stats.conn_destroys == destroys_before + 1
+    with pytest.raises(ServiceError):
+        service.conn_destroy(flow.flow_id)
+
+
+def test_drain_stops_admission_but_not_health(small_table):
+    service = _service(small_table)
+    service.register_app("a", "LR")
+    report = service.drain()
+    assert report["already_draining"] is False
+    assert service.drain()["already_draining"] is True
+    with pytest.raises(ServiceDrainingError):
+        service.register_app("b", "LR")
+    with pytest.raises(ServiceDrainingError):
+        service.conn_create("a", "server0", "server1", 1.0)
+    health = service.health()
+    assert health["draining"] is True
+    assert health["apps"] == 1
+
+
+def test_health_shape(small_table):
+    service = _service(small_table)
+    service.register_app("acme/a", "LR")
+    service.conn_create("acme/a", "server0", "server1", 1e6)
+    health = service.health()
+    assert health["open_conns"] == 1
+    assert health["tenants"] == ["acme"]
+    assert health["down_links"] == []
+    assert health["degraded_seconds"] == 0.0
+    assert health["rejected"] == 0
+    assert SERVICE_ENDPOINT in health["endpoints"]
+
+
+def test_service_registers_bus_endpoint(small_table):
+    service = _service(small_table)
+    pl = service.bus.call(
+        SERVICE_ENDPOINT, "register_app", app_id="a", workload="LR"
+    )
+    assert pl == service.controller.pl_of("a")
+    assert service.bus.call(SERVICE_ENDPOINT, "health")["apps"] == 1
+
+
+# -- dynamic topology through the service ------------------------------------
+
+
+def test_link_transition_reannounces_and_recovers(small_table):
+    topo = fat_tree(4, capacity=100.0)
+    service = _service(small_table, topo=topo)
+    service.register_app("a", "LR")
+    servers = topo.servers
+    flows = [
+        service.conn_create("a", servers[0], servers[i], 1e9)
+        for i in range(4, 12)
+    ]
+    service.fabric.run(until=0.5)
+    used = sorted({
+        lid for f in flows for lid in f.path
+        if lid.startswith("pod0-agg0->")
+    })
+    assert used, "expected flows through pod0-agg0 uplinks"
+    link = used[0]
+    report = service.set_link_state(link, up=False)
+    assert service.link_transitions == 1
+    assert service.flows_rerouted == len(report.rerouted)
+    # Every moved managed connection was re-announced (old path torn
+    # down, new path announced).
+    assert service.conns_reannounced == len(report.rerouted)
+    assert service.health()["down_links"] == [link]
+    service.fabric.run(until=1.5)
+    up_report = service.set_link_state(link, up=True)
+    assert up_report.up
+    # Recovered port is force-reprogrammed even with an unchanged mix.
+    assert service.ports_forgotten >= 1
+    assert service.degraded_seconds() == pytest.approx(1.0)
+    fresh = Router(topo)
+    for f in service.fabric.active_flows:
+        assert tuple(f.path) == \
+            tuple(fresh.path_for_flow(f.src, f.dst, f.flow_id))
+
+
+def test_attach_faults_drives_transitions(small_table):
+    from repro.faults import FaultPlan, FaultSpec
+
+    topo = fat_tree(4, capacity=100.0)
+    service = _service(small_table, topo=topo)
+    service.register_app("a", "LR")
+    for i in range(4, 12):
+        service.conn_create("a", topo.servers[0], topo.servers[i], 2e4)
+    plan = FaultPlan((
+        FaultSpec.link_flap("pod0-agg0->core0", ((0.2, 0.6),)),
+        FaultSpec.link_flap("core0->pod0-agg0", ((0.2, 0.6),)),
+    ), seed=9)
+    driver = service.attach_faults(plan.build())
+    service.fabric.run()
+    assert driver.transitions == 4
+    assert service.link_transitions == 4
+    assert service.degraded_seconds() == pytest.approx(0.4)
+    assert service.health()["down_links"] == []
