@@ -351,33 +351,72 @@ def _service(args) -> None:
 def _fabric(args) -> None:
     import json
 
-    from repro.simnet.bench import run_bench, write_bench
+    from repro.simnet.bench import (
+        run_bench, run_fig10_smoke, run_hyperscale, write_bench,
+    )
 
     progress = None if args.quiet else (
         lambda msg: print(msg, file=sys.stderr)
     )
-    payload = run_bench(
-        scenario={
-            "n_spine": args.spine, "n_leaf": args.leaf, "n_tor": args.tor,
-            "servers_per_tor": args.servers_per_tor, "apps": args.apps,
-            "fanout": args.fanout, "waves": args.waves, "seed": args.seed,
-        },
-        progress=progress,
-    )
+    if args.scenario == "hyperscale":
+        payload = run_hyperscale(
+            scenario={
+                "n_spine": args.spine, "n_leaf": args.leaf,
+                "n_tor": args.tor,
+                "servers_per_tor": args.servers_per_tor,
+                "waves": args.waves, "seed": args.seed,
+            },
+            progress=progress, backend=args.backend, profile=args.profile,
+        )
+    elif args.scenario == "fig10":
+        payload = run_fig10_smoke(
+            scenario={
+                "n_spine": args.spine, "n_leaf": args.leaf,
+                "n_tor": args.tor,
+                "servers_per_tor": args.servers_per_tor, "apps": args.apps,
+                "fanout": args.fanout, "waves": args.waves,
+                "seed": args.seed,
+            },
+            progress=progress, backend=args.backend, profile=args.profile,
+        )
+    else:
+        payload = run_bench(
+            scenario={
+                "n_spine": args.spine, "n_leaf": args.leaf,
+                "n_tor": args.tor,
+                "servers_per_tor": args.servers_per_tor, "apps": args.apps,
+                "fanout": args.fanout, "waves": args.waves,
+                "seed": args.seed,
+            },
+            progress=progress, backend=args.backend, profile=args.profile,
+        )
     print(json.dumps(payload, indent=2, sort_keys=True))
     if args.out:
         write_bench(payload, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
     if not payload["identical_results"]:
         raise SystemExit(
-            "error: full and incremental completion times differ "
+            "error: solver backends disagree on completion times "
             f"(max rel {payload['max_rel_completion_diff']:.2e})"
         )
-    if payload["speedup"] < args.min_speedup:
-        raise SystemExit(
-            f"error: incremental speedup {payload['speedup']:.2f}x is "
-            f"below the required {args.min_speedup:.2f}x"
-        )
+    if args.scenario == "corun":
+        if not payload["vector_identical_results"]:
+            raise SystemExit(
+                "error: vectorized run diverged from the object solver "
+                f"(max rel {payload['vector_max_rel_completion_diff']:.2e})"
+            )
+        if payload["speedup"] < args.min_speedup:
+            raise SystemExit(
+                f"error: incremental speedup {payload['speedup']:.2f}x is "
+                f"below the required {args.min_speedup:.2f}x"
+            )
+    if args.scenario == "hyperscale" and args.min_flows_per_sec > 0:
+        fps = payload["vector"]["flows_per_sec"] or 0.0
+        if fps < args.min_flows_per_sec:
+            raise SystemExit(
+                f"error: hyperscale throughput {fps:.0f} flows/s is "
+                f"below the required {args.min_flows_per_sec:.0f}"
+            )
 
 
 def _control(args) -> None:
@@ -603,27 +642,45 @@ def main(argv=None) -> int:
             )
             p.add_argument("action", choices=["bench"],
                            help="benchmark full vs incremental solving")
+            p.add_argument("--scenario", choices=["corun", "hyperscale",
+                                                  "fig10"],
+                           default="corun",
+                           help="benchmark scenario (default corun; "
+                                "hyperscale = 100k-server incast, "
+                                "fig10 = full-scale 1,944-server smoke)")
+            p.add_argument("--backend", choices=["auto", "vector", "object"],
+                           default="auto",
+                           help="solver backend for the vectorized run "
+                                "(default auto)")
             p.add_argument("--spine", type=int, default=None,
-                           help="spine switches (default 8)")
+                           help="spine switches (scenario-specific default)")
             p.add_argument("--leaf", type=int, default=None,
-                           help="leaf switches (default 8)")
+                           help="leaf switches (scenario-specific default)")
             p.add_argument("--tor", type=int, default=None,
-                           help="top-of-rack switches (default 8)")
+                           help="top-of-rack switches "
+                                "(scenario-specific default)")
             p.add_argument("--servers-per-tor", type=int, default=None,
-                           help="servers per rack (default 10)")
+                           help="servers per rack "
+                                "(scenario-specific default)")
             p.add_argument("--apps", type=int, default=None,
-                           help="co-running applications (default 16)")
+                           help="co-running applications (corun/fig10)")
             p.add_argument("--fanout", type=int, default=None,
-                           help="concurrent flows per wave (default 8)")
+                           help="concurrent flows per wave (corun/fig10)")
             p.add_argument("--waves", type=int, default=None,
-                           help="waves per application (default 6)")
+                           help="waves per application / per rack")
             p.add_argument("--seed", type=int, default=None,
                            help="scenario seed (default 7)")
             p.add_argument("--out", default=None,
                            help="also write the JSON payload here")
             p.add_argument("--min-speedup", type=float, default=1.0,
                            help="fail below this incremental speedup "
-                                "(default 1.0)")
+                                "(corun only; default 1.0)")
+            p.add_argument("--min-flows-per-sec", type=float, default=0.0,
+                           help="fail below this completed-flows/sec "
+                                "throughput (hyperscale only; default off)")
+            p.add_argument("--profile", action="store_true",
+                           help="cProfile the vectorized run and report "
+                                "the top-25 cumulative entries")
             p.add_argument("--quiet", action="store_true",
                            help="suppress progress narration")
             continue

@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.controller import SabaController
 from repro.core.table import SensitivityTable
 from repro.obs.export import code_version
+from repro.simnet.bench import env_metadata
 from repro.simnet.fabric import FluidFabric
 from repro.simnet.routing import Router
 from repro.simnet.topology import spine_leaf
@@ -266,6 +267,7 @@ def run_bench(
         "created_unix": time.time(),
         "code_version": code_version(),
         "cpu_count": os.cpu_count(),
+        **env_metadata(solver_backend="object"),
         "scenario": params,
         "signatures_off": sig_off,
         "signatures_on": sig_on,

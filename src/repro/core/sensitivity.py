@@ -320,21 +320,39 @@ def _constrained_fit(
     def objective_grad(c: np.ndarray) -> np.ndarray:
         return 2.0 * (vander.T @ (vander @ c - ds))
 
-    result = optimize.minimize(
-        objective,
-        x0,
-        jac=objective_grad,
-        method="SLSQP",
-        constraints=[{
-            "type": "ineq",
-            "fun": lambda c: cmat @ c,
-            "jac": lambda c: cmat,
-        }],
-        options={"maxiter": 300, "ftol": 1e-12},
-    )
-    if not result.success and float((cmat @ result.x).min()) < -1e-6:
-        raise ProfilingError(f"constrained fit failed: {result.message}")
-    return result.x
+    def attempt(mat: np.ndarray, start: np.ndarray) -> "optimize.OptimizeResult":
+        return optimize.minimize(
+            objective,
+            start,
+            jac=objective_grad,
+            method="SLSQP",
+            constraints=[{
+                "type": "ineq",
+                "fun": lambda c: mat @ c,
+                "jac": lambda c: mat,
+            }],
+            options={"maxiter": 300, "ftol": 1e-12},
+        )
+
+    result = attempt(cmat, x0)
+    if result.success or float((cmat @ result.x).min()) >= -1e-6:
+        return result.x
+    # SLSQP's linesearch (and the absolute violation check above)
+    # misjudge mixed constraint scales: the second-derivative rows
+    # can reach ~1e7 while the monotonicity rows stay O(1), so a
+    # solution violating a huge row by an absolute 1e-4 is feasible
+    # to ~1e-11 relative.  Retry with unit-norm rows -- the feasible
+    # set is unchanged -- and, if need be, from the always-feasible
+    # zero vector (cmat @ 0 == 0).  Retries run only after the
+    # original solve fails, so previously-working fits are
+    # bit-unchanged.
+    norms = np.linalg.norm(cmat, axis=1)
+    scaled = cmat / np.where(norms > 0.0, norms, 1.0)[:, None]
+    for start in (x0, np.zeros_like(x0)):
+        result = attempt(scaled, start)
+        if result.success or float((scaled @ result.x).min()) >= -1e-6:
+            return result.x
+    raise ProfilingError(f"constrained fit failed: {result.message}")
 
 
 def r_squared(

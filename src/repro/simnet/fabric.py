@@ -38,7 +38,17 @@ import heapq
 import itertools
 import time as _time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Protocol, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import RoutingError, SimulationError
 from repro.obs.events import (
@@ -56,11 +66,22 @@ from repro.simnet.engine import Simulator
 from repro.simnet.fairness import FairScheduler, LinkScheduler, solve_component
 from repro.simnet.flows import Flow
 from repro.simnet.incidence import FlowIncidence
+from repro.simnet.kernels import (
+    KernelComponent,
+    component_specs,
+    padded_cells,
+    solve_batch,
+)
 from repro.simnet.routing import Router
 from repro.simnet.telemetry import UtilizationRecorder
 from repro.simnet.topology import Topology
 
 _EPS = 1e-9
+
+#: Padded work-array cell budget for the vector kernels; components
+#: whose (links x max members-per-link) estimate exceeds this fall
+#: back to the object solver rather than allocating a huge 2-D array.
+_PAD_CELL_LIMIT = 32_000_000
 
 
 @dataclass(frozen=True)
@@ -142,6 +163,9 @@ class FluidFabric:
         completion_quantum: float = 0.0,
         observer: Optional[Observer] = None,
         incremental: bool = True,
+        solver_backend: str = "object",
+        vector_min_flows: int = 32,
+        vector_min_batch: int = 256,
     ) -> None:
         """
         Args:
@@ -168,9 +192,33 @@ class FluidFabric:
                 a full re-solve plus an eager advance of every active
                 flow on each event -- the pre-incremental behaviour,
                 kept as the benchmark baseline.
+            solver_backend: ``"object"`` (default) keeps the pure
+                Python solver everywhere -- its trajectories are
+                bit-identical to the pre-kernel releases, which the
+                pinned experiment recipes rely on.  ``"auto"`` solves
+                large components -- or large dirty batches -- with
+                the vectorized numpy kernels
+                (:mod:`repro.simnet.kernels`) and everything else
+                with the object solver; ``"vector"`` forces the
+                kernels wherever the schedulers support them.  Kernel
+                results match the object solver to ~1e-12 relative
+                (reassociation noise only, DESIGN.md 5i); benchmarks
+                and hyperscale runs opt into ``"auto"``/``"vector"``.
+            vector_min_flows: in ``auto`` mode, a component solves on
+                the vector backend once it has at least this many
+                flows (below it, array setup costs more than the
+                interpreter loop it replaces).
+            vector_min_batch: in ``auto`` mode, when one recompute's
+                dirty components together reach this many flows they
+                are all batched into a single kernel invocation even
+                if each is individually small.
         """
         if completion_quantum < 0:
             raise SimulationError("completion_quantum must be >= 0")
+        if solver_backend not in ("auto", "vector", "object"):
+            raise SimulationError(
+                f"unknown solver backend {solver_backend!r}"
+            )
         self.topology = topology
         self.router = Router(topology)
         self.observer = observer if observer is not None else NULL_OBSERVER
@@ -187,6 +235,9 @@ class FluidFabric:
         self.validate = validate
         self.completion_quantum = completion_quantum
         self.incremental = incremental
+        self.solver_backend = solver_backend
+        self.vector_min_flows = vector_min_flows
+        self.vector_min_batch = vector_min_batch
         self.policy: FabricPolicy = _DefaultPolicy()
         self._component_safe = True
         self._active: Dict[int, Flow] = {}
@@ -220,6 +271,10 @@ class FluidFabric:
         self.rate_recomputes = 0
         self.components_solved = 0
         self.flows_solved = 0
+        self.vector_components = 0
+        self.object_components = 0
+        self.vector_seconds = 0.0
+        self.object_seconds = 0.0
 
     # -- configuration -----------------------------------------------------
 
@@ -476,6 +531,26 @@ class FluidFabric:
         sched_cache = self._sched_cache
         scheduler_of = self.policy.scheduler_of
         n_flows_solved = 0
+        # Backend selection: the vector kernels win once a component
+        # (or the whole dirty batch, solved in one kernel invocation)
+        # is large enough to amortise array setup; tiny components
+        # keep the object solver and its exact numerics.
+        backend = self.solver_backend
+        total_flows = sum(len(cf) for cf, _ in components)
+        pool_all = backend == "vector" or (
+            backend == "auto" and total_flows >= self.vector_min_batch
+        )
+        vec_batch: List[KernelComponent] = []
+        # Rates are applied strictly in component-discovery order after
+        # every solve has finished, whichever backend produced them.
+        # ``_rekey`` breaks completion-time ties with a global sequence
+        # counter, so interleaving object-path application with a
+        # deferred batch solve would reorder tied completions and change
+        # trajectories even when every rate is identical.
+        pending: List[
+            Tuple[List[Flow], Dict[str, List[Flow]], Optional[Dict[int, float]]]
+        ] = []
+        obj_elapsed = 0.0
         for comp_flows, _comp_links in components:
             on_link: Dict[str, List[Flow]] = {}
             for flow in comp_flows:
@@ -495,17 +570,37 @@ class FluidFabric:
                 caps[lid] = self._usable_capacity(
                     lid, scheduler, members, scoped
                 )
-            rates = solve_component(comp_flows, on_link, schedulers, caps)
-            for flow in comp_flows:
-                flow.rate = rates.get(flow.flow_id, 0.0)
-                self._rekey(flow, now)
-            for lid, members in on_link.items():
-                used = 0.0
-                for flow in members:
-                    used += flow.rate
-                link_used[lid] = used
-                changed[lid] = None
             n_flows_solved += len(comp_flows)
+            if backend != "object" and (
+                pool_all or len(comp_flows) >= self.vector_min_flows
+            ) and padded_cells(on_link) <= _PAD_CELL_LIMIT:
+                specs = component_specs(on_link, schedulers)
+                if specs is not None:
+                    vec_batch.append(
+                        KernelComponent(comp_flows, on_link, caps, specs)
+                    )
+                    pending.append((comp_flows, on_link, None))
+                    continue
+            ts = _time.perf_counter()
+            rates = solve_component(comp_flows, on_link, schedulers, caps)
+            obj_elapsed += _time.perf_counter() - ts
+            self.object_components += 1
+            pending.append((comp_flows, on_link, rates))
+        vec_elapsed = 0.0
+        batch_rates: Dict[int, float] = {}
+        if vec_batch:
+            ts = _time.perf_counter()
+            batch_rates = solve_batch(vec_batch)
+            vec_elapsed = _time.perf_counter() - ts
+            self.vector_components += len(vec_batch)
+        for comp_flows, on_link, rates_opt in pending:
+            self._apply_rates(
+                comp_flows, on_link,
+                batch_rates if rates_opt is None else rates_opt,
+                now, changed,
+            )
+        self.object_seconds += obj_elapsed
+        self.vector_seconds += vec_elapsed
         # Dirty ports that no longer carry flows (last flow finished,
         # or a reconfigured idle port) drop to zero utilization.
         for lid in self._dirty_links:
@@ -535,12 +630,44 @@ class FluidFabric:
                 size_hist.observe(len(comp_flows))
             elapsed = _time.perf_counter() - t0
             metrics.histogram("fabric.solver_seconds").observe(elapsed)
+            if vec_batch:
+                metrics.histogram("fabric.solver_seconds.vector").observe(
+                    vec_elapsed
+                )
+                metrics.counter("fabric.vector_components").inc(
+                    len(vec_batch)
+                )
+            if obj_elapsed > 0.0:
+                metrics.histogram("fabric.solver_seconds.object").observe(
+                    obj_elapsed
+                )
             obs.emit(
                 RATE_SOLVE, now, components=len(components),
                 flows=n_flows_solved, links=len(changed), full=full,
-                duration=elapsed,
+                duration=elapsed, vector_components=len(vec_batch),
             )
             self._emit_port_utilization(changed)
+
+    def _apply_rates(
+        self,
+        comp_flows: Sequence[Flow],
+        on_link: Mapping[str, Sequence[Flow]],
+        rates: Mapping[int, float],
+        now: float,
+        changed: Dict[str, None],
+    ) -> None:
+        """Scatter one component's solved rates back onto its flows
+        and refresh the per-link usage totals."""
+        link_used = self._link_used
+        for flow in comp_flows:
+            flow.rate = rates.get(flow.flow_id, 0.0)
+            self._rekey(flow, now)
+        for lid, members in on_link.items():
+            used = 0.0
+            for flow in members:
+                used += flow.rate
+            link_used[lid] = used
+            changed[lid] = None
 
     def _order_key(self, flow: Flow) -> int:
         return self._start_seq[flow.flow_id]

@@ -25,7 +25,7 @@ short-circuits to it directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.simnet.flows import Flow
@@ -33,6 +33,16 @@ from repro.simnet.flows import Flow
 #: Maps a flow to the queue index it occupies at a given link, or to a
 #: priority for strict-priority disciplines.
 QueueOfFlow = Callable[[str, Flow], int]
+
+#: How a scheduler exposes its discipline to the vectorized kernels
+#: (:mod:`repro.simnet.kernels`): a ``(kind, per-member group ids,
+#: group weights)`` triple.  ``kind`` is ``"fair"`` (one shared queue,
+#: per-flow max-min), ``"wfq"`` (weighted fair queueing: group ids are
+#: queue indices, weights map queue -> WFQ weight) or ``"prio"``
+#: (strict priority: group ids are priority classes, lower served
+#: first).  ``None`` means the scheduler cannot be vectorized and its
+#: component must use the object solver.
+KernelSpec = Tuple[str, Optional[List[int]], Optional[Dict[int, float]]]
 
 _EPS = 1e-9
 
@@ -172,9 +182,31 @@ class LinkScheduler:
     compound it across progressive-filling iterations.
     """
 
+    #: True when :meth:`allocate` is exactly unweighted per-flow
+    #: max-min (``water_fill`` over all traversing flows).  Components
+    #: whose links all claim this short-circuit to the exact
+    #: progressive-filling solver (:func:`max_min_rates`).  Subclasses
+    #: that override :meth:`allocate` with anything else must leave
+    #: this False.
+    uniform_fair: bool = False
+
     def usable_capacity(self, capacity: float, flows: Sequence[Flow]) -> float:
         """Line rate minus congestion-control losses for ``flows``."""
         return capacity
+
+    def kernel_spec(self, flows: Sequence[Flow]) -> Optional[KernelSpec]:
+        """Describe this link's discipline for the vectorized kernels.
+
+        Returns ``None`` when the discipline cannot be expressed as
+        one of the three array kernels, which routes the whole
+        component onto the object solver.  Called once per solve; the
+        returned group ids must stay valid for the solve's duration
+        (flow state is frozen between events, so disciplines keyed on
+        e.g. ``flow.remaining`` are safe).
+        """
+        if self.uniform_fair:
+            return ("fair", None, None)
+        return None
 
     def allocate(
         self, capacity: float, flows: Sequence[Flow], demands: Sequence[float]
@@ -190,6 +222,8 @@ class LinkScheduler:
 
 class FairScheduler(LinkScheduler):
     """Per-flow max-min within the link (one shared queue)."""
+
+    uniform_fair = True
 
     def __init__(self, efficiency_fn: EfficiencyFn = None) -> None:
         self._efficiency_fn = efficiency_fn
@@ -248,6 +282,13 @@ class WFQScheduler(LinkScheduler):
         ) / total_w
         return capacity * mix
 
+    def kernel_spec(self, flows: Sequence[Flow]) -> Optional[KernelSpec]:
+        queues = [self._queue_of(f) for f in flows]
+        weights = {
+            q: max(0.0, float(self._weight_of(q))) for q in set(queues)
+        }
+        return ("wfq", queues, weights)
+
     def allocate(
         self, capacity: float, flows: Sequence[Flow], demands: Sequence[float]
     ) -> List[float]:
@@ -297,6 +338,9 @@ class PriorityScheduler(LinkScheduler):
             n * self._efficiency_fn(n) for n in counts.values()
         ) / total_n
         return capacity * mix
+
+    def kernel_spec(self, flows: Sequence[Flow]) -> Optional[KernelSpec]:
+        return ("prio", [self._priority_of(f) for f in flows], None)
 
     def allocate(
         self, capacity: float, flows: Sequence[Flow], demands: Sequence[float]
@@ -491,8 +535,14 @@ def solve_component(
     """
     # Fast path: unweighted per-flow fairness everywhere (the
     # InfiniBand baseline and ideal max-min) is solved exactly by
-    # classic progressive filling in one pass.
-    if all(type(s) is FairScheduler for s in schedulers.values()):
+    # classic progressive filling in one pass.  ``uniform_fair`` is an
+    # explicit declaration, so FairScheduler subclasses that keep the
+    # allocate contract stay on this path (a ``type is`` check used to
+    # silently route them onto the slower weighted rounds).  Duck-typed
+    # schedulers without the attribute take the general path.
+    if all(
+        getattr(s, "uniform_fair", False) for s in schedulers.values()
+    ):
         return max_min_rates(flows, caps)
     max_cap = max(caps.values())
     eps = tol * max_cap

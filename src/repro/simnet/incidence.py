@@ -17,7 +17,10 @@ start order) or an explicit sort key -- never from hash-randomised
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 from repro.simnet.flows import Flow
 
@@ -149,3 +152,117 @@ def split_components(flows: Sequence[Flow]) -> List[List[Flow]]:
     for i, flow in enumerate(flows):
         groups.setdefault(find(i), []).append(flow)
     return [groups[root] for root in sorted(groups)]
+
+
+@dataclass
+class BatchCSR:
+    """Flat CSR-style incidence over a batch of congestion components.
+
+    Components are concatenated flow- and link-contiguously, so every
+    per-component reduction is a ``reduceat`` over contiguous
+    segments.  The central array is the (link, flow) *pair* list in
+    link-major order -- for each link, its member flows in the same
+    order the object solver iterates them (``on_link`` order):
+
+    * ``pair_flow[p]`` / ``pair_link[p]`` -- batch-wide flow / link
+      index of pair ``p``.
+    * ``link_starts`` -- index of each link's first pair (``reduceat``
+      offsets for per-link segment reductions over pairs).
+    * ``flow_perm`` / ``flow_starts`` -- a stable permutation grouping
+      the same pairs by flow (each flow's path links contiguous), for
+      per-flow reductions such as "minimum offer along the path".
+    * ``comp_flow_starts`` / ``comp_link_starts`` -- segment offsets of
+      each component inside the flow / link axes.
+
+    Built once per solve; all per-round solver state lives in flat
+    arrays indexed by these.
+    """
+
+    flows: List[Flow]
+    link_ids: List[str]
+    comp_of_flow: np.ndarray
+    comp_of_link: np.ndarray
+    comp_flow_starts: np.ndarray
+    comp_link_starts: np.ndarray
+    pair_flow: np.ndarray
+    pair_link: np.ndarray
+    link_starts: np.ndarray
+    link_counts: np.ndarray
+    flow_perm: np.ndarray
+    flow_starts: np.ndarray
+    flow_counts: np.ndarray
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flows)
+
+    @property
+    def n_links(self) -> int:
+        return len(self.link_ids)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pair_flow)
+
+
+def build_batch_csr(
+    components: Sequence[Tuple[Sequence[Flow], Mapping[str, Sequence[Flow]]]],
+) -> BatchCSR:
+    """Flatten ``(flows, on_link)`` components into one :class:`BatchCSR`.
+
+    ``on_link`` iteration order defines the link axis and each link's
+    member order defines its pair segment, mirroring exactly what the
+    object solver would see -- the kernels rely on this to reproduce
+    its floating-point accumulation order.  Every component must be
+    closed (each member's path links all present in its ``on_link``)
+    and non-empty.
+    """
+    flows: List[Flow] = []
+    link_ids: List[str] = []
+    comp_of_flow: List[int] = []
+    comp_of_link: List[int] = []
+    comp_flow_starts: List[int] = []
+    comp_link_starts: List[int] = []
+    pair_flow: List[int] = []
+    pair_link: List[int] = []
+    link_starts: List[int] = []
+    for ci, (comp_flows, on_link) in enumerate(components):
+        comp_flow_starts.append(len(flows))
+        comp_link_starts.append(len(link_ids))
+        idx_of = {f.flow_id: len(flows) + i for i, f in enumerate(comp_flows)}
+        flows.extend(comp_flows)
+        comp_of_flow.extend([ci] * len(comp_flows))
+        for lid, members in on_link.items():
+            li = len(link_ids)
+            link_ids.append(lid)
+            comp_of_link.append(ci)
+            link_starts.append(len(pair_flow))
+            for f in members:
+                pair_flow.append(idx_of[f.flow_id])
+                pair_link.append(li)
+    pf = np.asarray(pair_flow, dtype=np.int64)
+    pl = np.asarray(pair_link, dtype=np.int64)
+    starts = np.asarray(link_starts, dtype=np.int64)
+    counts = np.diff(np.append(starts, len(pf)))
+    # Stable sort by flow groups each flow's pairs contiguously while
+    # preserving link-major order within a flow's segment.
+    perm = np.argsort(pf, kind="stable")
+    flow_counts = np.bincount(pf, minlength=len(flows)).astype(np.int64)
+    flow_starts = np.concatenate(
+        ([0], np.cumsum(flow_counts)[:-1])
+    ).astype(np.int64)
+    return BatchCSR(
+        flows=flows,
+        link_ids=link_ids,
+        comp_of_flow=np.asarray(comp_of_flow, dtype=np.int64),
+        comp_of_link=np.asarray(comp_of_link, dtype=np.int64),
+        comp_flow_starts=np.asarray(comp_flow_starts, dtype=np.int64),
+        comp_link_starts=np.asarray(comp_link_starts, dtype=np.int64),
+        pair_flow=pf,
+        pair_link=pl,
+        link_starts=starts,
+        link_counts=counts.astype(np.int64),
+        flow_perm=perm,
+        flow_starts=flow_starts,
+        flow_counts=flow_counts,
+    )
