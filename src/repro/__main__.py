@@ -23,6 +23,60 @@ import argparse
 import sys
 
 
+def add_sweep_args(
+    parser: argparse.ArgumentParser,
+    jobs_default: str = "1",
+) -> None:
+    """Register the shared sweep-runner flags on a subparser.
+
+    Every harness that fans out through :class:`repro.sweep.SweepRunner`
+    (``sweep``, ``faults``, ``online``, ``service``, ``storm``) takes
+    the same runner knobs; registering them here keeps flag names,
+    defaults, and help text identical across subcommands.
+    """
+    parser.add_argument("--jobs", default=jobs_default,
+                        help="worker processes, or 'auto' "
+                             f"(default {jobs_default})")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk cache directory (default: "
+                             "$REPRO_SWEEP_CACHE_DIR, else memory-only)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every task")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-task wall-clock limit in seconds "
+                             "(enforced with --jobs >= 2)")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="max attempts per task (default 3)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress narration")
+
+
+def runner_from_args(args):
+    """Build the :class:`~repro.sweep.SweepRunner` the shared flags
+    describe.  ``error_policy`` is honoured when the subparser defines
+    it (only ``sweep`` exposes the collect mode)."""
+    from repro.sweep import (
+        RetryPolicy, SweepCache, SweepRunner, default_cache,
+    )
+
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir:
+        cache = SweepCache(dir=args.cache_dir)
+    else:
+        cache = default_cache()
+    return SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries),
+        error_policy=getattr(args, "error_policy", "fail-fast"),
+        progress=None if args.quiet else (
+            lambda msg: print(msg, file=sys.stderr)
+        ),
+    )
+
+
 def _fig1a(args) -> None:
     from repro.experiments.fig1 import run_fig1a
 
@@ -158,9 +212,7 @@ def _obs(args) -> None:
 def _sweep(args) -> None:
     import json
 
-    from repro.sweep import (
-        RetryPolicy, SweepCache, SweepError, SweepRunner, default_cache,
-    )
+    from repro.sweep import SweepError
     from repro.sweep.registry import REGISTRY, get_experiment
 
     if args.experiment == "list":
@@ -190,22 +242,7 @@ def _sweep(args) -> None:
 
     try:
         experiment = get_experiment(args.experiment)
-        if args.no_cache:
-            cache = None
-        elif args.cache_dir:
-            cache = SweepCache(dir=args.cache_dir)
-        else:
-            cache = default_cache()
-        runner = SweepRunner(
-            jobs=args.jobs,
-            cache=cache,
-            timeout=args.timeout,
-            retry=RetryPolicy(max_attempts=args.retries),
-            error_policy=args.error_policy,
-            progress=None if args.quiet else (
-                lambda msg: print(msg, file=sys.stderr)
-            ),
-        )
+        runner = runner_from_args(args)
         options = {
             "setups": args.setups, "method": args.method,
             "workloads": args.workloads, "nodes": args.nodes,
@@ -237,16 +274,9 @@ def _faults(args) -> None:
     from repro.experiments.extension_faults import (
         run_faults, run_faults_smoke,
     )
-    from repro.sweep import SweepRunner, default_cache
     from repro.sweep.registry import get_experiment
 
-    runner = SweepRunner(
-        jobs=args.jobs,
-        cache=None if args.no_cache else default_cache(),
-        progress=None if args.quiet else (
-            lambda msg: print(msg, file=sys.stderr)
-        ),
-    )
+    runner = runner_from_args(args)
     if args.smoke:
         result = run_faults_smoke(seed=args.seed, runner=runner)
     else:
@@ -278,16 +308,9 @@ def _online(args) -> None:
     from repro.experiments.extension_online import (
         run_online, run_online_smoke,
     )
-    from repro.sweep import SweepRunner, default_cache
     from repro.sweep.registry import get_experiment
 
-    runner = SweepRunner(
-        jobs=args.jobs,
-        cache=None if args.no_cache else default_cache(),
-        progress=None if args.quiet else (
-            lambda msg: print(msg, file=sys.stderr)
-        ),
-    )
+    runner = runner_from_args(args)
     if args.smoke:
         result = run_online_smoke(seed=args.seed, runner=runner)
     else:
@@ -309,16 +332,9 @@ def _service(args) -> None:
     from repro.experiments.extension_service import (
         run_service, run_service_smoke,
     )
-    from repro.sweep import SweepRunner, default_cache
     from repro.sweep.registry import get_experiment
 
-    runner = SweepRunner(
-        jobs=args.jobs,
-        cache=None if args.no_cache else default_cache(),
-        progress=None if args.quiet else (
-            lambda msg: print(msg, file=sys.stderr)
-        ),
-    )
+    runner = runner_from_args(args)
     if args.smoke:
         result = run_service_smoke(seed=args.seed, runner=runner)
     else:
@@ -345,6 +361,81 @@ def _service(args) -> None:
         raise SystemExit(
             "error: flows were left off their canonical paths after "
             "the last recovery"
+        )
+
+
+def _storm(args) -> None:
+    import json
+    from dataclasses import replace
+
+    from repro.storm import PRESETS, run_fuzz_campaign, run_storm
+
+    if args.action == "list":
+        for name, preset in PRESETS.items():
+            spec = preset.spec
+            print(f"{name:8s} mode={preset.mode:7s} policy={spec.policy:8s} "
+                  f"topology={spec.topology:13s} rate={preset.base_rate:g}/s "
+                  f"duration={preset.duration:g}s seed={preset.seed}")
+        return
+
+    if args.action == "run":
+        try:
+            preset = PRESETS[args.preset]
+        except KeyError:
+            raise SystemExit(
+                f"error: unknown preset {args.preset!r} "
+                f"(have: {', '.join(PRESETS)})"
+            )
+        config = preset
+        if args.seed is not None:
+            config = replace(config, seed=args.seed)
+        report = run_storm(config)
+        payload = report.dumps()
+        print(payload)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(payload)
+                handle.write("\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        if not report.ok:
+            raise SystemExit(
+                f"error: {len(report.violations)} invariant "
+                "violation(s); see the report above"
+            )
+        print(f"generator throughput: {report.flows_per_sec:.0f} "
+              f"flows/s ({report.completed} flows in "
+              f"{report.wall_seconds:.2f}s)", file=sys.stderr)
+        if args.min_flows_per_sec > 0 and (
+            report.flows_per_sec < args.min_flows_per_sec
+        ):
+            raise SystemExit(
+                f"error: generator throughput {report.flows_per_sec:.0f} "
+                f"flows/s is below the required "
+                f"{args.min_flows_per_sec:.0f}"
+            )
+        return
+
+    # fuzz
+    runner = runner_from_args(args)
+    report = run_fuzz_campaign(
+        args.count,
+        base_seed=args.seed if args.seed is not None else 0,
+        runner=runner,
+        equivalence=not args.no_equivalence,
+    )
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    print(payload)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if report["failed"]:
+        raise SystemExit(
+            f"error: {report['failed']} of {report['scenarios']} "
+            f"scenario(s) violated an invariant; reproduce with "
+            f"repro.storm.fuzz.fuzz_one(seed) for seed in "
+            f"{report['failing_seeds'][:10]}"
         )
 
 
@@ -481,6 +572,7 @@ COMMANDS = {
     "faults": _faults,
     "online": _online,
     "service": _service,
+    "storm": _storm,
     "fig1a": _fig1a,
     "fig1b": _fig1b,
     "fig2": _fig2,
@@ -521,24 +613,11 @@ def main(argv=None) -> int:
                 "experiment",
                 help="experiment name, 'list', or 'bench'",
             )
-            p.add_argument("--jobs", default="1",
-                           help="worker processes, or 'auto' (default 1)")
-            p.add_argument("--cache-dir", default=None,
-                           help="on-disk cache directory (default: "
-                                "$REPRO_SWEEP_CACHE_DIR, else memory-only)")
-            p.add_argument("--no-cache", action="store_true",
-                           help="recompute every task")
-            p.add_argument("--timeout", type=float, default=None,
-                           help="per-task wall-clock limit in seconds "
-                                "(enforced with --jobs >= 2)")
-            p.add_argument("--retries", type=int, default=3,
-                           help="max attempts per task (default 3)")
+            add_sweep_args(p)
             p.add_argument("--error-policy", default="fail-fast",
                            choices=["fail-fast", "collect"])
             p.add_argument("--manifest", default=None,
                            help="write the run manifest JSON here")
-            p.add_argument("--quiet", action="store_true",
-                           help="suppress progress narration")
             p.add_argument("--setups", type=int, default=None,
                            help="fig8: number of cluster setups")
             p.add_argument("--method", default=None,
@@ -574,16 +653,11 @@ def main(argv=None) -> int:
                            help="master seed (default 7)")
             p.add_argument("--no-failover", action="store_true",
                            help="skip the saba-failover series")
-            p.add_argument("--jobs", default="1",
-                           help="worker processes, or 'auto' (default 1)")
-            p.add_argument("--no-cache", action="store_true",
-                           help="recompute every task")
+            add_sweep_args(p)
             p.add_argument("--json", action="store_true",
                            help="print canonical JSON instead of the table")
             p.add_argument("--out", default=None,
                            help="also write the canonical JSON here")
-            p.add_argument("--quiet", action="store_true",
-                           help="suppress progress narration")
             continue
         if name == "online":
             p = sub.add_parser(
@@ -599,16 +673,11 @@ def main(argv=None) -> int:
                                 "(default 3)")
             p.add_argument("--seed", type=int, default=7,
                            help="master seed (default 7)")
-            p.add_argument("--jobs", default="1",
-                           help="worker processes, or 'auto' (default 1)")
-            p.add_argument("--no-cache", action="store_true",
-                           help="recompute every task")
+            add_sweep_args(p)
             p.add_argument("--json", action="store_true",
                            help="print canonical JSON instead of the table")
             p.add_argument("--out", default=None,
                            help="also write the canonical JSON here")
-            p.add_argument("--quiet", action="store_true",
-                           help="suppress progress narration")
             continue
         if name == "service":
             p = sub.add_parser(
@@ -624,16 +693,36 @@ def main(argv=None) -> int:
                                 "(default 0 1 2 3 4)")
             p.add_argument("--seed", type=int, default=7,
                            help="master seed (default 7)")
-            p.add_argument("--jobs", default="1",
-                           help="worker processes, or 'auto' (default 1)")
-            p.add_argument("--no-cache", action="store_true",
-                           help="recompute every task")
+            add_sweep_args(p)
             p.add_argument("--json", action="store_true",
                            help="print canonical JSON instead of the table")
             p.add_argument("--out", default=None,
                            help="also write the canonical JSON here")
-            p.add_argument("--quiet", action="store_true",
-                           help="suppress progress narration")
+            continue
+        if name == "storm":
+            p = sub.add_parser(
+                name,
+                help="open-loop traffic generator and scenario fuzzer",
+            )
+            p.add_argument("action", choices=["run", "fuzz", "list"],
+                           help="run a preset storm, fuzz random "
+                                "scenarios, or list presets")
+            p.add_argument("preset", nargs="?", default="smoke",
+                           help="preset name for 'run' (default smoke)")
+            p.add_argument("--seed", type=int, default=None,
+                           help="override the preset seed (run) or set "
+                                "the campaign base seed (fuzz; default 0)")
+            p.add_argument("--count", type=int, default=100,
+                           help="fuzz: scenarios to sample (default 100)")
+            p.add_argument("--no-equivalence", action="store_true",
+                           help="fuzz: skip the solver-equivalence "
+                                "re-runs (3x cheaper)")
+            p.add_argument("--min-flows-per-sec", type=float, default=0.0,
+                           help="run: fail below this completed-flows/s "
+                                "generator throughput (default off)")
+            add_sweep_args(p)
+            p.add_argument("--out", default=None,
+                           help="also write the JSON report here")
             continue
         if name == "fabric":
             p = sub.add_parser(

@@ -447,6 +447,9 @@ class CoRunExecutor:
         completion_quantum: float = 0.0,
         observer: Optional[Observer] = None,
         faults: Optional[object] = None,
+        incremental: bool = True,
+        solver_backend: str = "object",
+        validate: bool = False,
     ) -> None:
         """``policy`` is either a bare :class:`FabricPolicy` or a
         :class:`PolicySetup` bundling the policy with its connections
@@ -458,6 +461,12 @@ class CoRunExecutor:
         experiments set it a few orders of magnitude below stage
         durations.  ``observer`` (:mod:`repro.obs`) sees the whole
         run: job/stage lifecycle, flow events, engine counters.
+
+        ``incremental``, ``solver_backend``, and ``validate`` pass
+        straight through to :class:`FluidFabric` (the defaults match
+        the fabric's, so existing callers are unchanged); scenario
+        construction (:func:`repro.experiments.common.build_scenario`)
+        and the storm fuzzer vary them to cross-check solver paths.
 
         ``faults`` is an optional
         :class:`repro.faults.FaultInjector`; it is bound to this
@@ -477,6 +486,9 @@ class CoRunExecutor:
             topology, recorder=recorder,
             completion_quantum=completion_quantum,
             observer=observer,
+            incremental=incremental,
+            solver_backend=solver_backend,
+            validate=validate,
         )
         self.observer = self.fabric.observer
         self.recorder = recorder

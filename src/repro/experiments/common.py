@@ -1,9 +1,21 @@
-"""Shared plumbing for the experiment harnesses."""
+"""Shared plumbing for the experiment harnesses.
+
+Scenario construction lives here: a :class:`ScenarioSpec` is one
+declarative, picklable description of *how a run is built* -- the
+topology builder and its arguments, the policy name and its knobs, and
+the fabric configuration (``completion_quantum``, ``incremental``,
+``solver_backend``, ``validate``).  :func:`build_scenario` turns a
+spec into a ready :class:`Scenario` (topology + :class:`PolicySetup` +
+:class:`CoRunExecutor`).  The figure harnesses, the extension
+studies, and the storm traffic generator/fuzzer all construct their
+runs through this one path, so fuzzing a random spec exercises
+exactly the construction code the pinned experiments use.
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA, InfiniBandBaseline
@@ -14,7 +26,7 @@ from repro.core.controller import SabaController
 from repro.core.library import SabaLibrary
 from repro.core.profiler import OfflineProfiler
 from repro.core.table import SensitivityTable
-from repro.simnet.topology import Topology, single_switch
+from repro.simnet.topology import Topology, fat_tree, single_switch, spine_leaf
 from repro.units import GBPS_56
 from repro.workloads.catalog import CATALOG, PROFILER_NODES
 
@@ -97,7 +109,10 @@ def make_policy(
     """Build the :class:`PolicySetup` for a policy name.
 
     ``name`` is one of ``"baseline"`` (InfiniBand FECN), ``"ideal"``
-    (ideal max-min), ``"saba"`` (needs ``table``), or
+    (alias ``"ideal-maxmin"``), ``"homa"``, ``"sincronia"``,
+    ``"saba"`` (needs ``table``), ``"saba-distributed"`` (sharded
+    controller group over a replicated mapping database; needs a
+    non-empty ``table``, accepts ``n_shards``), or
     ``"saba-online"``.  Testbed-style comparisons keep
     ``collapse_alpha`` so Saba runs on the same congestion-control
     substrate as the baseline; pass ``None`` for the idealized
@@ -133,8 +148,20 @@ def make_policy(
                 )
             )
         )
-    if name == "ideal":
+    if name in ("ideal", "ideal-maxmin"):
         return PolicySetup(policy=IdealMaxMin())
+    if name == "homa":
+        from repro.baselines.homa import HomaPolicy
+
+        return PolicySetup(
+            policy=HomaPolicy(collapse_alpha=collapse_alpha)
+        )
+    if name == "sincronia":
+        from repro.baselines.sincronia import SincroniaPolicy
+
+        return PolicySetup(
+            policy=SincroniaPolicy(collapse_alpha=collapse_alpha)
+        )
     if name == "saba":
         if table is None:
             raise ValueError("saba policy needs a sensitivity table")
@@ -148,6 +175,26 @@ def make_policy(
             connections_factory=SabaLibrary.factory(controller),
             controller=controller,
             pipeline=controller.pipeline,
+        )
+    if name == "saba-distributed":
+        from repro.core.distributed import (
+            DistributedControllerGroup,
+            MappingDatabase,
+        )
+
+        if table is None:
+            raise ValueError(
+                "saba-distributed policy needs a sensitivity table"
+            )
+        group = DistributedControllerGroup(
+            MappingDatabase(table),
+            collapse_alpha=collapse_alpha,
+            **controller_kwargs,
+        )
+        return PolicySetup(
+            policy=group,
+            connections_factory=SabaLibrary.factory(group),  # type: ignore[arg-type]
+            controller=group,
         )
     if name == "saba-online":
         from repro.online import (
@@ -207,6 +254,160 @@ def make_policy(
             sampler=StageSampler(estimator, link_capacity=link_capacity),
         )
     raise ValueError(f"unknown policy {name!r}")
+
+
+#: Topology builders a :class:`ScenarioSpec` may name.  Each accepts
+#: the keyword arguments of the corresponding
+#: :mod:`repro.simnet.topology` constructor.
+TOPOLOGY_BUILDERS = {
+    "single_switch": single_switch,
+    "spine_leaf": spine_leaf,
+    "fat_tree": fat_tree,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of how one co-run is constructed.
+
+    A spec owns everything :func:`build_scenario` needs to stand up a
+    run: the topology builder and its arguments, the policy name plus
+    its knobs (``collapse_alpha`` and any controller kwargs), and the
+    fabric configuration.  Specs are plain picklable data, so sweep
+    tasks and the storm fuzzer carry them across process boundaries,
+    and their fields feed straight into a sweep ``config`` for
+    content-addressed caching.
+
+    ``policy_kwargs`` passes extra keyword arguments to
+    :func:`make_policy` (e.g. ``num_pls`` for the queue-count study).
+    ``incremental``/``solver_backend``/``validate`` select the
+    fabric's solver path -- the defaults are the bit-reproducible
+    object solver, which every pinned golden uses.
+    """
+
+    topology: str = "single_switch"
+    topology_kwargs: Mapping[str, object] = field(default_factory=dict)
+    policy: str = "baseline"
+    collapse_alpha: Optional[float] = DEFAULT_COLLAPSE_ALPHA
+    policy_kwargs: Mapping[str, object] = field(default_factory=dict)
+    completion_quantum: float = EXPERIMENT_QUANTUM
+    incremental: bool = True
+    solver_backend: str = "object"
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGY_BUILDERS:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; expected one of "
+                f"{sorted(TOPOLOGY_BUILDERS)}"
+            )
+
+    def build_topology(self) -> Topology:
+        """A fresh topology instance (never shared between runs)."""
+        return TOPOLOGY_BUILDERS[self.topology](**dict(self.topology_kwargs))
+
+    def config(self) -> Dict[str, object]:
+        """JSON/``config_hash``-friendly form for sweep task configs."""
+        return {
+            "topology": self.topology,
+            "topology_kwargs": dict(self.topology_kwargs),
+            "policy": self.policy,
+            "collapse_alpha": self.collapse_alpha,
+            "policy_kwargs": dict(self.policy_kwargs),
+            "completion_quantum": self.completion_quantum,
+            "incremental": self.incremental,
+            "solver_backend": self.solver_backend,
+            "validate": self.validate,
+        }
+
+
+@dataclass
+class Scenario:
+    """A constructed run: topology + policy session + executor.
+
+    Produced by :func:`build_scenario`; ``run`` drives a job set to
+    completion on the bundled :class:`CoRunExecutor`.  The setup's
+    controller/pipeline handles stay reachable through ``setup`` for
+    post-run inspection.
+    """
+
+    spec: ScenarioSpec
+    topology: Topology
+    setup: PolicySetup
+    executor: CoRunExecutor
+
+    @property
+    def fabric(self):
+        return self.executor.fabric
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        start_times: Optional[Sequence[float]] = None,
+        max_time: Optional[float] = None,
+    ) -> Dict[str, JobResult]:
+        return self.executor.run(
+            jobs, start_times=start_times, max_time=max_time
+        )
+
+
+def build_scenario(
+    spec: ScenarioSpec,
+    table: Optional[SensitivityTable] = None,
+    observer=None,
+    recorder=None,
+    connections_factory=None,
+    setup: Optional[PolicySetup] = None,
+    faults=None,
+    **policy_overrides,
+) -> Scenario:
+    """Construct the run a :class:`ScenarioSpec` describes.
+
+    ``table`` supplies the sensitivity table for table-driven policies
+    (required for ``"saba"``).  ``connections_factory`` overrides the
+    policy setup's connection layer -- the service/storm harnesses use
+    this to route the same scenario through an
+    :class:`~repro.service.AllocationService` front-end.  ``setup``
+    passes a pre-built :class:`PolicySetup` instead of calling
+    :func:`make_policy` -- for harnesses whose connection factory must
+    close over the setup's controller; the spec's ``policy`` name is
+    then purely descriptive.  ``policy_overrides`` are forwarded to
+    :func:`make_policy` on top of the spec's ``policy_kwargs`` (e.g. a
+    run-scoped ``estimator`` that must not be baked into a picklable
+    spec).
+    """
+    topology = spec.build_topology()
+    if setup is None:
+        kwargs = dict(spec.policy_kwargs)
+        kwargs.update(policy_overrides)
+        setup = make_policy(
+            spec.policy, table=table, collapse_alpha=spec.collapse_alpha,
+            observer=observer, **kwargs,
+        )
+    if connections_factory is not None:
+        setup = PolicySetup(
+            policy=setup.policy,
+            connections_factory=connections_factory,
+            controller=setup.controller,
+            pipeline=setup.pipeline,
+            provider=setup.provider,
+            estimator=setup.estimator,
+            sampler=setup.sampler,
+        )
+    executor = CoRunExecutor(
+        topology,
+        policy=setup,
+        recorder=recorder,
+        completion_quantum=spec.completion_quantum,
+        observer=observer,
+        incremental=spec.incremental,
+        solver_backend=spec.solver_backend,
+        validate=spec.validate,
+        faults=faults,
+    )
+    return Scenario(
+        spec=spec, topology=topology, setup=setup, executor=executor,
+    )
 
 
 def run_jobs(

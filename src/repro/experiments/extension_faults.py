@@ -39,21 +39,20 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA
-from repro.cluster.runtime import CoRunExecutor, PolicySetup
 from repro.cluster.setups import generate_setups
-from repro.core.controller import SabaController
 from repro.core.distributed import DistributedControllerGroup, MappingDatabase
 from repro.core.library import SabaLibrary
 from repro.core.rpc import RpcBus, RpcRetryPolicy
 from repro.core.table import SensitivityTable
 from repro.experiments.common import (
     EXPERIMENT_QUANTUM,
+    ScenarioSpec,
     build_catalog_table,
+    build_scenario,
     geomean,
     make_policy,
 )
 from repro.faults import FaultPlan, FaultSpec
-from repro.simnet.topology import single_switch
 from repro.sweep import SweepRunner, SweepSpec, Task, default_runner
 from repro.units import GBPS_56
 
@@ -102,16 +101,21 @@ def run_faults_point(
         start_times.append(t)
         t += arrival_rng.expovariate(1.0 / mean_gap)
 
-    topo = single_switch(n_servers)
+    spec = ScenarioSpec(
+        topology="single_switch",
+        topology_kwargs={"n_servers": n_servers},
+        policy=policy_name if policy_name == "baseline" else "saba",
+        collapse_alpha=collapse_alpha,
+        completion_quantum=completion_quantum,
+    )
+    topo = spec.build_topology()
     jobs = setup_desc.materialize(topo.servers, random.Random(seed + 2),
                                   GBPS_56)
 
     if policy_name == "baseline":
-        results = CoRunExecutor(
-            topo,
-            policy=make_policy("baseline", collapse_alpha=collapse_alpha),
-            completion_quantum=completion_quantum,
-        ).run(jobs, start_times=list(start_times))
+        results = build_scenario(spec).run(
+            jobs, start_times=list(start_times)
+        )
         return {
             "times": {j: r.completion_time for j, r in results.items()},
             "counters": {},
@@ -131,7 +135,8 @@ def run_faults_point(
         faults=injector,
         seed=seed + 4,
     )
-    controller = SabaController(table, collapse_alpha=collapse_alpha)
+    setup = make_policy("saba", table, collapse_alpha=collapse_alpha)
+    controller = setup.controller
     failover = None
     if policy_name == "saba-failover":
         failover = DistributedControllerGroup(
@@ -148,17 +153,11 @@ def run_faults_point(
         libraries.append(lib)
         return lib
 
-    executor = CoRunExecutor(
-        topo,
-        policy=PolicySetup(
-            policy=controller,
-            connections_factory=connections_factory,
-            controller=controller,
-        ),
-        completion_quantum=completion_quantum,
+    scenario = build_scenario(
+        spec, setup=setup, connections_factory=connections_factory,
         faults=injector,
     )
-    results = executor.run(jobs, start_times=list(start_times))
+    results = scenario.run(jobs, start_times=list(start_times))
     lib = libraries[0]
     counters: Dict[str, float] = {
         "dropped_control_messages": float(lib.dropped_control_messages),

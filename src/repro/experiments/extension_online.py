@@ -41,14 +41,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA
-from repro.cluster.runtime import CoRunExecutor
 from repro.cluster.setups import generate_setups
 from repro.core.table import SensitivityTable
 from repro.experiments.common import (
     EXPERIMENT_QUANTUM,
+    ScenarioSpec,
     build_catalog_table,
+    build_scenario,
     geomean,
-    make_policy,
 )
 from repro.obs.events import (
     ONLINE_DRIFT,
@@ -122,30 +122,34 @@ def run_online_point(
     co-runs; online runs ``waves`` consecutive co-runs sharing one
     estimator and reports per-wave times plus estimator telemetry.
     """
+    def point_spec(policy: str) -> ScenarioSpec:
+        return ScenarioSpec(
+            topology="single_switch",
+            topology_kwargs={"n_servers": n_servers},
+            policy=policy,
+            collapse_alpha=collapse_alpha,
+            completion_quantum=completion_quantum,
+        )
+
     if mode == "baseline":
-        topo, jobs, starts = _staggered_corun(
+        _, jobs, starts = _staggered_corun(
             seed, jobs_per_setup, n_servers, mean_gap
         )
-        results = CoRunExecutor(
-            topo,
-            policy=make_policy("baseline", collapse_alpha=collapse_alpha),
-            completion_quantum=completion_quantum,
-        ).run(jobs, start_times=list(starts))
+        results = build_scenario(point_spec("baseline")).run(
+            jobs, start_times=list(starts)
+        )
         return {
             "times": {j: r.completion_time for j, r in results.items()},
         }
     if mode == "offline":
         if table is None:
             raise ValueError("offline mode needs a sensitivity table")
-        topo, jobs, starts = _staggered_corun(
+        _, jobs, starts = _staggered_corun(
             seed, jobs_per_setup, n_servers, mean_gap
         )
-        results = CoRunExecutor(
-            topo,
-            policy=make_policy("saba", table,
-                               collapse_alpha=collapse_alpha),
-            completion_quantum=completion_quantum,
-        ).run(jobs, start_times=list(starts))
+        results = build_scenario(point_spec("saba"), table=table).run(
+            jobs, start_times=list(starts)
+        )
         return {
             "times": {j: r.completion_time for j, r in results.items()},
         }
@@ -159,20 +163,18 @@ def run_online_point(
     wave_records: List[Dict[str, object]] = []
     for _ in range(waves):
         observer = Observer()
-        setup = make_policy(
-            "saba-online", table=None, collapse_alpha=collapse_alpha,
-            observer=observer, estimator=estimator,
+        scenario = build_scenario(
+            point_spec("saba-online"), table=None, observer=observer,
+            estimator=estimator,
         )
-        topo, jobs, starts = _staggered_corun(
+        setup = scenario.setup
+        _, jobs, starts = _staggered_corun(
             seed, jobs_per_setup, n_servers, mean_gap
         )
         for job in jobs:
             setup.sampler.register_job(job)
         detach = setup.sampler.attach(observer)
-        results = CoRunExecutor(
-            topo, policy=setup, completion_quantum=completion_quantum,
-            observer=observer,
-        ).run(jobs, start_times=list(starts))
+        results = scenario.run(jobs, start_times=list(starts))
         detach()
         wave_records.append({
             "times": {j: r.completion_time for j, r in results.items()},

@@ -40,13 +40,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA
-from repro.cluster.runtime import CoRunExecutor, PolicySetup
 from repro.cluster.setups import generate_setups
-from repro.core.controller import SabaController
 from repro.core.table import SensitivityTable
 from repro.experiments.common import (
     EXPERIMENT_QUANTUM,
+    ScenarioSpec,
     build_catalog_table,
+    build_scenario,
     geomean,
     make_policy,
 )
@@ -132,7 +132,14 @@ def run_service_point(
     arguments: the unit of work the sweep fans out.
     """
     reset_flow_ids()
-    topo = fat_tree(4)
+    spec = ScenarioSpec(
+        topology="fat_tree",
+        topology_kwargs={"k": 4},
+        policy="saba",
+        collapse_alpha=collapse_alpha,
+        completion_quantum=completion_quantum,
+    )
+    topo = spec.build_topology()
     setup_desc = next(generate_setups(
         n_setups=1, jobs_per_setup=jobs_per_setup, seed=seed,
         max_instances=len(topo.servers),
@@ -147,12 +154,9 @@ def run_service_point(
                                   GBPS_56)
 
     if mode == "harness":
-        results = CoRunExecutor(
-            topo,
-            policy=make_policy("saba", table,
-                               collapse_alpha=collapse_alpha),
-            completion_quantum=completion_quantum,
-        ).run(jobs, start_times=list(start_times))
+        results = build_scenario(spec, table=table).run(
+            jobs, start_times=list(start_times)
+        )
         return {
             "times": {j: r.completion_time for j, r in results.items()},
             "counters": {},
@@ -162,7 +166,8 @@ def run_service_point(
     if mode != "service":
         raise ValueError(f"unknown mode {mode!r}")
 
-    controller = SabaController(table, collapse_alpha=collapse_alpha)
+    setup = make_policy("saba", table, collapse_alpha=collapse_alpha)
+    controller = setup.controller
     services: List[AllocationService] = []
 
     def connections_factory(fabric):
@@ -172,16 +177,10 @@ def run_service_point(
         services.append(service)
         return ServiceConnections(service)
 
-    executor = CoRunExecutor(
-        topo,
-        policy=PolicySetup(
-            policy=controller,
-            connections_factory=connections_factory,
-            controller=controller,
-            pipeline=controller.pipeline,
-        ),
-        completion_quantum=completion_quantum,
+    scenario = build_scenario(
+        spec, setup=setup, connections_factory=connections_factory,
     )
+    executor = scenario.executor
     service = services[0]
     probe = {"probed": False, "canonical": True, "active_flows": 0}
     driver = None

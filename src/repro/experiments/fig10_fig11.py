@@ -21,19 +21,17 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.homa import HomaPolicy
-from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA, InfiniBandBaseline
-from repro.baselines.maxmin import IdealMaxMin
-from repro.baselines.sincronia import SincroniaPolicy
 from repro.cluster.jobs import Job
 from repro.cluster.placement import random_placement
-from repro.cluster.runtime import CoRunExecutor, PolicySetup
-from repro.core.controller import SabaController
-from repro.core.distributed import DistributedControllerGroup, MappingDatabase
-from repro.core.library import SabaLibrary
 from repro.core.profiler import OfflineProfiler
 from repro.core.table import SensitivityTable
-from repro.experiments.common import EXPERIMENT_QUANTUM, geomean
+from repro.experiments.common import (
+    EXPERIMENT_QUANTUM,
+    ScenarioSpec,
+    build_scenario,
+    geomean,
+    make_policy,
+)
 from repro.simnet.topology import Topology, spine_leaf
 from repro.sweep import SweepRunner, SweepSpec, Task, default_runner
 from repro.workloads.model import ApplicationSpec
@@ -131,41 +129,32 @@ class Fig10Result:
         return geomean(list(self.speedups[policy].values()))
 
 
-def _run_policy(make_topology, make_jobs, policy,
-                completion_quantum=EXPERIMENT_QUANTUM):
-    """``policy`` is a :class:`PolicySetup` or bare fabric policy."""
-    executor = CoRunExecutor(
-        make_topology(), policy=policy,
+def sim_scenario_spec(
+    policy: str,
+    collapse_alpha: float = SIM_COLLAPSE_ALPHA,
+    topology_kwargs: Optional[dict] = None,
+    num_queues: int = 8,
+    completion_quantum: float = EXPERIMENT_QUANTUM,
+    **policy_kwargs,
+) -> ScenarioSpec:
+    """:class:`ScenarioSpec` for a simulation-study run.
+
+    Merges ``topology_kwargs`` over :data:`DEFAULT_TOPOLOGY` exactly
+    as :func:`build_simulation` does, so the spec's topology matches
+    the one the placement was computed for.
+    """
+    kwargs = dict(DEFAULT_TOPOLOGY)
+    if topology_kwargs:
+        kwargs.update(topology_kwargs)
+    kwargs["num_queues"] = num_queues
+    return ScenarioSpec(
+        topology="spine_leaf",
+        topology_kwargs=kwargs,
+        policy=policy,
+        collapse_alpha=collapse_alpha,
+        policy_kwargs=policy_kwargs,
         completion_quantum=completion_quantum,
     )
-    return executor.run(make_jobs())
-
-
-def _make_sim_policy(name, table, collapse_alpha, num_pls=None) -> PolicySetup:
-    """:class:`PolicySetup` for a simulation-study policy."""
-    if name == "baseline":
-        return PolicySetup(
-            policy=InfiniBandBaseline(collapse_alpha=collapse_alpha)
-        )
-    if name == "saba":
-        kwargs = {} if num_pls is None else {"num_pls": num_pls}
-        controller = SabaController(table, collapse_alpha=collapse_alpha,
-                                    **kwargs)
-        return PolicySetup(
-            policy=controller,
-            connections_factory=SabaLibrary.factory(controller),
-            controller=controller,
-            pipeline=controller.pipeline,
-        )
-    if name == "ideal-maxmin":
-        return PolicySetup(policy=IdealMaxMin())
-    if name == "homa":
-        return PolicySetup(policy=HomaPolicy(collapse_alpha=collapse_alpha))
-    if name == "sincronia":
-        return PolicySetup(
-            policy=SincroniaPolicy(collapse_alpha=collapse_alpha)
-        )
-    raise ValueError(f"unknown policy {name!r}")
 
 
 def run_policy_point(
@@ -185,13 +174,16 @@ def run_policy_point(
     (``build_simulation`` re-derives the same placement in every
     worker process).
     """
-    make_topology, make_jobs, _ = build_simulation(
+    _, make_jobs, _ = build_simulation(
         n_workloads=n_workloads, topology_kwargs=topology_kwargs,
         seed=seed, num_queues=num_queues,
     )
-    setup = _make_sim_policy(policy_name, table, collapse_alpha)
-    results = _run_policy(make_topology, make_jobs, setup,
-                          completion_quantum)
+    spec = sim_scenario_spec(
+        policy_name, collapse_alpha=collapse_alpha,
+        topology_kwargs=topology_kwargs, num_queues=num_queues,
+        completion_quantum=completion_quantum,
+    )
+    results = build_scenario(spec, table=table).run(make_jobs())
     return {job_id: res.completion_time for job_id, res in results.items()}
 
 
@@ -278,8 +270,8 @@ def run_fig10(
     any simulator run), then the per-policy runs execute as a sweep.
     """
     for name in policies:
-        _make_sim_policy(name, table=SensitivityTable(),
-                         collapse_alpha=collapse_alpha)
+        make_policy(name, table=SensitivityTable(),
+                    collapse_alpha=collapse_alpha)
     runner = runner if runner is not None else default_runner()
     spec = fig10_sweep_spec(
         policies=policies, collapse_alpha=collapse_alpha, table=table,
@@ -300,40 +292,22 @@ def run_fig11a(
 
     Returns average speedup over the baseline for both designs.
     """
-    make_topology, make_jobs, specs = build_simulation(
+    _, make_jobs, specs = build_simulation(
         topology_kwargs=topology_kwargs, seed=seed
     )
     table = profile_synthetic(specs)
-    baseline = _run_policy(
-        make_topology, make_jobs,
-        _make_sim_policy("baseline", table, collapse_alpha),
-        completion_quantum=completion_quantum,
-    )
 
-    centralized = SabaController(table, collapse_alpha=collapse_alpha)
-    central_res = _run_policy(
-        make_topology, make_jobs,
-        PolicySetup(
-            policy=centralized,
-            connections_factory=SabaLibrary.factory(centralized),
-            controller=centralized,
-        ),
-        completion_quantum=completion_quantum,
-    )
+    def run_point(policy: str, **policy_kwargs):
+        spec = sim_scenario_spec(
+            policy, collapse_alpha=collapse_alpha,
+            topology_kwargs=topology_kwargs,
+            completion_quantum=completion_quantum, **policy_kwargs,
+        )
+        return build_scenario(spec, table=table).run(make_jobs())
 
-    db = MappingDatabase(table)
-    distributed = DistributedControllerGroup(
-        db, n_shards=n_shards, collapse_alpha=collapse_alpha
-    )
-    dist_res = _run_policy(
-        make_topology, make_jobs,
-        PolicySetup(
-            policy=distributed,
-            connections_factory=SabaLibrary.factory(distributed),  # type: ignore[arg-type]
-            controller=distributed,
-        ),
-        completion_quantum=completion_quantum,
-    )
+    baseline = run_point("baseline")
+    central_res = run_point("saba")
+    dist_res = run_point("saba-distributed", n_shards=n_shards)
 
     def avg(results):
         return geomean([
@@ -363,22 +337,21 @@ def run_fig11b(
     results: Dict[str, float] = {}
     for q in queue_counts:
         n_queues = q if q is not None else 20
-        make_topology, make_jobs, specs = build_simulation(
+        _, make_jobs, specs = build_simulation(
             topology_kwargs=topology_kwargs, seed=seed, num_queues=n_queues
         )
         table = profile_synthetic(specs)
-        baseline = _run_policy(
-            make_topology, make_jobs,
-            _make_sim_policy("baseline", table, collapse_alpha),
-            completion_quantum=completion_quantum,
-        )
-        setup = _make_sim_policy(
-            "saba", table, collapse_alpha, num_pls=max(16, n_queues)
-        )
-        saba = _run_policy(
-            make_topology, make_jobs, setup,
-            completion_quantum=completion_quantum,
-        )
+
+        def run_point(policy: str, **policy_kwargs):
+            spec = sim_scenario_spec(
+                policy, collapse_alpha=collapse_alpha,
+                topology_kwargs=topology_kwargs, num_queues=n_queues,
+                completion_quantum=completion_quantum, **policy_kwargs,
+            )
+            return build_scenario(spec, table=table).run(make_jobs())
+
+        baseline = run_point("baseline")
+        saba = run_point("saba", num_pls=max(16, n_queues))
         label = "unlimited" if q is None else str(q)
         results[label] = geomean([
             baseline[j].completion_time / r.completion_time

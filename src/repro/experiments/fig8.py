@@ -17,16 +17,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.baselines.infiniband import DEFAULT_COLLAPSE_ALPHA
-from repro.cluster.runtime import CoRunExecutor
 from repro.cluster.setups import ClusterSetup, generate_setups
 from repro.core.table import SensitivityTable
 from repro.experiments.common import (
     EXPERIMENT_QUANTUM,
+    ScenarioSpec,
     build_catalog_table,
+    build_scenario,
     geomean,
-    make_policy,
 )
-from repro.simnet.topology import single_switch
 from repro.sweep import SweepRunner, SweepSpec, Task, default_runner
 from repro.units import GBPS_56
 from repro.workloads.catalog import CATALOG
@@ -71,22 +70,21 @@ def run_setup_pair(
         rng = random.Random(placement_seed + setup.setup_id)
         return setup.materialize(topology.servers, rng, GBPS_56)
 
-    base_topo = single_switch(n_servers)
-    baseline = CoRunExecutor(
-        base_topo,
-        policy=make_policy("baseline", collapse_alpha=collapse_alpha),
+    common = dict(
+        topology="single_switch",
+        topology_kwargs={"n_servers": n_servers},
+        collapse_alpha=collapse_alpha,
         completion_quantum=completion_quantum,
-    ).run(materialize(base_topo))
+    )
 
-    saba_topo = single_switch(n_servers)
-    saba = CoRunExecutor(
-        saba_topo,
-        policy=make_policy(
-            "saba", table, collapse_alpha=collapse_alpha,
-            **(saba_kwargs or {}),
-        ),
-        completion_quantum=completion_quantum,
-    ).run(materialize(saba_topo))
+    base = build_scenario(ScenarioSpec(policy="baseline", **common))
+    baseline = base.run(materialize(base.topology))
+
+    saba_scn = build_scenario(
+        ScenarioSpec(policy="saba", policy_kwargs=saba_kwargs or {}, **common),
+        table=table,
+    )
+    saba = saba_scn.run(materialize(saba_scn.topology))
 
     return {
         job_id: baseline[job_id].completion_time / saba[job_id].completion_time

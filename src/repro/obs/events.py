@@ -63,6 +63,11 @@ ONLINE_REFIT = "online.refit"          # window re-fitted (accepted or not)
 ONLINE_DRIFT = "online.drift"          # Page-Hinkley tripped; window shrunk
 ONLINE_FALLBACK = "online.fallback"    # provider served offline/prior model
 MODEL_LOW_FIT = "model.low_fit"        # a consumed fit's R^2 is below gate
+# Storm traffic generator + scenario fuzzer (repro.storm)
+STORM_STARTED = "storm.started"        # an open-loop run began
+STORM_FINISHED = "storm.finished"      # ... and completed (offered/admitted)
+STORM_FLASH_CROWD = "storm.flash_crowd"  # a scripted arrival surge began
+STORM_VIOLATION = "storm.violation"    # an invariant probe failed
 # Cluster runtime
 JOB_STARTED = "job.started"
 JOB_FINISHED = "job.finished"
@@ -92,6 +97,7 @@ EVENT_TYPES = frozenset({
     SERVICE_REQUEST, SERVICE_REJECTED, SERVICE_DRAIN,
     ONLINE_SAMPLE, ONLINE_REFIT, ONLINE_DRIFT, ONLINE_FALLBACK,
     MODEL_LOW_FIT,
+    STORM_STARTED, STORM_FINISHED, STORM_FLASH_CROWD, STORM_VIOLATION,
     JOB_STARTED, JOB_FINISHED, STAGE_STARTED, STAGE_FINISHED,
     SWEEP_STARTED, SWEEP_FINISHED, SWEEP_TASK_STARTED,
     SWEEP_TASK_FINISHED, SWEEP_TASK_RETRIED, SWEEP_TASK_FAILED,

@@ -273,8 +273,13 @@ class AllocationService:
         """
         self._gate("conn_destroy")
         if flow_id not in self._app_of_flow:
-            raise ServiceError(
-                f"flow {flow_id} is not an open service connection"
+            # Counted through _reject like every other refused request:
+            # a bare raise here would drop the request from the
+            # admission accounting (admitted + rejected != offered).
+            self._reject(
+                "conn_destroy",
+                f"flow {flow_id} is not an open service connection",
+                ServiceError,
             )
         self._admitted("conn_destroy")
         return self.fabric.cancel_flow(flow_id)
@@ -304,6 +309,25 @@ class AllocationService:
             "flows_stranded": self.flows_stranded,
             "conns_reannounced": self.conns_reannounced,
             "endpoints": self.bus.endpoints(),
+        }
+
+    def accounting(self) -> Dict[str, int]:
+        """Admission-accounting snapshot for external invariant
+        checkers (``repro.storm``): every request the service saw must
+        be counted exactly once (``admitted + rejected == offered``)
+        and the three open-connection indexes must agree -- a rejected
+        or failed request may leak no state into any of them."""
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "open_flows": len(self._app_of_flow),
+            "open_conns_app_total": sum(
+                self._open_conns_of_app.values()
+            ),
+            "open_conns_tenant_total": sum(
+                self._open_conns_of_tenant.values()
+            ),
+            "apps": len(self._tenant_of_app),
         }
 
     # -- dynamic topology -------------------------------------------------------

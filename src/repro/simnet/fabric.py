@@ -728,6 +728,32 @@ class FluidFabric:
             flow.pl for flow in self._incidence.flows_on(link_id)
         )
 
+    # -- read-only hooks for external checkers (repro.storm) ------------------
+
+    def link_members(self, link_id: str) -> List[Flow]:
+        """Active flows traversing ``link_id``, in start order."""
+        return list(self._incidence.flows_on(link_id))
+
+    def link_used_rate(self, link_id: str) -> float:
+        """Sum of solved rates currently crossing ``link_id``."""
+        return self._link_used.get(link_id, 0.0)
+
+    def link_usable_capacity(self, link_id: str) -> float:
+        """Scheduler-derated capacity of ``link_id`` right now.
+
+        Computed fresh from the link state and current membership --
+        never reads or writes the solver's capacity cache, so external
+        invariant checkers cannot perturb a run.
+        """
+        members = list(self._incidence.flows_on(link_id))
+        scheduler = self._sched_cache.get(link_id)
+        if scheduler is None:
+            scheduler = self.policy.scheduler_of(link_id)
+        state = self.topology.link_states[link_id]
+        return scheduler.usable_capacity(
+            state.effective_capacity(len(members)), members
+        )
+
     def _sample_network_telemetry(self, changed: Dict[str, None]) -> None:
         """Record NIC egress utilization for servers whose rate changed.
 

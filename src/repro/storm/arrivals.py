@@ -1,0 +1,163 @@
+"""Arrival processes for the storm generator.
+
+Connections arrive open-loop: the arrival clock never waits for the
+network, so a congested fabric sees queueing pressure exactly as a
+production frontend would.  The process is a non-homogeneous Poisson
+process whose instantaneous rate combines three ingredients:
+
+* a **base rate** ``base_rate`` (arrivals per simulated second);
+* an optional **diurnal modulation** -- a raised cosine with
+  amplitude ``diurnal_amplitude`` in ``[0, 1)`` and period
+  ``diurnal_period``, mimicking the day/night swing of datacenter
+  traffic;
+* zero or more scripted **flash crowds** -- multiplicative surges
+  ``[start, start + duration)`` with factor ``multiplier``, the
+  correlated-burst pattern that breaks allocators tuned on smooth
+  averages.
+
+Sampling uses Lewis & Shedler thinning against the peak rate: draw
+candidate gaps from an exponential at ``peak_rate`` and accept each
+candidate ``t`` with probability ``rate(t) / peak_rate``.  This is
+exact for any bounded rate function and keeps the draw count (hence
+determinism) a pure function of the RNG stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from random import Random
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A scripted arrival surge: rate is multiplied by ``multiplier``
+    over ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0.0:
+            raise ValueError(f"flash crowd start must be >= 0, got {self.start}")
+        if self.duration <= 0.0:
+            raise ValueError(
+                f"flash crowd duration must be > 0, got {self.duration}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"flash crowd multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """Deterministic description of a non-homogeneous Poisson process.
+
+    >>> sched = ArrivalSchedule(base_rate=100.0)
+    >>> sched.rate(0.0)
+    100.0
+    >>> rng = Random(7)
+    >>> t = sched.next_after(0.0, rng)
+    >>> t > 0.0
+    True
+    """
+
+    base_rate: float
+    diurnal_amplitude: float = 0.0
+    diurnal_period: float = 1.0
+    flash_crowds: Tuple[FlashCrowd, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0.0:
+            raise ValueError(f"base_rate must be > 0, got {self.base_rate}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError(
+                "diurnal_amplitude must be in [0, 1), got"
+                f" {self.diurnal_amplitude}"
+            )
+        if self.diurnal_period <= 0.0:
+            raise ValueError(
+                f"diurnal_period must be > 0, got {self.diurnal_period}"
+            )
+        # Tuple-ify so configs built with lists stay hashable/frozen.
+        object.__setattr__(self, "flash_crowds", tuple(self.flash_crowds))
+
+    # -- rate function -----------------------------------------------------
+
+    def diurnal_factor(self, t: float) -> float:
+        """Raised-cosine day/night swing; 1.0 when amplitude is zero.
+
+        The phase starts at the peak (t=0 is "noon") so short runs with
+        modulation enabled still see above-base load.
+        """
+        if self.diurnal_amplitude == 0.0:
+            return 1.0
+        phase = 2.0 * math.pi * t / self.diurnal_period
+        return 1.0 + self.diurnal_amplitude * math.cos(phase)
+
+    def crowd_factor(self, t: float) -> float:
+        factor = 1.0
+        for crowd in self.flash_crowds:
+            if crowd.active(t):
+                factor *= crowd.multiplier
+        return factor
+
+    def rate(self, t: float) -> float:
+        """Instantaneous arrival rate at simulated time ``t``."""
+        return self.base_rate * self.diurnal_factor(t) * self.crowd_factor(t)
+
+    @property
+    def peak_rate(self) -> float:
+        """Upper bound on ``rate`` over all t (thinning envelope)."""
+        peak = self.base_rate * (1.0 + self.diurnal_amplitude)
+        for crowd in self.flash_crowds:
+            # Conservative: assume every crowd can overlap every other.
+            peak *= crowd.multiplier
+        return peak
+
+    # -- sampling ----------------------------------------------------------
+
+    def next_after(self, t: float, rng: Random) -> float:
+        """Next arrival strictly after ``t`` (thinning against peak)."""
+        peak = self.peak_rate
+        while True:
+            t += rng.expovariate(peak)
+            if rng.random() * peak <= self.rate(t):
+                return t
+
+    def sample(self, until: float, rng: Random) -> List[float]:
+        """All arrival times in ``(0, until]``, in order."""
+        times: List[float] = []
+        t = self.next_after(0.0, rng)
+        while t <= until:
+            times.append(t)
+            t = self.next_after(t, rng)
+        return times
+
+    def expected_count(self, until: float, steps: int = 1024) -> float:
+        """Trapezoidal estimate of the mean arrival count over
+        ``(0, until]``; used for sizing sanity checks in tests."""
+        if until <= 0.0:
+            return 0.0
+        h = until / steps
+        total = 0.5 * (self.rate(0.0) + self.rate(until))
+        for i in range(1, steps):
+            total += self.rate(i * h)
+        return total * h
+
+
+def crowds_in_window(
+    crowds: Sequence[FlashCrowd], start: float, end: float
+) -> List[FlashCrowd]:
+    """The crowds whose active window intersects ``[start, end)``."""
+    return [c for c in crowds if c.start < end and c.end > start]

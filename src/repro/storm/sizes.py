@@ -1,0 +1,95 @@
+"""Flow-size and popularity distributions for the storm generator.
+
+Datacenter flow sizes are heavy-tailed: most transfers are short
+RPC-style messages while a small fraction of elephants carries most of
+the bytes (the regime fig10's Homa/Sincronia comparisons assume).  We
+model sizes with a bounded Pareto -- a power law truncated to
+``[lo, hi]`` so a single sample can never exceed what a scenario can
+drain in bounded time.
+
+App popularity is Zipf-skewed: a handful of hot applications originate
+most connections.  ``ZipfPicker`` turns a Zipf(``s``) weight vector
+over ``n`` apps into O(log n) deterministic draws via bisection on the
+cumulative weights.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import List
+
+
+@dataclass(frozen=True)
+class BoundedPareto:
+    """Pareto(``alpha``) truncated to ``[lo, hi]`` via inverse CDF.
+
+    >>> dist = BoundedPareto(alpha=1.2, lo=1e3, hi=1e6)
+    >>> rng = Random(3)
+    >>> all(1e3 <= dist.sample(rng) <= 1e6 for _ in range(100))
+    True
+    """
+
+    alpha: float
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ValueError(f"alpha must be > 0, got {self.alpha}")
+        if not 0.0 < self.lo < self.hi:
+            raise ValueError(
+                f"need 0 < lo < hi, got lo={self.lo}, hi={self.hi}"
+            )
+
+    def sample(self, rng: Random) -> float:
+        u = rng.random()
+        la = self.lo ** self.alpha
+        ha = self.hi ** self.alpha
+        # Inverse CDF of the truncated Pareto.
+        return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / self.alpha)
+
+    def mean(self) -> float:
+        """Closed-form mean of the truncated distribution."""
+        a, lo, hi = self.alpha, self.lo, self.hi
+        if a == 1.0:
+            return lo * hi / (hi - lo) * math.log(hi / lo)
+        num = (lo ** a) / (1.0 - (lo / hi) ** a)
+        return num * (a / (a - 1.0)) * (lo ** (1.0 - a) - hi ** (1.0 - a))
+
+
+def zipf_weights(n: int, s: float) -> List[float]:
+    """Normalized Zipf(``s``) weights over ranks ``1..n``."""
+    if n <= 0:
+        raise ValueError(f"n must be > 0, got {n}")
+    if s < 0.0:
+        raise ValueError(f"s must be >= 0, got {s}")
+    raw = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class ZipfPicker:
+    """Draw indices ``0..n-1`` with Zipf(``s``) popularity.
+
+    >>> picker = ZipfPicker(4, s=1.0)
+    >>> rng = Random(11)
+    >>> counts = [0] * 4
+    >>> for _ in range(1000):
+    ...     counts[picker.pick(rng)] += 1
+    >>> counts[0] > counts[3]
+    True
+    """
+
+    def __init__(self, n: int, s: float = 1.0) -> None:
+        self.n = n
+        self.s = s
+        self.weights = zipf_weights(n, s)
+        self._cum = list(itertools.accumulate(self.weights))
+        self._cum[-1] = 1.0  # close the interval against rounding
+
+    def pick(self, rng: Random) -> int:
+        return bisect.bisect_left(self._cum, rng.random())

@@ -1,0 +1,128 @@
+"""One protocol for every workload catalogue.
+
+The harnesses historically mixed three ad-hoc ways of obtaining
+application specs: the Table-1 ``CATALOG`` of templates (instantiated
+with ``dataset_scale``/``n_instances`` kwargs), the
+:func:`~repro.workloads.synthetic.synthetic_workloads` list builder
+(``count``/``n_instances`` kwargs), and hand-rolled samplers.  A
+:class:`WorkloadSource` unifies them: every source exposes the same
+two calls -- ``names()`` for the available workloads and ``build()``
+for a concrete :class:`~repro.workloads.model.ApplicationSpec` at a
+deployment shape -- so harnesses, sweeps, and the storm generator can
+take "a source" instead of special-casing where specs come from.
+
+Deployment-shape parameters are uniform across sources; a source that
+has no use for one (the synthetic set ignores ``dataset_scale``)
+accepts and ignores it rather than drifting its signature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.units import GBPS_56
+from repro.workloads.catalog import CATALOG, PROFILER_NODES, get_template
+from repro.workloads.model import ApplicationSpec
+from repro.workloads.synthetic import synthetic_workloads
+
+
+@runtime_checkable
+class WorkloadSource(Protocol):
+    """Anything that can name workloads and build their specs."""
+
+    def names(self) -> Sequence[str]:
+        """Available workload names, in the source's canonical order."""
+        ...
+
+    def build(
+        self,
+        name: str,
+        n_instances: Optional[int] = None,
+        dataset_scale: float = 1.0,
+        link_capacity: float = GBPS_56,
+    ) -> ApplicationSpec:
+        """A concrete application spec for one workload.
+
+        ``n_instances`` of ``None`` means the source's native
+        deployment size.  Raises ``KeyError`` for unknown names.
+        """
+        ...
+
+
+class CatalogSource:
+    """The ten Table-1 workloads as a :class:`WorkloadSource`."""
+
+    def names(self) -> Sequence[str]:
+        return list(CATALOG)
+
+    def build(
+        self,
+        name: str,
+        n_instances: Optional[int] = None,
+        dataset_scale: float = 1.0,
+        link_capacity: float = GBPS_56,
+    ) -> ApplicationSpec:
+        return get_template(name).instantiate(
+            dataset_scale=dataset_scale,
+            n_instances=(
+                n_instances if n_instances is not None else PROFILER_NODES
+            ),
+            link_capacity=link_capacity,
+        )
+
+
+class SyntheticSource:
+    """The Section-8.1 synthetic workload set as a
+    :class:`WorkloadSource`.
+
+    ``dataset_scale`` is accepted for signature uniformity and
+    ignored: the synthetic generator fixes its stage mix per index.
+    """
+
+    def __init__(self, count: int = 20, fanout: int = 3) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1: {count}")
+        self.count = count
+        self.fanout = fanout
+
+    def names(self) -> Sequence[str]:
+        return [f"SYN{i:02d}" for i in range(self.count)]
+
+    def build(
+        self,
+        name: str,
+        n_instances: Optional[int] = None,
+        dataset_scale: float = 1.0,
+        link_capacity: float = GBPS_56,
+    ) -> ApplicationSpec:
+        index = {n: i for i, n in enumerate(self.names())}.get(name)
+        if index is None:
+            raise KeyError(
+                f"unknown synthetic workload {name!r}; "
+                f"available: SYN00..SYN{self.count - 1:02d}"
+            )
+        specs = synthetic_workloads(
+            count=self.count,
+            n_instances=n_instances if n_instances is not None else 8,
+            link_capacity=link_capacity,
+            fanout=self.fanout,
+        )
+        return specs[index]
+
+
+def build_all(
+    source: WorkloadSource,
+    n_instances: Optional[int] = None,
+    dataset_scale: float = 1.0,
+    link_capacity: float = GBPS_56,
+) -> List[ApplicationSpec]:
+    """Every workload of a source, in canonical order."""
+    return [
+        source.build(
+            name,
+            n_instances=n_instances,
+            dataset_scale=dataset_scale,
+            link_capacity=link_capacity,
+        )
+        for name in source.names()
+    ]

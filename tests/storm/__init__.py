@@ -1,0 +1,1 @@
+"""Storm traffic generator and scenario fuzzer."""

@@ -1,0 +1,81 @@
+"""Arrival process: rate shaping, thinning, determinism."""
+
+from random import Random
+
+import pytest
+
+from repro.storm.arrivals import (
+    ArrivalSchedule,
+    FlashCrowd,
+    crowds_in_window,
+)
+
+
+def test_flash_crowd_validation():
+    with pytest.raises(ValueError):
+        FlashCrowd(start=-0.1, duration=1.0, multiplier=2.0)
+    with pytest.raises(ValueError):
+        FlashCrowd(start=0.0, duration=0.0, multiplier=2.0)
+    with pytest.raises(ValueError):
+        FlashCrowd(start=0.0, duration=1.0, multiplier=0.5)
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        ArrivalSchedule(base_rate=0.0)
+    with pytest.raises(ValueError):
+        ArrivalSchedule(base_rate=10.0, diurnal_amplitude=1.0)
+    with pytest.raises(ValueError):
+        ArrivalSchedule(base_rate=10.0, diurnal_period=0.0)
+
+
+def test_rate_combines_diurnal_and_crowds():
+    crowd = FlashCrowd(start=1.0, duration=0.5, multiplier=3.0)
+    sched = ArrivalSchedule(
+        base_rate=100.0, diurnal_amplitude=0.5, diurnal_period=2.0,
+        flash_crowds=(crowd,),
+    )
+    # t=0 is the diurnal peak; no crowd active.
+    assert sched.rate(0.0) == pytest.approx(150.0)
+    # t=1.0 is the diurnal trough; crowd active.
+    assert sched.rate(1.0) == pytest.approx(50.0 * 3.0)
+    # Half-open window: the crowd is over at its end instant.
+    assert not crowd.active(crowd.end)
+    assert sched.peak_rate == pytest.approx(150.0 * 3.0)
+
+
+def test_sampling_is_deterministic():
+    sched = ArrivalSchedule(
+        base_rate=200.0, diurnal_amplitude=0.3,
+        flash_crowds=(FlashCrowd(0.2, 0.1, 4.0),),
+    )
+    a = sched.sample(1.0, Random("storm:7:arrivals"))
+    b = sched.sample(1.0, Random("storm:7:arrivals"))
+    assert a == b
+    assert a == sorted(a)
+    assert all(t > 0.0 for t in a)
+
+
+def test_sample_count_tracks_expected_count():
+    sched = ArrivalSchedule(
+        base_rate=300.0, diurnal_amplitude=0.4, diurnal_period=0.7,
+        flash_crowds=(FlashCrowd(0.3, 0.2, 3.0),),
+    )
+    expected = sched.expected_count(1.0)
+    counts = [len(sched.sample(1.0, Random(seed))) for seed in range(20)]
+    mean = sum(counts) / len(counts)
+    # Poisson: 20 runs put the sample mean well within 3 sigma.
+    sigma = (expected / len(counts)) ** 0.5
+    assert abs(mean - expected) < 3.0 * sigma
+
+
+def test_homogeneous_expected_count_is_exact():
+    sched = ArrivalSchedule(base_rate=123.0)
+    assert sched.expected_count(2.0) == pytest.approx(246.0)
+
+
+def test_crowds_in_window():
+    crowds = (FlashCrowd(0.1, 0.15, 2.0), FlashCrowd(0.8, 0.1, 2.0))
+    assert crowds_in_window(crowds, 0.0, 0.5) == [crowds[0]]
+    assert crowds_in_window(crowds, 0.3, 0.8) == []
+    assert crowds_in_window(crowds, 0.0, 1.0) == list(crowds)

@@ -1,0 +1,70 @@
+"""Size and popularity distributions: bounds, means, skew."""
+
+from random import Random
+
+import pytest
+
+from repro.storm.sizes import BoundedPareto, ZipfPicker, zipf_weights
+
+
+def test_bounded_pareto_validation():
+    with pytest.raises(ValueError):
+        BoundedPareto(alpha=0.0, lo=1.0, hi=2.0)
+    with pytest.raises(ValueError):
+        BoundedPareto(alpha=1.2, lo=2.0, hi=1.0)
+    with pytest.raises(ValueError):
+        BoundedPareto(alpha=1.2, lo=0.0, hi=1.0)
+
+
+def test_bounded_pareto_samples_within_bounds():
+    dist = BoundedPareto(alpha=1.3, lo=1e3, hi=1e7)
+    rng = Random("sizes")
+    for _ in range(500):
+        assert 1e3 <= dist.sample(rng) <= 1e7
+
+
+def test_bounded_pareto_mean_matches_empirical():
+    dist = BoundedPareto(alpha=1.5, lo=10.0, hi=1e4)
+    rng = Random(5)
+    n = 60_000
+    empirical = sum(dist.sample(rng) for _ in range(n)) / n
+    assert empirical == pytest.approx(dist.mean(), rel=0.05)
+
+
+def test_bounded_pareto_mean_alpha_one():
+    # alpha == 1 takes the logarithmic special case.
+    dist = BoundedPareto(alpha=1.0, lo=1.0, hi=100.0)
+    rng = Random(9)
+    n = 60_000
+    empirical = sum(dist.sample(rng) for _ in range(n)) / n
+    assert empirical == pytest.approx(dist.mean(), rel=0.05)
+
+
+def test_zipf_weights_normalized_and_ordered():
+    weights = zipf_weights(6, 1.2)
+    assert sum(weights) == pytest.approx(1.0)
+    assert weights == sorted(weights, reverse=True)
+    # s=0 degenerates to uniform.
+    assert zipf_weights(4, 0.0) == pytest.approx([0.25] * 4)
+
+
+def test_zipf_weights_validation():
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_weights(4, -0.1)
+
+
+def test_zipf_picker_skews_toward_low_ranks():
+    picker = ZipfPicker(8, s=1.0)
+    rng = Random(3)
+    counts = [0] * 8
+    for _ in range(4000):
+        counts[picker.pick(rng)] += 1
+    assert counts[0] > counts[3] > counts[7] > 0
+
+
+def test_zipf_picker_deterministic():
+    a = [ZipfPicker(5, 0.8).pick(Random(i)) for i in range(50)]
+    b = [ZipfPicker(5, 0.8).pick(Random(i)) for i in range(50)]
+    assert a == b

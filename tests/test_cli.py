@@ -39,7 +39,7 @@ def test_report_command(tmp_path, capsys):
 def test_every_command_registered():
     for name in ("fig1a", "fig1b", "fig2", "fig5", "fig6", "fig8",
                  "fig9", "fig10", "fig11", "fig12", "report", "obs",
-                 "sweep"):
+                 "sweep", "storm"):
         assert name in COMMANDS
 
 
@@ -76,6 +76,39 @@ def test_sweep_writes_manifest(tmp_path, capsys):
     payload = json.loads(manifest.read_text())
     assert payload["name"] == "sweep:fig5"
     assert payload["extra"]["failed"] == 0
+
+
+def test_storm_list(capsys):
+    assert main(["storm", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("smoke", "flash", "service"):
+        assert name in out
+
+
+def test_storm_run_smoke_writes_report(tmp_path, capsys):
+    out_path = tmp_path / "storm.json"
+    assert main(["storm", "run", "smoke", "--out", str(out_path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text())
+    assert payload["ok"] is True
+    assert payload["injected"] > 0
+
+
+def test_storm_run_unknown_preset_is_clean_error():
+    with pytest.raises(SystemExit, match="unknown preset"):
+        main(["storm", "run", "hurricane"])
+
+
+def test_storm_fuzz_small_campaign(tmp_path, capsys):
+    out_path = tmp_path / "campaign.json"
+    assert main([
+        "storm", "fuzz", "--count", "3", "--seed", "1", "--no-cache",
+        "--quiet", "--no-equivalence", "--out", str(out_path),
+    ]) == 0
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text())
+    assert payload["scenarios"] == 3
+    assert payload["failed"] == 0
 
 
 @pytest.fixture()

@@ -7,11 +7,15 @@ import pytest
 import repro.simnet.engine
 import repro.simnet.fairness
 import repro.simnet.topology
+import repro.storm.arrivals
+import repro.storm.sizes
 
 MODULES = [
     repro.simnet.engine,
     repro.simnet.fairness,
     repro.simnet.topology,
+    repro.storm.arrivals,
+    repro.storm.sizes,
 ]
 
 
