@@ -34,7 +34,6 @@ reproducing the non-incremental behaviour.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import time as _time
 from dataclasses import dataclass
@@ -49,6 +48,8 @@ from typing import (
     Sequence,
     Tuple,
 )
+
+import numpy as np
 
 from repro.errors import RoutingError, SimulationError
 from repro.obs.events import (
@@ -65,12 +66,24 @@ from repro.obs.events import (
 from repro.simnet.engine import Simulator
 from repro.simnet.fairness import FairScheduler, LinkScheduler, solve_component
 from repro.simnet.flows import Flow
-from repro.simnet.incidence import FlowIncidence
+from repro.simnet.flowtable import FlowTable
+from repro.simnet.incidence import (
+    ArrayIncidence,
+    ComponentBatch,
+    FlowIncidence,
+    _gather_ranges,
+)
 from repro.simnet.kernels import (
+    KIND_FAIR,
+    KIND_PRIO,
+    KIND_WFQ,
     KernelComponent,
+    PreparedBatch,
     component_specs,
     padded_cells,
     solve_batch,
+    solve_maxmin_prepared,
+    solve_residual_prepared,
 )
 from repro.simnet.routing import Router
 from repro.simnet.telemetry import UtilizationRecorder
@@ -151,6 +164,59 @@ class _DefaultPolicy:
         pass
 
 
+class _LinkMembers(Sequence):
+    """Lazy ``Sequence[Flow]`` over one batch link's pairs.
+
+    Indexes the persistent batch axes on access: element ``i`` is the
+    flow bound to slot ``slots[pair_flow[start + i]]``.  Iteration
+    order is pair order -- identical to the eagerly-built member lists
+    the object recompute hands schedulers, so ``usable_capacity`` and
+    ``kernel_spec`` see the same flows in the same order either way.
+    """
+
+    __slots__ = ("_slots", "_pair_flow", "_start", "_n", "_flow_of")
+
+    def __init__(
+        self,
+        slots: np.ndarray,
+        pair_flow: np.ndarray,
+        start: int,
+        n: int,
+        flow_of: List[Optional[Flow]],
+    ) -> None:
+        self._slots = slots
+        self._pair_flow = pair_flow
+        self._start = start
+        self._n = n
+        self._flow_of = flow_of
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._n))]
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(index)
+        flow = self._flow_of[
+            int(self._slots[self._pair_flow[self._start + index]])
+        ]
+        assert flow is not None
+        return flow
+
+    def __iter__(self):
+        flow_of = self._flow_of
+        member_slots = self._slots[
+            self._pair_flow[self._start : self._start + self._n]
+        ].tolist()
+        for slot in member_slots:
+            flow = flow_of[slot]
+            assert flow is not None
+            yield flow
+
+
 class FluidFabric:
     """Event-driven fluid network simulation over a topology."""
 
@@ -166,6 +232,7 @@ class FluidFabric:
         solver_backend: str = "object",
         vector_min_flows: int = 32,
         vector_min_batch: int = 256,
+        incidence_backend: str = "auto",
     ) -> None:
         """
         Args:
@@ -212,12 +279,31 @@ class FluidFabric:
                 dirty components together reach this many flows they
                 are all batched into a single kernel invocation even
                 if each is individually small.
+            incidence_backend: which flow<->link index maintains the
+                congestion components.  ``"object"`` is the dict-based
+                :class:`~repro.simnet.incidence.FlowIncidence` whose
+                recompute path walks Flow objects -- byte-identical to
+                previous releases.  ``"array"`` is the persistent
+                structure-of-arrays
+                :class:`~repro.simnet.incidence.ArrayIncidence`:
+                component discovery, CSR marshalling and rate scatter
+                become vectorized gathers over persistent axes (same
+                orderings, hence the same floating-point results as
+                marshalling through objects).  ``"auto"`` (default)
+                follows the solver: array-native when
+                ``solver_backend`` is ``"auto"``/``"vector"``, object
+                otherwise -- so the pinned object-backend goldens are
+                untouched while kernel users get the fast path.
         """
         if completion_quantum < 0:
             raise SimulationError("completion_quantum must be >= 0")
         if solver_backend not in ("auto", "vector", "object"):
             raise SimulationError(
                 f"unknown solver backend {solver_backend!r}"
+            )
+        if incidence_backend not in ("auto", "array", "object"):
+            raise SimulationError(
+                f"unknown incidence backend {incidence_backend!r}"
             )
         self.topology = topology
         self.router = Router(topology)
@@ -238,19 +324,45 @@ class FluidFabric:
         self.solver_backend = solver_backend
         self.vector_min_flows = vector_min_flows
         self.vector_min_batch = vector_min_batch
+        self.incidence_backend = incidence_backend
         self.policy: FabricPolicy = _DefaultPolicy()
         self._component_safe = True
         self._active: Dict[int, Flow] = {}
         self.completed: List[Flow] = []
         self._completion_callbacks: Dict[int, List[Callable[[Flow], None]]] = {}
+        # -- array-native flow state -----------------------------------
+        #: Structure-of-arrays store of per-flow runtime numbers; every
+        #: active flow is bound to a slot, and the completion scan /
+        #: lazy sync are vectorized passes over it (the former lazy
+        #: completion heap lives in its ``finish_at`` column).
+        self._table = FlowTable()
+        self._seq = itertools.count()
         # -- incremental-solve state -----------------------------------
-        self._incidence = FlowIncidence()
+        self._array_incidence = incidence_backend == "array" or (
+            incidence_backend == "auto"
+            and solver_backend in ("auto", "vector")
+        )
+        self._incidence: "FlowIncidence | ArrayIncidence" = (
+            ArrayIncidence(self._table)
+            if self._array_incidence
+            else FlowIncidence()
+        )
+        #: What ``incidence_backend`` resolved to after "auto"
+        #: dispatch; bench payloads report this alongside the request.
+        self.incidence_backend_resolved = (
+            "array" if self._array_incidence else "object"
+        )
         #: Dirty ports, in dirtying order (dict-as-ordered-set: string
         #: sets iterate in hash order, which is not reproducible).
         self._dirty_links: Dict[str, None] = {}
         self._dirty_all = True
         self._rates_dirty = True
         self._sched_cache: Dict[str, LinkScheduler] = {}
+        #: Scheduler + uniform-fair flag per *interned* link index
+        #: (array-incidence recompute hot loop: list indexing instead
+        #: of dict lookups).  Grown lazily; reset with ``_sched_cache``.
+        self._sched_by_gi: List[Optional[LinkScheduler]] = []
+        self._fair_by_gi: List[bool] = []
         #: link -> ((queue-table generation, throttle), usable capacity)
         self._caps_cache: Dict[str, Tuple[Tuple[int, float], float]] = {}
         self._link_used: Dict[str, float] = {}
@@ -259,13 +371,6 @@ class FluidFabric:
             topology.nic_link(server).link_id: server
             for server in topology.servers
         }
-        # -- lazy completion heap --------------------------------------
-        self._seq = itertools.count()
-        self._start_seq: Dict[int, int] = {}
-        self._finish_heap: List[Tuple[float, int, int]] = []
-        #: flow_id -> its live heap entry (None when undrained/absent);
-        #: stale heap entries fail the identity check and are skipped.
-        self._finish_key: Dict[int, Optional[Tuple[float, int, int]]] = {}
         # -- plain perf counters (bench reads these without an observer)
         self.loop_events = 0
         self.rate_recomputes = 0
@@ -275,6 +380,12 @@ class FluidFabric:
         self.object_components = 0
         self.vector_seconds = 0.0
         self.object_seconds = 0.0
+        #: Cumulative recompute time spent marshalling (component
+        #: discovery, view/CSR/caps/spec assembly, rate scatter) vs in
+        #: the numeric solves themselves; ``marshal + solve`` is the
+        #: whole rate pipeline (validation and telemetry excluded).
+        self.marshal_seconds = 0.0
+        self.solve_seconds = 0.0
 
     # -- configuration -----------------------------------------------------
 
@@ -284,6 +395,8 @@ class FluidFabric:
         policy.attach(self)
         self._component_safe = bool(getattr(policy, "component_safe", True))
         self._sched_cache.clear()
+        self._sched_by_gi.clear()
+        self._fair_by_gi.clear()
         self._caps_cache.clear()
         self.invalidate_rates()
 
@@ -409,11 +522,9 @@ class FluidFabric:
                 self.router.path_for_flow(flow.src, flow.dst, flow.flow_id)
             )
         flow.start_time = self.sim.now
-        flow.last_update = self.sim.now
+        self._table.bind(flow, next(self._seq), self.sim.now)
         self._active[flow.flow_id] = flow
         self._incidence.add(flow)
-        self._start_seq[flow.flow_id] = next(self._seq)
-        self._finish_key[flow.flow_id] = None
         dirty = self._dirty_links
         for lid in flow.path:
             dirty[lid] = None
@@ -456,8 +567,7 @@ class FluidFabric:
         flow.last_update = self.sim.now
         del self._active[flow.flow_id]
         self._incidence.remove(flow)
-        self._start_seq.pop(flow.flow_id, None)
-        self._finish_key.pop(flow.flow_id, None)
+        self._table.unbind(flow)
         dirty = self._dirty_links
         for lid in flow.path:
             dirty[lid] = None
@@ -517,8 +627,11 @@ class FluidFabric:
         (:func:`repro.simnet.fairness.network_rates` decomposes the
         same way).
         """
+        if self._array_incidence:
+            self._recompute_array()
+            return
         obs = self.observer
-        t0 = _time.perf_counter() if obs.enabled else 0.0
+        t0 = _time.perf_counter()
         now = self.sim.now
         scoped = self.incremental and self._component_safe
         full = self._dirty_all or not scoped
@@ -542,19 +655,25 @@ class FluidFabric:
         )
         vec_batch: List[KernelComponent] = []
         # Rates are applied strictly in component-discovery order after
-        # every solve has finished, whichever backend produced them.
-        # ``_rekey`` breaks completion-time ties with a global sequence
-        # counter, so interleaving object-path application with a
-        # deferred batch solve would reorder tied completions and change
-        # trajectories even when every rate is identical.
+        # every solve has finished, whichever backend produced them, so
+        # the apply/refresh sequence is independent of which components
+        # took the batched kernel path.
         pending: List[
             Tuple[List[Flow], Dict[str, List[Flow]], Optional[Dict[int, float]]]
         ] = []
         obj_elapsed = 0.0
+        table = self._table
         for comp_flows, _comp_links in components:
+            table.sync_slots(
+                np.fromiter(
+                    (f._slot for f in comp_flows),
+                    dtype=np.int64,
+                    count=len(comp_flows),
+                ),
+                now,
+            )
             on_link: Dict[str, List[Flow]] = {}
             for flow in comp_flows:
-                flow.sync(now)
                 for lid in flow.path:
                     members = on_link.get(lid)
                     if members is None:
@@ -618,6 +737,13 @@ class FluidFabric:
         self.rate_recomputes += 1
         self.components_solved += len(components)
         self.flows_solved += n_flows_solved
+        # Everything in the pipeline that is not a numeric solve is
+        # marshalling: component discovery, sync, view/caps/spec
+        # assembly, rate scatter and accumulator upkeep.
+        solve_elapsed = obj_elapsed + vec_elapsed
+        pipeline_elapsed = _time.perf_counter() - t0
+        self.solve_seconds += solve_elapsed
+        self.marshal_seconds += max(0.0, pipeline_elapsed - solve_elapsed)
         if self.validate:
             self._check_invariants(list(self._active.values()))
         self._sample_network_telemetry(changed)
@@ -628,8 +754,14 @@ class FluidFabric:
             size_hist = metrics.histogram("fabric.component_size")
             for comp_flows, _comp_links in components:
                 size_hist.observe(len(comp_flows))
-            elapsed = _time.perf_counter() - t0
+            elapsed = pipeline_elapsed
             metrics.histogram("fabric.solver_seconds").observe(elapsed)
+            metrics.histogram("fabric.solver_seconds.marshal").observe(
+                max(0.0, pipeline_elapsed - solve_elapsed)
+            )
+            metrics.histogram("fabric.solver_seconds.solve").observe(
+                solve_elapsed
+            )
             if vec_batch:
                 metrics.histogram("fabric.solver_seconds.vector").observe(
                     vec_elapsed
@@ -648,6 +780,443 @@ class FluidFabric:
             )
             self._emit_port_utilization(changed)
 
+    def _members_of(self, batch: ComponentBatch, li: int) -> "_LinkMembers":
+        """One batch link's member Flow sequence (pair order), lazily.
+
+        Schedulers usually need only ``len()`` (capacity derating) or
+        nothing at all, so Flow objects resolve on access instead of
+        eagerly materialising 40 of them per link per recompute.
+        """
+        csr = batch.csr
+        return _LinkMembers(
+            batch.slots, csr.pair_flow,
+            int(csr.link_starts[li]), int(csr.link_counts[li]),
+            self._table.flow_of,
+        )
+
+    def _elementwise_entry(
+        self, scheduler: LinkScheduler, batch_flows: List[Flow],
+    ) -> Optional[Tuple[int, Optional[np.ndarray], Optional[np.ndarray]]]:
+        """One elementwise scheduler's spec over the batch flow axis.
+
+        Returns ``(kind code, per-flow group ids, per-flow weights)``,
+        or ``None`` when the scheduler has no kernel form.  Weight
+        values are computed exactly as the per-link extraction does
+        (``weights[q]`` per member), so gathering sublists from these
+        arrays reproduces the per-link arrays bit for bit.
+        """
+        extract = getattr(scheduler, "kernel_spec", None)
+        if extract is None:
+            return None
+        spec = extract(batch_flows)
+        if spec is None:
+            return None
+        skind, ids, weights = spec
+        if skind == "fair":
+            return (KIND_FAIR, None, None)
+        if skind == "wfq":
+            assert ids is not None and weights is not None
+            return (
+                KIND_WFQ,
+                np.asarray(ids, dtype=np.int64),
+                np.array([weights[q] for q in ids], dtype=np.float64),
+            )
+        if skind == "prio":
+            assert ids is not None
+            return (KIND_PRIO, np.asarray(ids, dtype=np.int64), None)
+        raise SimulationError(f"unknown kernel spec kind {skind!r}")
+
+    def _extract_specs(
+        self,
+        batch: ComponentBatch,
+        nonfair: List[Tuple[int, LinkScheduler]],
+        vec_comp: np.ndarray,
+        kind: np.ndarray,
+        qid: np.ndarray,
+        qweight: np.ndarray,
+    ) -> None:
+        """Fill the discipline arrays for non-uniform-fair links.
+
+        Elementwise schedulers (``kernel_spec_elementwise``: group id
+        and weight are pure functions of the flow) are extracted once
+        per scheduler instance over the whole batch flow axis and
+        gathered into the pair-axis arrays -- per-link group lists are
+        sublists of the per-flow mapping, so the values are identical
+        to per-link extraction.  Non-elementwise schedulers keep the
+        per-link ``kernel_spec`` call; a scheduler with no kernel form
+        demotes its component to the object solver, exactly as the
+        object-marshalled path does.
+        """
+        csr = batch.csr
+        slots = batch.slots
+        pair_flow = csr.pair_flow
+        link_starts = csr.link_starts
+        link_counts = csr.link_counts
+        comp_of_link = csr.comp_of_link
+        flow_of = self._table.flow_of
+        batch_flows: Optional[List[Flow]] = None
+
+        def all_flows() -> List[Flow]:
+            nonlocal batch_flows
+            if batch_flows is None:
+                batch_flows = []
+                for slot in slots.tolist():
+                    flow = flow_of[slot]
+                    assert flow is not None
+                    batch_flows.append(flow)
+            return batch_flows
+
+        # Fast path: every non-fair link shares one elementwise
+        # scheduler (the common policy shape -- a single WFQ/priority
+        # instance fabric-wide) -> whole-axis gathers, no per-link
+        # Python work.
+        first = nonfair[0][1]
+        if getattr(first, "kernel_spec_elementwise", False) and all(
+            sched is first for _, sched in nonfair
+        ):
+            entry = self._elementwise_entry(first, all_flows())
+            if entry is None:
+                for li, _ in nonfair:
+                    vec_comp[int(comp_of_link[li])] = False
+                return
+            kcode, flow_qid, flow_qw = entry
+            if kcode == KIND_FAIR:
+                return
+            if len(nonfair) == csr.n_links:
+                kind[:] = kcode
+                assert flow_qid is not None
+                qid[:] = flow_qid[pair_flow]
+                if flow_qw is not None:
+                    qweight[:] = flow_qw[pair_flow]
+            else:
+                lis = np.array([li for li, _ in nonfair], dtype=np.int64)
+                pos = _gather_ranges(link_starts[lis], link_counts[lis])
+                kind[lis] = kcode
+                assert flow_qid is not None
+                sub_pf = pair_flow[pos]
+                qid[pos] = flow_qid[sub_pf]
+                if flow_qw is not None:
+                    qweight[pos] = flow_qw[sub_pf]
+            return
+
+        cache: Dict[
+            int,
+            Optional[Tuple[int, Optional[np.ndarray], Optional[np.ndarray]]],
+        ] = {}
+        for li, scheduler in nonfair:
+            start = int(link_starts[li])
+            n = int(link_counts[li])
+            if getattr(scheduler, "kernel_spec_elementwise", False):
+                sid = id(scheduler)
+                if sid in cache:
+                    entry = cache[sid]
+                else:
+                    entry = self._elementwise_entry(scheduler, all_flows())
+                    cache[sid] = entry
+                if entry is None:
+                    vec_comp[int(comp_of_link[li])] = False
+                    continue
+                kcode, flow_qid, flow_qw = entry
+                if kcode == KIND_FAIR:
+                    continue
+                pf = pair_flow[start : start + n]
+                kind[li] = kcode
+                assert flow_qid is not None
+                qid[start : start + n] = flow_qid[pf]
+                if flow_qw is not None:
+                    qweight[start : start + n] = flow_qw[pf]
+                continue
+            extract = getattr(scheduler, "kernel_spec", None)
+            spec = (
+                extract(self._members_of(batch, li))
+                if extract is not None else None
+            )
+            if spec is None:
+                # A scheduler without a kernel form: this component
+                # falls back to the object solver.
+                vec_comp[int(comp_of_link[li])] = False
+                continue
+            skind, ids, weights = spec
+            if skind == "fair":
+                continue
+            if skind == "wfq":
+                assert ids is not None and weights is not None
+                kind[li] = KIND_WFQ
+                qid[start : start + n] = ids
+                qweight[start : start + n] = [weights[q] for q in ids]
+            elif skind == "prio":
+                assert ids is not None
+                kind[li] = KIND_PRIO
+                qid[start : start + n] = ids
+            else:  # pragma: no cover
+                raise SimulationError(
+                    f"unknown kernel spec kind {skind!r}"
+                )
+
+    def _recompute_array(self) -> None:
+        """Array-native recompute: the :class:`ArrayIncidence` twin of
+        :meth:`recompute_rates`.
+
+        Discovery, CSR assembly and the rate scatter are gathers over
+        the incidence's persistent axes; Python object materialisation
+        happens only where the object contract genuinely needs it
+        (capacity-cache misses, per-link kernel-spec extraction for
+        non-uniform disciplines, and components solved by the object
+        solver).  Orderings -- components by earliest flow, flows by
+        start sequence, links by first use, members in start order --
+        are identical to the object path, so per-flow results match
+        the object-marshalled kernels bit for bit.
+        """
+        obs = self.observer
+        t0 = _time.perf_counter()
+        now = self.sim.now
+        scoped = self.incremental and self._component_safe
+        full = self._dirty_all or not scoped
+        incidence = self._incidence
+        assert isinstance(incidence, ArrayIncidence)
+        table = self._table
+        link_used = self._link_used
+        changed: Dict[str, None] = {}
+        batch = incidence.batch(
+            None if full else list(self._dirty_links)
+        )
+        comp_sizes = np.zeros(0, dtype=np.int64)
+        obj_elapsed = 0.0
+        vec_elapsed = 0.0
+        n_comps = 0
+        n_flows_solved = 0
+        n_vec_comps = 0
+        if batch is not None:
+            csr = batch.csr
+            n_comps = batch.n_comps
+            n_flows_solved = csr.n_flows
+            slots = batch.slots
+            table.sync_slots(slots, now)
+            comp_sizes = batch.comp_flow_counts()
+            # ---- marshal: caps, disciplines, backend choice ----------
+            backend = self.solver_backend
+            pool_all = backend == "vector" or (
+                backend == "auto"
+                and n_flows_solved >= self.vector_min_batch
+            )
+            if backend == "object":
+                vec_comp = np.zeros(n_comps, dtype=bool)
+            else:
+                vec_comp = np.logical_or(
+                    pool_all, comp_sizes >= self.vector_min_flows
+                ) & (batch.padded_cells_per_comp() <= _PAD_CELL_LIMIT)
+            n_links = csr.n_links
+            gis = batch.link_axis.tolist()
+            link_ids = incidence.link_ids
+            lids = [link_ids[gi] for gi in gis]
+            kind = np.zeros(n_links, dtype=np.int8)
+            qid = np.zeros(csr.n_pairs, dtype=np.int64)
+            qweight = np.zeros(csr.n_pairs)
+            comp_of_link = csr.comp_of_link
+            link_counts = csr.link_counts
+            link_starts = csr.link_starts
+            sched_cache = self._sched_cache
+            scheduler_of = self.policy.scheduler_of
+            caps_cache = self._caps_cache
+            dirty = self._dirty_links
+            link_states = self.topology.link_states
+            port_table = self.topology.port_table
+            pair_flow = csr.pair_flow
+            flow_of = table.flow_of
+            # Per-interned-link scheduler cache: plain list indexing in
+            # the hot loop instead of a dict probe plus a getattr.
+            sched_by_gi = self._sched_by_gi
+            fair_by_gi = self._fair_by_gi
+            if len(sched_by_gi) < len(link_ids):
+                pad = len(link_ids) - len(sched_by_gi)
+                sched_by_gi.extend([None] * pad)
+                fair_by_gi.extend([False] * pad)
+            caps_list = [0.0] * n_links
+            cols = comp_of_link.tolist()
+            vec_list = vec_comp.tolist()
+            comp_fair_list = [True] * n_comps
+            nonfair: List[Tuple[int, LinkScheduler]] = []
+            for li in range(n_links):
+                lid = lids[li]
+                gi = gis[li]
+                scheduler = sched_by_gi[gi]
+                if scheduler is None:
+                    scheduler = sched_cache.get(lid)
+                    if scheduler is None:
+                        scheduler = sched_cache[lid] = scheduler_of(lid)
+                    sched_by_gi[gi] = scheduler
+                    fair_by_gi[gi] = bool(
+                        getattr(scheduler, "uniform_fair", False)
+                    )
+                state = link_states[lid]
+                key = (port_table(lid).generation, state.throttle)
+                usable = None
+                if scoped and lid not in dirty:
+                    cached = caps_cache.get(lid)
+                    if cached is not None and cached[0] == key:
+                        usable = cached[1]
+                if usable is None:
+                    n = int(link_counts[li])
+                    usable = scheduler.usable_capacity(
+                        state.effective_capacity(n),
+                        _LinkMembers(
+                            slots, pair_flow, int(link_starts[li]), n,
+                            flow_of,
+                        ),
+                    )
+                    if scoped:
+                        caps_cache[lid] = (key, usable)
+                caps_list[li] = usable
+                if not vec_list[cols[li]]:
+                    continue
+                if fair_by_gi[gi]:
+                    continue
+                comp_fair_list[cols[li]] = False
+                nonfair.append((li, scheduler))
+            caps = np.asarray(caps_list)
+            comp_fair = np.asarray(comp_fair_list, dtype=bool)
+            if nonfair:
+                self._extract_specs(
+                    batch, nonfair, vec_comp, kind, qid, qweight,
+                )
+            # ---- solve: kernels on vector comps, objects on the rest
+            rates = np.zeros(n_flows_solved)
+            vec_idx = np.nonzero(vec_comp)[0]
+            if len(vec_idx):
+                fair_sel = vec_idx[comp_fair[vec_idx]]
+                mixed_sel = vec_idx[~comp_fair[vec_idx]]
+                for sel, disciplines in (
+                    (fair_sel, False), (mixed_sel, True),
+                ):
+                    if not len(sel):
+                        continue
+                    if len(sel) == n_comps:
+                        sub = batch
+                        sub_caps = caps
+                        sub_kind, sub_qid, sub_qw = kind, qid, qweight
+                    else:
+                        sub = batch.select(sel)
+                        assert sub.parent_link_idx is not None
+                        assert sub.parent_pair_idx is not None
+                        sub_caps = caps[sub.parent_link_idx]
+                        sub_kind = kind[sub.parent_link_idx]
+                        sub_qid = qid[sub.parent_pair_idx]
+                        sub_qw = qweight[sub.parent_pair_idx]
+                    prepared = PreparedBatch(
+                        csr=sub.csr,
+                        caps=sub_caps,
+                        limit=table.limit[sub.slots],
+                        kind=sub_kind if disciplines else None,
+                        qid=sub_qid if disciplines else None,
+                        qweight=sub_qw if disciplines else None,
+                    )
+                    ts = _time.perf_counter()
+                    solved = (
+                        solve_residual_prepared(prepared)
+                        if disciplines
+                        else solve_maxmin_prepared(prepared)
+                    )
+                    vec_elapsed += _time.perf_counter() - ts
+                    if sub is batch:
+                        rates = solved
+                    else:
+                        assert sub.parent_flow_idx is not None
+                        rates[sub.parent_flow_idx] = solved
+                n_vec_comps = len(vec_idx)
+                self.vector_components += n_vec_comps
+            flow_of = table.flow_of
+            for ci in np.nonzero(~vec_comp)[0].tolist():
+                comp_flows = batch.comp_flows(ci)
+                on_link = batch.comp_on_link(ci)
+                schedulers = {
+                    lid: sched_cache[lid] for lid in on_link
+                }
+                ls, le = batch.link_slice(ci)
+                comp_caps = {
+                    lids[li]: float(caps[li]) for li in range(ls, le)
+                }
+                ts = _time.perf_counter()
+                comp_rates = solve_component(
+                    comp_flows, on_link, schedulers, comp_caps
+                )
+                obj_elapsed += _time.perf_counter() - ts
+                self.object_components += 1
+                fs, fe = batch.flow_slice(ci)
+                for i in range(fs, fe):
+                    flow = flow_of[slots[i]]
+                    assert flow is not None
+                    rates[i] = comp_rates.get(flow.flow_id, 0.0)
+            # ---- scatter-apply ---------------------------------------
+            table.rate[slots] = rates
+            table.update_finish(slots, now)
+            # Per-link usage totals: sequential within-segment sums,
+            # the same accumulation order as the object apply loop.
+            used_now = np.add.reduceat(
+                rates[csr.pair_flow], link_starts
+            )
+            for li in range(n_links):
+                lid = lids[li]
+                link_used[lid] = float(used_now[li])
+                changed[lid] = None
+        # ---- shared epilogue (mirrors the object recompute) ----------
+        for lid in self._dirty_links:
+            if lid not in changed and link_used.get(lid, 0.0) != 0.0:
+                link_used[lid] = 0.0
+                changed[lid] = None
+        if full:
+            for lid, used in link_used.items():
+                if used != 0.0 and incidence.count(lid) == 0:
+                    link_used[lid] = 0.0
+                    changed[lid] = None
+        self._dirty_links.clear()
+        self._dirty_all = False
+        self._rates_dirty = False
+        self.rate_recomputes += 1
+        self.components_solved += n_comps
+        self.flows_solved += n_flows_solved
+        solve_elapsed = obj_elapsed + vec_elapsed
+        pipeline_elapsed = _time.perf_counter() - t0
+        self.solve_seconds += solve_elapsed
+        self.marshal_seconds += max(0.0, pipeline_elapsed - solve_elapsed)
+        self.object_seconds += obj_elapsed
+        self.vector_seconds += vec_elapsed
+        if self.validate:
+            self._check_invariants(list(self._active.values()))
+        self._sample_network_telemetry(changed)
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("fabric.rate_recomputes").inc()
+            metrics.counter("fabric.components_solved").inc(n_comps)
+            size_hist = metrics.histogram("fabric.component_size")
+            for size in comp_sizes.tolist():
+                size_hist.observe(size)
+            metrics.histogram("fabric.solver_seconds").observe(
+                pipeline_elapsed
+            )
+            metrics.histogram("fabric.solver_seconds.marshal").observe(
+                max(0.0, pipeline_elapsed - solve_elapsed)
+            )
+            metrics.histogram("fabric.solver_seconds.solve").observe(
+                solve_elapsed
+            )
+            if n_vec_comps:
+                metrics.histogram("fabric.solver_seconds.vector").observe(
+                    vec_elapsed
+                )
+                metrics.counter("fabric.vector_components").inc(
+                    n_vec_comps
+                )
+            if obj_elapsed > 0.0:
+                metrics.histogram("fabric.solver_seconds.object").observe(
+                    obj_elapsed
+                )
+            obs.emit(
+                RATE_SOLVE, now, components=n_comps,
+                flows=n_flows_solved, links=len(changed), full=full,
+                duration=pipeline_elapsed, vector_components=n_vec_comps,
+            )
+            self._emit_port_utilization(changed)
+
     def _apply_rates(
         self,
         comp_flows: Sequence[Flow],
@@ -661,7 +1230,14 @@ class FluidFabric:
         link_used = self._link_used
         for flow in comp_flows:
             flow.rate = rates.get(flow.flow_id, 0.0)
-            self._rekey(flow, now)
+        self._table.update_finish(
+            np.fromiter(
+                (f._slot for f in comp_flows),
+                dtype=np.int64,
+                count=len(comp_flows),
+            ),
+            now,
+        )
         for lid, members in on_link.items():
             used = 0.0
             for flow in members:
@@ -670,7 +1246,7 @@ class FluidFabric:
             changed[lid] = None
 
     def _order_key(self, flow: Flow) -> int:
-        return self._start_seq[flow.flow_id]
+        return flow._seq
 
     def _check_invariants(self, flows: List[Flow]) -> None:
         """Physical sanity of the current rate assignment."""
@@ -775,74 +1351,32 @@ class FluidFabric:
                 server, now, self._link_used.get(lid, 0.0) / capacity
             )
 
-    # -- lazy completion heap -------------------------------------------------
-
-    def _rekey(self, flow: Flow, now: float) -> None:
-        """Refresh the flow's predicted completion after a rate change.
-
-        ``flow`` must be synced at ``now``.  Undrained flows carry no
-        heap entry (they cannot complete); superseded entries stay in
-        the heap and are skipped via the identity check in
-        ``_finish_key`` (lazy deletion).
-        """
-        fid = flow.flow_id
-        drain = flow.drain_rate
-        if drain <= 0.0:
-            if flow.remaining <= _EPS:
-                # Zero-rate but already drained to residue: due now.
-                entry = (now, next(self._seq), fid)
-                self._finish_key[fid] = entry
-                heapq.heappush(self._finish_heap, entry)
-            else:
-                self._finish_key[fid] = None
-            return
-        entry = (now + flow.remaining / drain, next(self._seq), fid)
-        self._finish_key[fid] = entry
-        heapq.heappush(self._finish_heap, entry)
+    # -- array-native completion scan -----------------------------------------
 
     def _peek_completion(self) -> Optional[float]:
         """Earliest predicted flow completion, or ``None``."""
-        heap = self._finish_heap
-        finish_key = self._finish_key
-        while heap:
-            entry = heap[0]
-            if finish_key.get(entry[2]) is entry:
-                return entry[0]
-            heapq.heappop(heap)
-        return None
+        return self._table.peek_finish()
 
     def _pop_finished(self, limit: float) -> List[Flow]:
         """Flows whose predicted completion is within ``limit``.
 
         Returned in start order, matching the active-dict scan the
-        heap replaces (completion callbacks observe the same order).
+        finish column replaces (completion callbacks observe the same
+        order).
         """
-        heap = self._finish_heap
-        finish_key = self._finish_key
-        finished: List[Flow] = []
-        while heap:
-            entry = heap[0]
-            fid = entry[2]
-            if finish_key.get(fid) is not entry:
-                heapq.heappop(heap)
-                continue
-            if entry[0] > limit:
-                break
-            heapq.heappop(heap)
-            finish_key[fid] = None
-            finished.append(self._active[fid])
-        if len(finished) > 1:
-            finished.sort(key=self._order_key)
-        return finished
+        return self._table.pop_finished(limit)
 
-    def _compact_heap(self) -> None:
-        """Drop superseded entries once they dominate the heap."""
-        if len(self._finish_heap) <= 64 + 4 * len(self._active):
+    def _compact_table(self) -> None:
+        """Shrink the slot space once free capacity dominates.
+
+        Compaction renumbers slots; bound flows are re-pointed by the
+        table itself and the incidence index remaps its slot arrays.
+        """
+        table = self._table
+        if table.capacity <= 64 + 4 * table.n_active:
             return
-        finish_key = self._finish_key
-        live = [e for e in self._finish_heap if finish_key.get(e[2]) is e]
-        heapq.heapify(live)
-        self._finish_heap = live
+        remap = table.compact()
+        self._incidence.remap(remap)
 
     # -- event loop -----------------------------------------------------------
 
@@ -867,7 +1401,7 @@ class FluidFabric:
                 )
             if self._rates_dirty:
                 self.recompute_rates()
-                self._compact_heap()
+                self._compact_table()
                 eager = not (self.incremental and self._component_safe)
             timer_t = self.sim.peek_time()
             flow_t = self._peek_completion()
@@ -913,5 +1447,4 @@ class FluidFabric:
 
     def _sync_active(self, now: float) -> None:
         """Materialise every active flow's progress at ``now``."""
-        for flow in self._active.values():
-            flow.sync(now)
+        self._table.sync_active(now)

@@ -190,6 +190,15 @@ class LinkScheduler:
     #: this False.
     uniform_fair: bool = False
 
+    #: True when :meth:`kernel_spec` is a pure per-flow mapping: the
+    #: group id and weight of a flow do not depend on which other
+    #: flows share the link.  The array-native recompute then extracts
+    #: the spec once per scheduler over the whole solve batch and
+    #: gathers per-link group arrays from it, instead of calling
+    #: :meth:`kernel_spec` per link.  Subclasses whose spec inspects
+    #: the member *set* (not just each flow) must leave this False.
+    kernel_spec_elementwise: bool = False
+
     def usable_capacity(self, capacity: float, flows: Sequence[Flow]) -> float:
         """Line rate minus congestion-control losses for ``flows``."""
         return capacity
@@ -247,6 +256,8 @@ class WFQScheduler(LinkScheduler):
     (each VL runs its own control loop): the link's usable capacity is
     the weight-proportional mix of its populated queues' efficiencies.
     """
+
+    kernel_spec_elementwise = True
 
     def __init__(
         self,
@@ -317,6 +328,8 @@ class PriorityScheduler(LinkScheduler):
     Congestion-control losses apply per class (one queue per class);
     the link's usable capacity mixes class efficiencies by population.
     """
+
+    kernel_spec_elementwise = True
 
     def __init__(
         self,

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simnet.flowtable import FlowTable
 
 _flow_ids = itertools.count()
 
@@ -61,6 +64,14 @@ class Flow:
             consumes no link capacity.
         path: directed link ids from ``src`` to ``dst``; filled in by
             the fabric at start time via the router.
+
+    Runtime state (``remaining``, ``rate``, ``last_update``) lives in
+    instance attributes while the flow is standalone and in the
+    fabric's :class:`~repro.simnet.flowtable.FlowTable` row while
+    bound (from start to finish): the properties below transparently
+    proxy whichever store is active, so policies and probes read the
+    same numbers either way.  float64 rows round-trip Python floats
+    exactly, so binding never perturbs a value.
     """
 
     src: str
@@ -74,18 +85,6 @@ class Flow:
     flow_id: int = field(default_factory=_next_flow_id)
     path: Sequence[str] = field(default_factory=tuple)
 
-    # -- runtime state, managed by the fabric --------------------------
-    remaining: float = field(init=False)
-    rate: float = field(init=False, default=0.0)
-    start_time: Optional[float] = field(init=False, default=None)
-    finish_time: Optional[float] = field(init=False, default=None)
-    #: Simulated time at which ``remaining`` was last materialised.
-    #: Rates are piecewise constant, so ``(rate, last_update,
-    #: remaining)`` determines progress at any later instant; the
-    #: fabric advances flows lazily via :meth:`sync` instead of
-    #: touching every active flow on every event.
-    last_update: float = field(init=False, default=0.0)
-
     def __post_init__(self) -> None:
         if self.size <= 0:
             raise ValueError(f"flow {self.flow_id}: size must be > 0")
@@ -95,7 +94,73 @@ class Flow:
             raise ValueError(f"flow {self.flow_id}: rate_cap must be > 0")
         if self.aux_rate < 0:
             raise ValueError(f"flow {self.flow_id}: aux_rate must be >= 0")
-        self.remaining = float(self.size)
+        # -- runtime state, managed by the fabric ----------------------
+        self._remaining = float(self.size)
+        self._rate = 0.0
+        self._last_update = 0.0
+        self._table: Optional["FlowTable"] = None
+        self._slot = -1
+        #: Fabric start-sequence number (-1 before the first start);
+        #: the order key behind every "in start order" guarantee.
+        self._seq = -1
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+
+    # -- runtime state properties (table row when bound) ---------------
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to deliver."""
+        table = self._table
+        if table is None:
+            return self._remaining
+        return float(table.remaining[self._slot])
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        table = self._table
+        if table is None:
+            self._remaining = value
+        else:
+            table.remaining[self._slot] = value
+
+    @property
+    def rate(self) -> float:
+        """Currently allocated network rate in bytes/s."""
+        table = self._table
+        if table is None:
+            return self._rate
+        return float(table.rate[self._slot])
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        table = self._table
+        if table is None:
+            self._rate = value
+        else:
+            table.rate[self._slot] = value
+
+    @property
+    def last_update(self) -> float:
+        """Simulated time at which ``remaining`` was last materialised.
+
+        Rates are piecewise constant, so ``(rate, last_update,
+        remaining)`` determines progress at any later instant; the
+        fabric advances flows lazily via :meth:`sync` instead of
+        touching every active flow on every event.
+        """
+        table = self._table
+        if table is None:
+            return self._last_update
+        return float(table.last_update[self._slot])
+
+    @last_update.setter
+    def last_update(self, value: float) -> None:
+        table = self._table
+        if table is None:
+            self._last_update = value
+        else:
+            table.last_update[self._slot] = value
 
     @property
     def demand_limit(self) -> float:

@@ -1,0 +1,259 @@
+"""Structure-of-arrays store for per-flow numeric runtime state.
+
+The fluid fabric keeps every active flow's mutable numbers --
+``remaining``, ``rate``, ``aux_rate``, demand ``limit``,
+``last_update`` and the predicted ``finish_at`` instant -- in parallel
+numpy arrays keyed by a small integer *slot*, so the per-event hot
+paths (lazy sync, completion scan, rate scatter) are single vectorized
+passes instead of attribute walks over Python objects.  A
+:class:`~repro.simnet.flows.Flow` bound to the table becomes a thin
+view: its runtime properties read and write the table row.
+
+Slots are recycled through a free list when flows finish, and the
+table compacts (packs live rows densely and shrinks) once free
+capacity dominates, so long-running services with churn keep O(active)
+memory.  Compaction renumbers slots; the fabric propagates the
+returned old->new map to every slot-holding index (the array incidence
+and the bound flows themselves are remapped here).
+
+Numeric contract: every vectorized update mirrors the scalar
+``Flow.sync`` / completion-prediction arithmetic operation for
+operation on float64, so trajectories are bit-identical to the
+object-walking implementation they replace -- the pinned goldens rely
+on this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.simnet.flows import Flow
+
+#: Residual-byte threshold below which a zero-drain flow counts as
+#: complete; matches ``fabric._EPS``.
+_EPS = 1e-9
+
+#: Numeric columns carried per slot (``seq`` is int64, the rest float64).
+_FLOAT_COLS = (
+    "remaining",
+    "rate",
+    "aux",
+    "limit",
+    "last_update",
+    "finish_at",
+)
+
+
+class FlowTable:
+    """Slot-keyed parallel arrays of per-flow runtime state.
+
+    ``seq`` holds the fabric's start-sequence number (-1 for free
+    slots): it is the tiebreak/order key for every "in start order"
+    guarantee, and doubles as the liveness mask.  ``finish_at`` is the
+    predicted completion instant (+inf while undrained or free), so
+    the event loop's next-completion peek is one ``min`` reduction and
+    the completion scan one boolean gather -- replacing the lazy heap.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        capacity = max(16, int(capacity))
+        self.remaining = np.zeros(capacity)
+        self.rate = np.zeros(capacity)
+        self.aux = np.zeros(capacity)
+        self.limit = np.zeros(capacity)
+        self.last_update = np.zeros(capacity)
+        self.finish_at = np.full(capacity, np.inf)
+        self.seq = np.full(capacity, -1, dtype=np.int64)
+        self.flow_of: List[Optional[Flow]] = [None] * capacity
+        # LIFO free list (ascending slot numbers pop first).
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self.n_active = 0
+        #: Bumped whenever the slot space changes shape (growth or
+        #: compaction); holders of capacity-sized scratch arrays
+        #: (the array incidence) compare it before reuse.
+        self.generation = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self.seq)
+
+    # -- slot lifecycle ----------------------------------------------------
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        for name in _FLOAT_COLS:
+            arr: np.ndarray = getattr(self, name)
+            fill = np.inf if name == "finish_at" else 0.0
+            grown = np.full(new, fill)
+            grown[:old] = arr
+            setattr(self, name, grown)
+        seq = np.full(new, -1, dtype=np.int64)
+        seq[:old] = self.seq
+        self.seq = seq
+        self.flow_of.extend([None] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+        self.generation += 1
+
+    def bind(self, flow: Flow, seq: int, now: float) -> int:
+        """Adopt ``flow`` into a slot; its properties now view the row.
+
+        The flow's current instance-level state (remaining bytes, rate)
+        is carried over, ``last_update`` is stamped at ``now`` and the
+        finish prediction reset to +inf (an unsolved flow cannot
+        complete).  Returns the slot.
+        """
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self.remaining[slot] = flow._remaining
+        self.rate[slot] = flow._rate
+        self.aux[slot] = flow.aux_rate
+        self.limit[slot] = (
+            flow.rate_cap if flow.rate_cap is not None else np.inf
+        )
+        self.last_update[slot] = now
+        self.finish_at[slot] = np.inf
+        self.seq[slot] = seq
+        self.flow_of[slot] = flow
+        flow._table = self
+        flow._slot = slot
+        flow._seq = seq
+        self.n_active += 1
+        return slot
+
+    def unbind(self, flow: Flow) -> None:
+        """Release the flow's slot, copying state back onto the object."""
+        slot = flow._slot
+        flow._remaining = float(self.remaining[slot])
+        flow._rate = float(self.rate[slot])
+        flow._last_update = float(self.last_update[slot])
+        flow._table = None
+        flow._slot = -1
+        self.flow_of[slot] = None
+        self.seq[slot] = -1
+        self.rate[slot] = 0.0
+        self.aux[slot] = 0.0
+        self.finish_at[slot] = np.inf
+        self._free.append(slot)
+        self.n_active -= 1
+
+    # -- vectorized runtime updates ---------------------------------------
+
+    def sync_slots(self, slots: np.ndarray, now: float) -> None:
+        """Materialise ``remaining`` at ``now`` for the given slots.
+
+        Operation-for-operation the vector twin of
+        :meth:`repro.simnet.flows.Flow.sync`: only stale rows are
+        touched, only positive-drain rows lose bytes, and the clamp at
+        zero uses the same ``max`` ordering -- bit-identical results.
+        """
+        lu = self.last_update[slots]
+        stale = lu != now
+        if not stale.any():
+            return
+        s = slots[stale]
+        lu = lu[stale]
+        drain = self.rate[s] + self.aux[s]
+        pos = drain > 0.0
+        if pos.any():
+            sp = s[pos]
+            self.remaining[sp] = np.maximum(
+                0.0, self.remaining[sp] - drain[pos] * (now - lu[pos])
+            )
+        self.last_update[s] = now
+
+    def active_slots(self) -> np.ndarray:
+        """Slots currently bound, ascending."""
+        return np.nonzero(self.seq >= 0)[0]
+
+    def sync_active(self, now: float) -> None:
+        """Materialise every bound flow's progress at ``now``."""
+        self.sync_slots(self.active_slots(), now)
+
+    def update_finish(self, slots: np.ndarray, now: float) -> None:
+        """Refresh completion predictions after a rate change.
+
+        Rows must be synced at ``now``.  Mirrors the former lazy-heap
+        rekey exactly: draining rows predict ``now + remaining /
+        drain``; zero-drain rows are due immediately when already
+        within the completion residue, and never otherwise.
+        """
+        rem = self.remaining[slots]
+        drain = self.rate[slots] + self.aux[slots]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            finish = np.where(
+                drain > 0.0,
+                now + rem / drain,
+                np.where(rem <= _EPS, now, np.inf),
+            )
+        self.finish_at[slots] = finish
+
+    def peek_finish(self) -> Optional[float]:
+        """Earliest predicted completion, or ``None``."""
+        earliest = self.finish_at.min()
+        if earliest == np.inf:
+            return None
+        return float(earliest)
+
+    def pop_finished(self, limit: float) -> List[Flow]:
+        """Flows predicted to finish within ``limit``, in start order.
+
+        Clears their predictions so they are not reported twice; the
+        caller finishes (or re-rates) every returned flow.
+        """
+        idx = np.nonzero(self.finish_at <= limit)[0]
+        if len(idx) == 0:
+            return []
+        if len(idx) > 1:
+            idx = idx[np.argsort(self.seq[idx], kind="stable")]
+        self.finish_at[idx] = np.inf
+        out: List[Flow] = []
+        for i in idx:
+            flow = self.flow_of[i]
+            assert flow is not None
+            out.append(flow)
+        return out
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self) -> np.ndarray:
+        """Pack live rows densely and shrink; returns the old->new map.
+
+        The map has one entry per *old* slot (-1 for freed slots).
+        Live rows keep their relative slot order.  Bound flows are
+        re-pointed here; every other slot-holding structure must be
+        remapped by the caller before its next use.
+        """
+        old_cap = self.capacity
+        used = np.nonzero(self.seq >= 0)[0]
+        n = len(used)
+        new_cap = 16
+        while new_cap < 2 * n:
+            new_cap *= 2
+        remap = np.full(old_cap, -1, dtype=np.int64)
+        remap[used] = np.arange(n, dtype=np.int64)
+        for name in _FLOAT_COLS:
+            arr = getattr(self, name)
+            fill = np.inf if name == "finish_at" else 0.0
+            packed = np.full(new_cap, fill)
+            packed[:n] = arr[used]
+            setattr(self, name, packed)
+        seq = np.full(new_cap, -1, dtype=np.int64)
+        seq[:n] = self.seq[used]
+        self.seq = seq
+        flow_of: List[Optional[Flow]] = [None] * new_cap
+        for new_slot, old_slot in enumerate(used):
+            flow = self.flow_of[old_slot]
+            assert flow is not None
+            flow._slot = new_slot
+            flow_of[new_slot] = flow
+        self.flow_of = flow_of
+        self._free = list(range(new_cap - 1, n - 1, -1))
+        self.generation += 1
+        return remap
+
+
+__all__ = ["FlowTable"]

@@ -18,11 +18,46 @@ start order) or an explicit sort key -- never from hash-randomised
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.simnet.flows import Flow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simnet.flowtable import FlowTable
+
+
+def _gather_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + counts[i])`` index ranges.
+
+    The batched-gather workhorse: turns per-segment (start, count)
+    descriptors into one flat fancy index without a Python loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.repeat(starts - offsets, counts) + np.arange(
+        total, dtype=np.int64
+    )
+
+
+def _exclusive_cumsum(counts: np.ndarray) -> np.ndarray:
+    out = np.zeros(len(counts), dtype=np.int64)
+    if len(counts) > 1:
+        np.cumsum(counts[:-1], out=out[1:])
+    return out
 
 
 class FlowIncidence:
@@ -70,6 +105,14 @@ class FlowIncidence:
         """Number of active flows on ``link_id``."""
         entry = self._by_link.get(link_id)
         return len(entry) if entry is not None else 0
+
+    def remap(self, slot_map: np.ndarray) -> None:
+        """Flow-table slot renumbering: nothing to do here.
+
+        The object index references flows by identity, not slot; the
+        array-native index overrides this to translate its slot
+        arrays.
+        """
 
     def components(
         self,
@@ -175,11 +218,13 @@ class BatchCSR:
       each component inside the flow / link axes.
 
     Built once per solve; all per-round solver state lives in flat
-    arrays indexed by these.
+    arrays indexed by these.  ``flows`` / ``link_ids`` materialize the
+    two axes as objects for the object-level ``flow_id -> rate``
+    contract; the array-native incidence leaves them ``None`` (its
+    callers work in slot/interned-link space throughout), so counts
+    derive from the segment-offset arrays.
     """
 
-    flows: List[Flow]
-    link_ids: List[str]
     comp_of_flow: np.ndarray
     comp_of_link: np.ndarray
     comp_flow_starts: np.ndarray
@@ -191,14 +236,16 @@ class BatchCSR:
     flow_perm: np.ndarray
     flow_starts: np.ndarray
     flow_counts: np.ndarray
+    flows: Optional[List[Flow]] = None
+    link_ids: Optional[List[str]] = None
 
     @property
     def n_flows(self) -> int:
-        return len(self.flows)
+        return len(self.flow_counts)
 
     @property
     def n_links(self) -> int:
-        return len(self.link_ids)
+        return len(self.link_starts)
 
     @property
     def n_pairs(self) -> int:
@@ -266,3 +313,680 @@ def build_batch_csr(
         flow_starts=flow_starts,
         flow_counts=flow_counts,
     )
+
+
+@dataclass
+class ComponentBatch:
+    """Array-native congestion components discovered in one recompute.
+
+    The flow axis is the concatenation of every discovered component's
+    flows (components ordered by earliest flow, flows by start
+    sequence within a component); ``slots`` maps it to
+    :class:`~repro.simnet.flowtable.FlowTable` rows.  The link axis is
+    in first-use order over the flow axis -- the order the object
+    recompute path discovers links when it walks each flow's path --
+    and ``link_axis`` maps it to the incidence's interned link ids.
+    ``csr`` carries the same pair structure :func:`build_batch_csr`
+    produces for the object components (``flows``/``link_ids`` left
+    ``None``): link-major pairs with members in start order, so the
+    kernels' accumulation order is unchanged.
+    """
+
+    csr: BatchCSR
+    slots: np.ndarray
+    link_axis: np.ndarray
+    incidence: "ArrayIncidence"
+    #: On a :meth:`select` sub-batch: indices into the parent batch's
+    #: flow / link / pair axes (for gathering parent-axis side arrays
+    #: such as capacities and discipline codes).  ``None`` on a batch
+    #: fresh from discovery.
+    parent_flow_idx: Optional[np.ndarray] = None
+    parent_link_idx: Optional[np.ndarray] = None
+    parent_pair_idx: Optional[np.ndarray] = None
+
+    @property
+    def n_comps(self) -> int:
+        return len(self.csr.comp_flow_starts)
+
+    def comp_flow_counts(self) -> np.ndarray:
+        csr = self.csr
+        return np.diff(np.append(csr.comp_flow_starts, csr.n_flows))
+
+    def comp_link_counts(self) -> np.ndarray:
+        csr = self.csr
+        return np.diff(np.append(csr.comp_link_starts, csr.n_links))
+
+    def padded_cells_per_comp(self) -> np.ndarray:
+        """Per component: links x max members-per-link (kernel pad size)."""
+        csr = self.csr
+        if csr.n_links == 0:
+            return np.zeros(self.n_comps, dtype=np.int64)
+        max_members = np.maximum.reduceat(
+            csr.link_counts, csr.comp_link_starts
+        )
+        return self.comp_link_counts() * max_members
+
+    # -- object materialisation (spec extraction, object-solver comps) -----
+
+    def flow_slice(self, ci: int) -> Tuple[int, int]:
+        csr = self.csr
+        start = int(csr.comp_flow_starts[ci])
+        end = (
+            int(csr.comp_flow_starts[ci + 1])
+            if ci + 1 < len(csr.comp_flow_starts)
+            else csr.n_flows
+        )
+        return start, end
+
+    def link_slice(self, ci: int) -> Tuple[int, int]:
+        csr = self.csr
+        start = int(csr.comp_link_starts[ci])
+        end = (
+            int(csr.comp_link_starts[ci + 1])
+            if ci + 1 < len(csr.comp_link_starts)
+            else csr.n_links
+        )
+        return start, end
+
+    def comp_flows(self, ci: int) -> List[Flow]:
+        flow_of = self.incidence.table.flow_of
+        start, end = self.flow_slice(ci)
+        out: List[Flow] = []
+        for slot in self.slots[start:end]:
+            flow = flow_of[slot]
+            assert flow is not None
+            out.append(flow)
+        return out
+
+    def link_id(self, li: int) -> str:
+        return self.incidence.link_ids[int(self.link_axis[li])]
+
+    def comp_on_link(self, ci: int) -> Dict[str, List[Flow]]:
+        """One component's ``link id -> members`` map, object order."""
+        csr = self.csr
+        flow_of = self.incidence.table.flow_of
+        slots = self.slots
+        ls, le = self.link_slice(ci)
+        pe = np.append(csr.link_starts, csr.n_pairs)
+        on_link: Dict[str, List[Flow]] = {}
+        for li in range(ls, le):
+            members: List[Flow] = []
+            for p in range(int(pe[li]), int(pe[li + 1])):
+                flow = flow_of[slots[csr.pair_flow[p]]]
+                assert flow is not None
+                members.append(flow)
+            on_link[self.link_id(li)] = members
+        return on_link
+
+    def select(self, comp_idx: np.ndarray) -> "ComponentBatch":
+        """A new batch containing only the given components (in order).
+
+        Components are contiguous along every axis, so subsetting is a
+        gather of index ranges plus a renumbering; pair order within
+        each kept component is untouched.
+        """
+        csr = self.csr
+        F, L, P = csr.n_flows, csr.n_links, csr.n_pairs
+        fcounts = self.comp_flow_counts()
+        lcounts = self.comp_link_counts()
+        f_idx = _gather_ranges(
+            csr.comp_flow_starts[comp_idx], fcounts[comp_idx]
+        )
+        l_idx = _gather_ranges(
+            csr.comp_link_starts[comp_idx], lcounts[comp_idx]
+        )
+        pair_ends = np.append(csr.link_starts, P)
+        comp_pair_starts = pair_ends[csr.comp_link_starts]
+        comp_pair_counts = (
+            pair_ends[np.append(csr.comp_link_starts[1:], L)]
+            - comp_pair_starts
+        )
+        p_idx = _gather_ranges(
+            comp_pair_starts[comp_idx], comp_pair_counts[comp_idx]
+        )
+        fmap = np.full(F, -1, dtype=np.int64)
+        fmap[f_idx] = np.arange(len(f_idx), dtype=np.int64)
+        lmap = np.full(L, -1, dtype=np.int64)
+        lmap[l_idx] = np.arange(len(l_idx), dtype=np.int64)
+        pair_flow = fmap[csr.pair_flow[p_idx]]
+        pair_link = lmap[csr.pair_link[p_idx]]
+        link_counts = csr.link_counts[l_idx]
+        flow_counts = csr.flow_counts[f_idx]
+        k = len(comp_idx)
+        sub = BatchCSR(
+            comp_of_flow=np.repeat(
+                np.arange(k, dtype=np.int64), fcounts[comp_idx]
+            ),
+            comp_of_link=np.repeat(
+                np.arange(k, dtype=np.int64), lcounts[comp_idx]
+            ),
+            comp_flow_starts=_exclusive_cumsum(fcounts[comp_idx]),
+            comp_link_starts=_exclusive_cumsum(lcounts[comp_idx]),
+            pair_flow=pair_flow,
+            pair_link=pair_link,
+            link_starts=_exclusive_cumsum(link_counts),
+            link_counts=link_counts,
+            flow_perm=np.argsort(pair_flow, kind="stable"),
+            flow_starts=_exclusive_cumsum(flow_counts),
+            flow_counts=flow_counts,
+        )
+        return ComponentBatch(
+            csr=sub,
+            slots=self.slots[f_idx],
+            link_axis=self.link_axis[l_idx],
+            incidence=self.incidence,
+            parent_flow_idx=f_idx,
+            parent_link_idx=l_idx,
+            parent_pair_idx=p_idx,
+        )
+
+
+class ArrayIncidence:
+    """Structure-of-arrays flow<->link index with batched discovery.
+
+    The array-native twin of :class:`FlowIncidence`: the same add /
+    remove / flows_on / count / components contract, but all state
+    lives in flat numpy buffers keyed by interned link index and
+    :class:`~repro.simnet.flowtable.FlowTable` slot, and component
+    discovery (:meth:`batch`) is a stamped level-synchronous BFS plus
+    a vectorized label propagation that emits kernel-ready
+    :class:`ComponentBatch` views directly -- no per-flow Python in
+    the hot path.
+
+    Layout.  Per interned link, a segment of the flat adjacency
+    buffers ``_adj_slot`` / ``_adj_k`` (member slot, and that member's
+    path position for this link) described by ``_adj_start`` /
+    ``_adj_count`` / ``_adj_cap``; segments are unsorted and removal
+    is O(path) swap-remove.  Per table slot, a segment of
+    ``_path_buf`` / ``_path_pos`` (interned path link, and the slot's
+    current position inside that link's segment) described by
+    ``_path_start`` / ``_path_len``.  The two ``_adj_k`` /
+    ``_path_pos`` columns index *each other*, which is what makes
+    swap-remove O(1) per pair: moving a link segment's tail entry
+    into a hole updates exactly one ``_path_pos`` cell.  Both flat
+    buffers are bump-allocated and repacked (amortised) once garbage
+    from removals and segment relocations dominates.
+
+    Ordering contract: paths are simple (no repeated link -- BFS
+    shortest paths guarantee this) and every ordering exposed --
+    members in start-sequence order, links in first-use order over
+    seq-sorted flows, components by earliest flow -- matches what the
+    object recompute path derives, so solver accumulation order and
+    hence floating-point results are identical.
+    """
+
+    def __init__(self, table: "FlowTable") -> None:
+        self.table = table
+        self.link_ids: List[str] = []
+        self._link_index: Dict[str, int] = {}
+        # -- per interned link: adjacency segment descriptors ----------
+        self._adj_start = np.zeros(64, dtype=np.int64)
+        self._adj_count = np.zeros(64, dtype=np.int64)
+        self._adj_cap = np.zeros(64, dtype=np.int64)
+        self._link_stamp = np.zeros(64, dtype=np.int64)
+        self._adj_slot = np.zeros(1024, dtype=np.int64)
+        self._adj_k = np.zeros(1024, dtype=np.int64)
+        self._adj_tail = 0
+        self._adj_live_cap = 0
+        self._pairs = 0
+        # -- per table slot: path segment descriptors ------------------
+        cap = max(16, table.capacity)
+        self._path_start = np.zeros(cap, dtype=np.int64)
+        self._path_len = np.zeros(cap, dtype=np.int64)
+        self._slot_stamp = np.zeros(cap, dtype=np.int64)
+        self._path_buf = np.zeros(1024, dtype=np.int64)
+        self._path_pos = np.zeros(1024, dtype=np.int64)
+        self._path_tail = 0
+        self._path_live = 0
+        self._round = 0
+
+    # -- buffer management -------------------------------------------------
+
+    def _sync_slots(self) -> None:
+        """Grow per-slot arrays after the flow table expanded."""
+        cap = self.table.capacity
+        if cap <= len(self._path_start):
+            return
+        new = len(self._path_start)
+        while new < cap:
+            new *= 2
+        for name in ("_path_start", "_path_len", "_slot_stamp"):
+            arr: np.ndarray = getattr(self, name)
+            grown = np.zeros(new, dtype=np.int64)
+            grown[: len(arr)] = arr
+            setattr(self, name, grown)
+
+    def _compact_adj(self, extra: int = 0) -> None:
+        """Repack adjacency segments densely (dropping garbage).
+
+        Sized so live capacity plus the pending reservation occupies
+        at most half the buffer -- the amortisation invariant that
+        keeps add/remove O(1) amortised.
+        """
+        n_links = len(self.link_ids)
+        starts = self._adj_start[:n_links]
+        counts = self._adj_count[:n_links]
+        caps = self._adj_cap[:n_links]
+        new_starts = _exclusive_cumsum(caps)
+        total = self._adj_live_cap
+        size = max(1024, len(self._adj_slot))
+        while size < 2 * (total + extra):
+            size *= 2
+        while size > 1024 and size >= 4 * (total + extra):
+            size //= 2
+        new_slot = np.zeros(size, dtype=np.int64)
+        new_k = np.zeros(size, dtype=np.int64)
+        src = _gather_ranges(starts, counts)
+        dst = _gather_ranges(new_starts, counts)
+        new_slot[dst] = self._adj_slot[src]
+        new_k[dst] = self._adj_k[src]
+        self._adj_slot = new_slot
+        self._adj_k = new_k
+        self._adj_start[:n_links] = new_starts
+        self._adj_tail = int(total)
+
+    def _ensure_adj(self, extra: int) -> None:
+        if self._adj_tail + extra > len(self._adj_slot):
+            self._compact_adj(extra)
+
+    def _compact_path(self, extra: int = 0) -> None:
+        """Repack live path segments densely (dropping garbage)."""
+        n_slots = len(self._path_start)
+        lens = self._path_len[:n_slots]
+        live = np.nonzero(lens > 0)[0]
+        counts = lens[live]
+        new_starts = _exclusive_cumsum(counts)
+        total = self._path_live
+        size = max(1024, len(self._path_buf))
+        while size < 2 * (total + extra):
+            size *= 2
+        while size > 1024 and size >= 4 * (total + extra):
+            size //= 2
+        new_buf = np.zeros(size, dtype=np.int64)
+        new_pos = np.zeros(size, dtype=np.int64)
+        src = _gather_ranges(self._path_start[live], counts)
+        dst = _gather_ranges(new_starts, counts)
+        new_buf[dst] = self._path_buf[src]
+        new_pos[dst] = self._path_pos[src]
+        self._path_buf = new_buf
+        self._path_pos = new_pos
+        self._path_start[live] = new_starts
+        self._path_tail = int(total)
+
+    def _ensure_path(self, extra: int) -> None:
+        if self._path_tail + extra > len(self._path_buf):
+            self._compact_path(extra)
+
+    def _intern(self, lid: str) -> int:
+        idx = self._link_index.get(lid)
+        if idx is not None:
+            return idx
+        idx = len(self.link_ids)
+        self._link_index[lid] = idx
+        self.link_ids.append(lid)
+        if idx >= len(self._adj_start):
+            new = 2 * len(self._adj_start)
+            for name in (
+                "_adj_start", "_adj_count", "_adj_cap", "_link_stamp"
+            ):
+                arr: np.ndarray = getattr(self, name)
+                grown = np.zeros(new, dtype=np.int64)
+                grown[: len(arr)] = arr
+                setattr(self, name, grown)
+        self._ensure_adj(4)
+        self._adj_start[idx] = self._adj_tail
+        self._adj_count[idx] = 0
+        self._adj_cap[idx] = 4
+        self._adj_tail += 4
+        self._adj_live_cap += 4
+        return idx
+
+    def _grow_segment(self, li: int) -> None:
+        """Relocate a full link segment to the tail at double capacity."""
+        cap = int(self._adj_cap[li])
+        new_cap = 2 * cap
+        self._ensure_adj(new_cap)
+        start = int(self._adj_start[li])
+        count = int(self._adj_count[li])
+        new_start = self._adj_tail
+        self._adj_slot[new_start : new_start + count] = self._adj_slot[
+            start : start + count
+        ]
+        self._adj_k[new_start : new_start + count] = self._adj_k[
+            start : start + count
+        ]
+        self._adj_start[li] = new_start
+        self._adj_cap[li] = new_cap
+        self._adj_tail += new_cap
+        self._adj_live_cap += new_cap - cap
+
+    # -- FlowIncidence contract --------------------------------------------
+
+    def add(self, flow: Flow) -> None:
+        """Index a table-bound flow under every link of its path."""
+        slot = flow._slot
+        if slot < 0:
+            raise ValueError(
+                f"flow {flow.flow_id} must be table-bound before indexing"
+            )
+        if self.table.capacity > len(self._path_start):
+            self._sync_slots()
+        if self._path_len[slot] != 0:
+            self.remove(flow)
+        path = flow.path
+        k_len = len(path)
+        if k_len == 0:
+            return
+        self._ensure_path(k_len)
+        ps = self._path_tail
+        path_buf = self._path_buf
+        path_pos = self._path_pos
+        # Localised hot loop: numpy scalar indexing through ``self.``
+        # attribute chains dominates add() at hyperscale.  The locals
+        # must be re-fetched after _intern/_grow_segment, either of
+        # which can compact or reallocate the adjacency buffers.
+        link_get = self._link_index.get
+        adj_start = self._adj_start
+        adj_count = self._adj_count
+        adj_cap = self._adj_cap
+        adj_slot = self._adj_slot
+        adj_k = self._adj_k
+        for k, lid in enumerate(path):
+            li = link_get(lid)
+            if li is None:
+                li = self._intern(lid)
+                link_get = self._link_index.get
+                adj_start = self._adj_start
+                adj_count = self._adj_count
+                adj_cap = self._adj_cap
+                adj_slot = self._adj_slot
+                adj_k = self._adj_k
+            cnt = int(adj_count[li])
+            if cnt == adj_cap[li]:
+                self._grow_segment(li)
+                adj_start = self._adj_start
+                adj_slot = self._adj_slot
+                adj_k = self._adj_k
+            pos = int(adj_start[li]) + cnt
+            adj_slot[pos] = slot
+            adj_k[pos] = k
+            adj_count[li] = cnt + 1
+            path_buf[ps + k] = li
+            path_pos[ps + k] = cnt
+        self._path_start[slot] = ps
+        self._path_len[slot] = k_len
+        self._path_tail = ps + k_len
+        self._path_live += k_len
+        self._pairs += k_len
+
+    def remove(self, flow: Flow) -> None:
+        """Drop a flow from every link of its (indexed) path.
+
+        Uses the path as indexed at add time, so callers may mutate
+        ``flow.path`` after removal (reroute) without confusing the
+        index.  Idempotent, like the object implementation.
+        """
+        slot = flow._slot
+        if slot < 0 or slot >= len(self._path_len):
+            return
+        k_len = int(self._path_len[slot])
+        if k_len == 0:
+            return
+        ps = int(self._path_start[slot])
+        adj_start = self._adj_start
+        adj_count = self._adj_count
+        adj_slot = self._adj_slot
+        adj_k = self._adj_k
+        path_buf = self._path_buf
+        path_pos = self._path_pos
+        path_start = self._path_start
+        for k in range(ps, ps + k_len):
+            li = int(path_buf[k])
+            p = int(path_pos[k])
+            start = int(adj_start[li])
+            last = int(adj_count[li]) - 1
+            adj_count[li] = last
+            if p != last:
+                moved_slot = int(adj_slot[start + last])
+                moved_k = int(adj_k[start + last])
+                adj_slot[start + p] = moved_slot
+                adj_k[start + p] = moved_k
+                path_pos[path_start[moved_slot] + moved_k] = p
+        self._path_len[slot] = 0
+        self._path_live -= k_len
+        self._pairs -= k_len
+
+    def links(self) -> List[str]:
+        """Link ids currently carrying flows, in first-interned order.
+
+        Note: first-*interned* order (first use ever), not the object
+        index's first-use-among-current-flows order.  Only consumed as
+        a full-solve seed set, where discovery order does not affect
+        the result (components are ordered by earliest flow).
+        """
+        counts = self._adj_count
+        return [
+            lid
+            for li, lid in enumerate(self.link_ids)
+            if counts[li] > 0
+        ]
+
+    def flows_on(self, link_id: str) -> List[Flow]:
+        """Flows traversing ``link_id``, in start order."""
+        li = self._link_index.get(link_id)
+        if li is None:
+            return []
+        count = int(self._adj_count[li])
+        if count == 0:
+            return []
+        start = int(self._adj_start[li])
+        slots = self._adj_slot[start : start + count]
+        order = np.argsort(self.table.seq[slots])
+        flow_of = self.table.flow_of
+        out: List[Flow] = []
+        for slot in slots[order]:
+            flow = flow_of[slot]
+            assert flow is not None
+            out.append(flow)
+        return out
+
+    def count(self, link_id: str) -> int:
+        """Number of active flows on ``link_id``."""
+        li = self._link_index.get(link_id)
+        return int(self._adj_count[li]) if li is not None else 0
+
+    def remap(self, slot_map: np.ndarray) -> None:
+        """Translate all slot references after a table compaction."""
+        n_links = len(self.link_ids)
+        live = _gather_ranges(
+            self._adj_start[:n_links], self._adj_count[:n_links]
+        )
+        if live.size:
+            self._adj_slot[live] = slot_map[self._adj_slot[live]]
+        new_cap = max(16, self.table.capacity)
+        new_start = np.zeros(new_cap, dtype=np.int64)
+        new_len = np.zeros(new_cap, dtype=np.int64)
+        old = np.nonzero(self._path_len[: len(slot_map)] > 0)[0]
+        if old.size:
+            tgt = slot_map[old]
+            keep = tgt >= 0
+            old, tgt = old[keep], tgt[keep]
+            new_start[tgt] = self._path_start[old]
+            new_len[tgt] = self._path_len[old]
+        self._path_start = new_start
+        self._path_len = new_len
+        self._slot_stamp = np.zeros(new_cap, dtype=np.int64)
+
+    def components(
+        self,
+        seed_links: Iterable[str],
+        order_key: Callable[[Flow], int],
+    ) -> List[Tuple[List[Flow], List[str]]]:
+        """Object-materialised components; see :meth:`batch`.
+
+        Same contract as :meth:`FlowIncidence.components` (flows in
+        start order, components by earliest flow); ``order_key`` is
+        accepted for interface parity but the start sequence is built
+        into the array ordering.  Component link lists come out in
+        first-use order rather than BFS discovery order -- callers
+        treat them as a set.
+        """
+        del order_key
+        batch = self.batch(list(seed_links))
+        if batch is None:
+            return []
+        out: List[Tuple[List[Flow], List[str]]] = []
+        for ci in range(batch.n_comps):
+            ls, le = batch.link_slice(ci)
+            out.append(
+                (
+                    batch.comp_flows(ci),
+                    [batch.link_id(li) for li in range(ls, le)],
+                )
+            )
+        return out
+
+    # -- batched component discovery ---------------------------------------
+
+    def batch(
+        self, seed_links: Optional[Sequence[str]] = None
+    ) -> Optional[ComponentBatch]:
+        """Discover components reachable from ``seed_links`` as arrays.
+
+        ``None`` seeds the search with every populated link (a full
+        solve).  Returns ``None`` when nothing is reachable.  The
+        traversal is a level-synchronous BFS over the whole seed set
+        at once -- alternating a gather of member slots from frontier
+        links with a gather of path links from frontier slots, each
+        deduplicated with a round-stamped visit mark -- followed by a
+        min-label propagation that splits the visited flows into
+        connected components without any per-flow Python.
+        """
+        n_links = len(self.link_ids)
+        adj_start = self._adj_start
+        adj_count = self._adj_count
+        adj_slot = self._adj_slot
+        path_start = self._path_start
+        path_len = self._path_len
+        path_buf = self._path_buf
+        if seed_links is None:
+            frontier = np.nonzero(adj_count[:n_links] > 0)[0]
+        else:
+            index = self._link_index
+            seen: List[int] = []
+            for lid in seed_links:
+                li = index.get(lid)
+                if li is not None and adj_count[li] > 0:
+                    seen.append(li)
+            frontier = np.asarray(sorted(set(seen)), dtype=np.int64)
+        if frontier.size == 0:
+            return None
+        self._round += 1
+        rnd = self._round
+        link_stamp = self._link_stamp
+        slot_stamp = self._slot_stamp
+        link_stamp[frontier] = rnd
+        slot_parts: List[np.ndarray] = []
+        while frontier.size:
+            member_idx = _gather_ranges(
+                adj_start[frontier], adj_count[frontier]
+            )
+            cand = adj_slot[member_idx]
+            cand = cand[slot_stamp[cand] != rnd]
+            if cand.size == 0:
+                break
+            cand = np.unique(cand)
+            slot_stamp[cand] = rnd
+            slot_parts.append(cand)
+            link_idx = _gather_ranges(path_start[cand], path_len[cand])
+            nxt = path_buf[link_idx]
+            nxt = nxt[link_stamp[nxt] != rnd]
+            if nxt.size == 0:
+                break
+            nxt = np.unique(nxt)
+            link_stamp[nxt] = rnd
+            frontier = nxt
+        if not slot_parts:
+            return None
+        slots = np.concatenate(slot_parts)
+        # Flow axis: start-sequence order (seq values are unique).
+        slots = slots[np.argsort(self.table.seq[slots])]
+        n_f = len(slots)
+        lens = path_len[slots]
+        fp_starts = _exclusive_cumsum(lens)
+        pair_gl = path_buf[_gather_ranges(path_start[slots], lens)]
+        pair_fl = np.repeat(np.arange(n_f, dtype=np.int64), lens)
+        # Min-label propagation: initial labels are seq ranks, so a
+        # component's fixpoint label is its earliest flow's rank and
+        # np.unique below orders components by earliest flow for free.
+        u_links, inv = np.unique(pair_gl, return_inverse=True)
+        n_l = len(u_links)
+        lorder = np.argsort(inv, kind="stable")
+        lm_flow = pair_fl[lorder]
+        seg_starts = _exclusive_cumsum(
+            np.bincount(inv, minlength=n_l).astype(np.int64)
+        )
+        lab = np.arange(n_f, dtype=np.int64)
+        while True:
+            lab_link = np.minimum.reduceat(lab[lm_flow], seg_starts)
+            cand_lab = np.minimum.reduceat(lab_link[inv], fp_starts)
+            new_lab = np.minimum(lab, cand_lab)
+            if np.array_equal(new_lab, lab):
+                break
+            lab = new_lab
+        labels, comp_of_flow = np.unique(lab, return_inverse=True)
+        comp_of_flow = comp_of_flow.astype(np.int64)
+        n_comps = len(labels)
+        if n_comps > 1:
+            # Regroup the flow axis component-contiguously (stable, so
+            # seq order survives within each component) and regather
+            # the flow-major pair arrays for the final order.
+            forder = np.argsort(comp_of_flow, kind="stable")
+            slots = slots[forder]
+            comp_of_flow = comp_of_flow[forder]
+            lens = lens[forder]
+            fp_starts = _exclusive_cumsum(lens)
+            pair_gl = path_buf[_gather_ranges(path_start[slots], lens)]
+            pair_fl = np.repeat(np.arange(n_f, dtype=np.int64), lens)
+        comp_flow_counts = np.bincount(
+            comp_of_flow, minlength=n_comps
+        ).astype(np.int64)
+        # Link axis: first use over the (component-major, seq-sorted)
+        # flow axis -- exactly the order the object path discovers
+        # links when building on_link.
+        u2, first_idx, inv2 = np.unique(
+            pair_gl, return_index=True, return_inverse=True
+        )
+        axis_order = np.argsort(first_idx)
+        rank_of_u = np.empty(n_l, dtype=np.int64)
+        rank_of_u[axis_order] = np.arange(n_l, dtype=np.int64)
+        pair_rank = rank_of_u[inv2]
+        link_axis = u2[axis_order]
+        comp_of_link = comp_of_flow[pair_fl[first_idx[axis_order]]]
+        comp_link_counts = np.bincount(
+            comp_of_link, minlength=n_comps
+        ).astype(np.int64)
+        # Link-major pairs: stable sort by link rank keeps members in
+        # flow (start) order within each link's segment.
+        qorder = np.argsort(pair_rank, kind="stable")
+        pair_flow = pair_fl[qorder]
+        pair_link = pair_rank[qorder]
+        link_counts = np.bincount(pair_rank, minlength=n_l).astype(
+            np.int64
+        )
+        csr = BatchCSR(
+            comp_of_flow=comp_of_flow,
+            comp_of_link=comp_of_link,
+            comp_flow_starts=_exclusive_cumsum(comp_flow_counts),
+            comp_link_starts=_exclusive_cumsum(comp_link_counts),
+            pair_flow=pair_flow,
+            pair_link=pair_link,
+            link_starts=_exclusive_cumsum(link_counts),
+            link_counts=link_counts,
+            flow_perm=np.argsort(pair_flow, kind="stable"),
+            flow_starts=fp_starts,
+            flow_counts=lens.astype(np.int64),
+        )
+        return ComponentBatch(
+            csr=csr, slots=slots, link_axis=link_axis, incidence=self
+        )

@@ -29,6 +29,16 @@ reduction is a segment reduction (``np.minimum.reduceat`` /
 ``np.add.reduceat`` over contiguous per-link, per-flow, per-queue
 and per-component segments).  Per-component convergence is a boolean
 mask, so early-converging components simply stop contributing.
+
+Marshalling is decoupled from solving: :func:`prepare_components` is
+the single place a batch of object-level components is flattened into
+a :class:`PreparedBatch` (incidence CSR + capacity/limit/discipline
+arrays), and both kernels consume a prepared batch and return a rate
+*array* over its flow axis.  The array-native fabric path builds
+:class:`PreparedBatch` instances directly from its persistent
+incidence axes -- no per-solve Python flattening at all -- while
+:func:`solve_batch` keeps the object-level ``flow_id -> rate``
+contract on top of the same kernels.
 """
 
 from __future__ import annotations
@@ -46,6 +56,10 @@ from repro.simnet.incidence import BatchCSR, build_batch_csr
 _EPS = 1e-9  # matches fairness._EPS
 
 _BIG = np.iinfo(np.int64).max
+
+#: Per-link discipline codes in a :class:`PreparedBatch`.
+_KIND_FAIR, _KIND_WFQ, _KIND_PRIO = 0, 1, 2
+KIND_FAIR, KIND_WFQ, KIND_PRIO = _KIND_FAIR, _KIND_WFQ, _KIND_PRIO
 
 
 @dataclass
@@ -93,6 +107,83 @@ def padded_cells(on_link: Mapping[str, Sequence[Flow]]) -> int:
     return len(on_link) * max(len(m) for m in on_link.values())
 
 
+@dataclass
+class PreparedBatch:
+    """A batch of components marshalled for one kernel invocation.
+
+    ``csr`` is the flattened incidence; ``caps`` (per link axis entry)
+    and ``limit`` (per flow axis entry) carry the derated usable
+    capacities and demand limits.  For mixed-discipline batches,
+    ``kind`` holds the per-link discipline (``_KIND_FAIR`` /
+    ``_KIND_WFQ`` / ``_KIND_PRIO``), and ``qid`` / ``qweight`` the
+    per-*pair* queue (or priority class) id and WFQ weight in the
+    CSR's link-major pair order; all-fair batches leave them ``None``.
+    """
+
+    csr: BatchCSR
+    caps: np.ndarray
+    limit: np.ndarray
+    kind: Optional[np.ndarray] = None
+    qid: Optional[np.ndarray] = None
+    qweight: Optional[np.ndarray] = None
+
+
+def prepare_components(
+    components: Sequence[KernelComponent],
+    disciplines: bool = False,
+) -> PreparedBatch:
+    """Flatten object-level components into one :class:`PreparedBatch`.
+
+    The only place a ``(flows, on_link)`` batch is turned into CSR
+    arrays -- both kernels (and their two former private call sites)
+    dispatch through here.  ``disciplines`` additionally extracts the
+    per-link/per-pair discipline arrays the residual kernel needs;
+    the all-fair max-min path skips that work.
+    """
+    csr = build_batch_csr([(c.flows, c.on_link) for c in components])
+    F, L, P = csr.n_flows, csr.n_links, csr.n_pairs
+    caps = np.fromiter(
+        (c.caps[lid] for c in components for lid in c.on_link),
+        dtype=np.float64,
+        count=L,
+    )
+    flows = csr.flows
+    assert flows is not None
+    limit = np.fromiter(
+        (f.demand_limit for f in flows), dtype=np.float64, count=F
+    )
+    kind = qid = qweight = None
+    if disciplines:
+        kind = np.empty(L, dtype=np.int8)
+        qid = np.empty(P, dtype=np.int64)
+        qweight = np.zeros(P)
+        li = 0
+        p = 0
+        for c in components:
+            for lid, members in c.on_link.items():
+                skind, ids, weights = c.specs[lid]
+                n = len(members)
+                if skind == "fair":
+                    kind[li] = _KIND_FAIR
+                    qid[p : p + n] = 0
+                elif skind == "wfq":
+                    kind[li] = _KIND_WFQ
+                    assert ids is not None and weights is not None
+                    qid[p : p + n] = ids
+                    qweight[p : p + n] = [weights[q] for q in ids]
+                elif skind == "prio":
+                    kind[li] = _KIND_PRIO
+                    assert ids is not None
+                    qid[p : p + n] = ids
+                else:  # pragma: no cover
+                    raise SimulationError(f"unknown kernel spec kind {skind!r}")
+                li += 1
+                p += n
+    return PreparedBatch(
+        csr=csr, caps=caps, limit=limit, kind=kind, qid=qid, qweight=qweight
+    )
+
+
 def solve_batch(
     components: Sequence[KernelComponent],
     max_rounds: int = 80,
@@ -111,10 +202,22 @@ def solve_batch(
     mixed = [c for c in components if not all(s[0] == "fair" for s in c.specs.values())]
     rates: Dict[int, float] = {}
     if fair:
-        rates.update(_solve_maxmin(fair))
+        prepared = prepare_components(fair)
+        rates.update(_rates_by_id(prepared.csr, solve_maxmin_prepared(prepared)))
     if mixed:
-        rates.update(_solve_residual(mixed, max_rounds=max_rounds, tol=tol))
+        prepared = prepare_components(mixed, disciplines=True)
+        rates.update(_rates_by_id(
+            prepared.csr,
+            solve_residual_prepared(prepared, max_rounds=max_rounds, tol=tol),
+        ))
     return rates
+
+
+def _rates_by_id(csr: BatchCSR, rates: np.ndarray) -> Dict[int, float]:
+    """Object-level view of a kernel result: ``flow_id -> rate``."""
+    flows = csr.flows
+    assert flows is not None, "rate dict requires a materialized flow axis"
+    return {f.flow_id: float(rates[i]) for i, f in enumerate(flows)}
 
 
 def solve_component_vector(
@@ -236,7 +339,7 @@ def _weighted_levels(
 # ---------------------------------------------------------------------------
 
 
-def _solve_maxmin(components: Sequence[KernelComponent]) -> Dict[int, float]:
+def solve_maxmin_prepared(prepared: PreparedBatch) -> np.ndarray:
     """Batched mirror of ``max_min_rates`` (unit weights).
 
     Freeze iteration: each pass computes every link's fill level
@@ -246,17 +349,12 @@ def _solve_maxmin(components: Sequence[KernelComponent]) -> Dict[int, float]:
     and otherwise the bottleneck link's flows, then subtracts the
     frozen rates from link headrooms.  Every pass freezes at least
     one flow per live component, so at most ``n_flows`` passes run.
+    Returns the rate array over the batch's flow axis.
     """
-    csr = build_batch_csr([(c.flows, c.on_link) for c in components])
+    csr = prepared.csr
+    caps = prepared.caps
+    limit = prepared.limit
     F, L = csr.n_flows, csr.n_links
-    caps = np.fromiter(
-        (c.caps[lid] for c in components for lid in c.on_link),
-        dtype=np.float64,
-        count=L,
-    )
-    limit = np.fromiter(
-        (f.demand_limit for f in csr.flows), dtype=np.float64, count=F
-    )
     rates = np.zeros(F)
     unfrozen = np.ones(F, dtype=bool)
     headroom = caps.copy()
@@ -313,14 +411,12 @@ def _solve_maxmin(components: Sequence[KernelComponent]) -> Dict[int, float]:
     else:  # pragma: no cover - progress is guaranteed each pass
         if unfrozen.any():
             raise SimulationError("max-min kernel failed to converge")
-    return {f.flow_id: float(rates[i]) for i, f in enumerate(csr.flows)}
+    return rates
 
 
 # ---------------------------------------------------------------------------
 # progressive residual filling (mixed fair/WFQ/priority components)
 # ---------------------------------------------------------------------------
-
-_KIND_FAIR, _KIND_WFQ, _KIND_PRIO = 0, 1, 2
 
 
 class _ResidualBatch:
@@ -336,43 +432,20 @@ class _ResidualBatch:
     round, so it re-sorts each round -- in C, via lexsort.)
     """
 
-    def __init__(self, components: Sequence[KernelComponent]) -> None:
-        csr = build_batch_csr([(c.flows, c.on_link) for c in components])
+    def __init__(self, prepared: PreparedBatch) -> None:
+        csr = prepared.csr
         self.csr = csr
         F, L, P = csr.n_flows, csr.n_links, csr.n_pairs
-        self.caps = np.fromiter(
-            (c.caps[lid] for c in components for lid in c.on_link),
-            dtype=np.float64,
-            count=L,
-        )
-        self.limit = np.fromiter(
-            (f.demand_limit for f in csr.flows), dtype=np.float64, count=F
-        )
-        kind = np.empty(L, dtype=np.int8)
-        qid = np.empty(P, dtype=np.int64)
-        weight = np.zeros(P)
-        li = 0
-        p = 0
-        for c in components:
-            for lid, members in c.on_link.items():
-                skind, ids, weights = c.specs[lid]
-                n = len(members)
-                if skind == "fair":
-                    kind[li] = _KIND_FAIR
-                    qid[p : p + n] = 0
-                elif skind == "wfq":
-                    kind[li] = _KIND_WFQ
-                    assert ids is not None and weights is not None
-                    qid[p : p + n] = ids
-                    weight[p : p + n] = [weights[q] for q in ids]
-                elif skind == "prio":
-                    kind[li] = _KIND_PRIO
-                    assert ids is not None
-                    qid[p : p + n] = ids
-                else:  # pragma: no cover
-                    raise SimulationError(f"unknown kernel spec kind {skind!r}")
-                li += 1
-                p += n
+        self.caps = prepared.caps
+        self.limit = prepared.limit
+        kind = prepared.kind
+        qid = prepared.qid
+        weight = prepared.qweight
+        if kind is None or qid is None or weight is None:
+            raise SimulationError(
+                "residual kernel requires discipline arrays "
+                "(prepare with disciplines=True)"
+            )
         self.kind = kind
         # --- canonical qsort pair order --------------------------------
         lim_pair = self.limit[csr.pair_flow]
@@ -583,13 +656,16 @@ class _ResidualBatch:
             rem = np.where(rem <= _EPS, 0.0, rem)
 
 
-def _solve_residual(
-    components: Sequence[KernelComponent],
-    max_rounds: int,
-    tol: float,
-) -> Dict[int, float]:
-    """Batched mirror of ``solve_component`` for mixed disciplines."""
-    b = _ResidualBatch(components)
+def solve_residual_prepared(
+    prepared: PreparedBatch,
+    max_rounds: int = 80,
+    tol: float = 1e-4,
+) -> np.ndarray:
+    """Batched mirror of ``solve_component`` for mixed disciplines.
+
+    Returns the rate array over the prepared batch's flow axis.
+    """
+    b = _ResidualBatch(prepared)
     b.set_tol(tol)
     csr = b.csr
     F, L = csr.n_flows, csr.n_links
@@ -600,7 +676,7 @@ def _solve_residual(
 
     def run_rounds(mopup: bool) -> None:
         nonlocal rate, used
-        comp_live = np.ones(len(components), dtype=bool)
+        comp_live = np.ones(len(csr.comp_flow_starts), dtype=bool)
         for _ in range(max_rounds):
             if not growing.any():
                 return
@@ -670,4 +746,4 @@ def _solve_residual(
     path_ok = np.logical_and.reduceat(~sat_now[b.fm_link], b.flow_starts)
     np.logical_and(rate < b.limit - b.eps_f, path_ok, out=growing)
     run_rounds(mopup=True)
-    return {f.flow_id: float(rate[i]) for i, f in enumerate(csr.flows)}
+    return rate

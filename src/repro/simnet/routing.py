@@ -24,7 +24,6 @@ kept honest under topology mutation two ways:
 from __future__ import annotations
 
 import hashlib
-from collections import deque
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import RoutingError
@@ -37,6 +36,52 @@ def _stable_hash(value: int) -> int:
     return int.from_bytes(digest, "big")
 
 
+class _IntGraph:
+    """Interned adjacency snapshot of a topology at one generation.
+
+    BFS over string-keyed dicts costs tens of microseconds per lookup
+    chain; at hyperscale every flow pair is a fresh ``(src, dst)`` so
+    the path cache never amortises it.  This snapshot assigns every
+    node a dense integer, copies the (up-link filtered) adjacency into
+    integer lists in the exact order ``Topology.neighbors`` yields,
+    and keeps stamped visit/distance scratch arrays so a BFS allocates
+    almost nothing.  Any topology mutation bumps ``generation`` and
+    the router rebuilds the snapshot lazily.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.generation = topology.generation
+        adjacency = topology._adjacency
+        names: List[str] = list(adjacency)
+        index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        self.names = names
+        self.index = index
+        # neighbors() applies the down-link filter while preserving
+        # construction order -- the order the string BFS enumerates,
+        # which the ECMP hash-index selection depends on.
+        self.adj: List[List[int]] = [
+            [index[dst] for dst in topology.neighbors(name)]
+            for name in names
+        ]
+        #: Set form of ``adj`` for O(1) membership (the BFS dst test
+        #: and the distance-<=2 fast path).
+        self.adj_set: List[Set[int]] = [set(nbrs) for nbrs in self.adj]
+        # Pre-rendered link-id strings per directed edge: building
+        # ``f"{a}->{b}"`` per hop per path costs microseconds per flow
+        # at hyperscale, for strings that never change within a
+        # generation.
+        self.edge_name: List[Dict[int, str]] = [
+            {b: f"{names[a]}->{names[b]}" for b in nbrs}
+            for a, nbrs in enumerate(self.adj)
+        ]
+        n = len(names)
+        #: BFS scratch, reused across calls via the round stamp.
+        self.stamp = [0] * n
+        self.dist = [0] * n
+        self.preds: List[List[int]] = [[] for _ in range(n)]
+        self.round = 0
+
+
 class Router:
     """Shortest-path ECMP router over a :class:`Topology`."""
 
@@ -44,14 +89,11 @@ class Router:
         self.topology = topology
         self.max_equal_paths = max_equal_paths
         self._cache: Dict[Tuple[str, str], List[List[str]]] = {}
-        #: link id -> (src, dst) keys whose cached paths traverse it.
-        #: Entries may linger after their key was evicted (popping a
-        #: missing cache key is harmless); re-caching re-adds them.
-        self._keys_via: Dict[str, Set[Tuple[str, str]]] = {}
         #: Bumped on every invalidation; callers caching per-flow path
         #: choices can compare it instead of the paths themselves.
         self.generation = 0
         self._topo_generation = topology.generation
+        self._igraph: Optional[_IntGraph] = None
 
     def invalidate(self, link_ids: Optional[Iterable[str]] = None) -> int:
         """Drop cached equal-cost path sets; returns how many.
@@ -60,26 +102,30 @@ class Router:
         paths traverse one of those links are dropped -- sufficient
         (and exact) for links going *down*, since removing a link
         cannot change the shortest-path set of any pair that avoided
-        it.  Without arguments the whole cache is cleared; required
-        for additive mutations (link up, link added) where any pair
-        may gain paths.  Either form acknowledges the topology's
-        current ``generation`` and bumps the router's own.
+        it.  The affected keys are found by scanning the cache: link
+        faults are orders of magnitude rarer than path lookups, so one
+        O(cache) sweep per fault beats maintaining a link->keys
+        reverse index on every cache fill (which dominated routing
+        cost at hyperscale).  Without arguments the whole cache is
+        cleared; required for additive mutations (link up, link added)
+        where any pair may gain paths.  Either form acknowledges the
+        topology's current ``generation`` and bumps the router's own.
         """
         self.generation += 1
         self._topo_generation = self.topology.generation
         if link_ids is None:
             dropped = len(self._cache)
             self._cache.clear()
-            self._keys_via.clear()
             return dropped
-        keys: Set[Tuple[str, str]] = set()
-        for lid in link_ids:
-            keys |= self._keys_via.pop(lid, set())
-        dropped = 0
-        for key in keys:
-            if self._cache.pop(key, None) is not None:
-                dropped += 1
-        return dropped
+        targets = set(link_ids)
+        doomed = [
+            key
+            for key, paths in self._cache.items()
+            if any(lid in targets for path in paths for lid in path)
+        ]
+        for key in doomed:
+            del self._cache[key]
+        return len(doomed)
 
     def equal_cost_paths(self, src: str, dst: str) -> List[List[str]]:
         """All (up to ``max_equal_paths``) shortest paths, as link-id lists."""
@@ -95,23 +141,33 @@ class Router:
         if not paths:
             raise RoutingError(f"no route from {src!r} to {dst!r}")
         self._cache[key] = paths
-        keys_via = self._keys_via
-        for path in paths:
-            for lid in path:
-                bucket = keys_via.get(lid)
-                if bucket is None:
-                    bucket = keys_via[lid] = set()
-                bucket.add(key)
         return paths
 
     def path_for_flow(self, src: str, dst: str, flow_id: int) -> List[str]:
         """The ECMP-selected shortest path for one flow."""
         paths = self.equal_cost_paths(src, dst)
+        if len(paths) == 1:
+            # Any hash mod 1 is 0 -- skipping the blake2b digest for
+            # unique-shortest-path pairs is exact, not an approximation.
+            return paths[0]
         index = _stable_hash(flow_id) % len(paths)
         return paths[index]
 
+    def _graph(self) -> _IntGraph:
+        """The interned snapshot for the topology's current generation."""
+        graph = self._igraph
+        if graph is None or graph.generation != self.topology.generation:
+            graph = self._igraph = _IntGraph(self.topology)
+        return graph
+
     def _bfs_paths(self, src: str, dst: str) -> List[List[str]]:
-        """Enumerate shortest node-paths via BFS levels, then convert to links."""
+        """Enumerate shortest node-paths via BFS levels, then convert to links.
+
+        Runs on the interned integer graph; visit order, predecessor
+        lists and the backtrack enumeration replicate the string BFS
+        exactly, so the equal-cost path *order* (and hence every ECMP
+        hash selection) is unchanged.
+        """
         topo = self.topology
         if not topo.has_node(src):
             raise RoutingError(f"unknown source {src!r}")
@@ -119,42 +175,103 @@ class Router:
             raise RoutingError(f"unknown destination {dst!r}")
         if src == dst:
             raise RoutingError("src == dst")
+        graph = self._graph()
+        si = graph.index[src]
+        di = graph.index[dst]
+        adj_set = graph.adj_set
+        edge_name = graph.edge_name
+        # Distance <= 2 fast path.  Most datacenter pairs are short
+        # (rack-local traffic is one ToR hop), and at hyperscale every
+        # flow is a fresh (src, dst) pair, so skipping the BFS
+        # machinery for them dominates routing cost.  Exact: a direct
+        # edge is the unique shortest path, and the two-hop
+        # enumeration scans ``adj[src]`` in the same order BFS
+        # accumulates dst's predecessors, so the path list (and every
+        # ECMP hash selection) is identical to the full search.
+        if di in adj_set[si]:
+            return [[edge_name[si][di]]]
+        mids = [n for n in graph.adj[si] if di in adj_set[n]]
+        if mids:
+            return [
+                [edge_name[si][m], edge_name[m][di]]
+                for m in mids[: self.max_equal_paths]
+            ]
+        graph.round += 1
+        rnd = graph.round
+        stamp = graph.stamp
+        dist = graph.dist
+        preds = graph.preds
+        adj = graph.adj
         # BFS recording predecessor lists at the shortest level.
-        dist: Dict[str, int] = {src: 0}
-        preds: Dict[str, List[str]] = {}
-        frontier = deque([src])
-        found_level: Optional[int] = None
-        while frontier:
-            node = frontier.popleft()
-            if found_level is not None and dist[node] >= found_level:
+        stamp[si] = rnd
+        dist[si] = 0
+        frontier = [si]
+        head = 0
+        found_level = -1
+        while head < len(frontier):
+            node = frontier[head]
+            head += 1
+            d_node = dist[node]
+            if found_level >= 0 and d_node >= found_level:
                 break
-            for nxt in topo.neighbors(node):
-                if nxt not in dist:
-                    dist[nxt] = dist[node] + 1
+            d_next = d_node + 1
+            if found_level >= 0:
+                # dst is already discovered at ``d_next``: nodes not
+                # yet stamped sit at ``found_level`` or deeper and
+                # cannot lie on a shortest path to dst, so the only
+                # update that still matters is extending dst's own
+                # predecessor list.  Appends happen in the same
+                # frontier order as the full scan, so the equal-cost
+                # path enumeration (and every ECMP hash selection) is
+                # unchanged.
+                if di in adj_set[node]:
+                    preds[di].append(node)
+                continue
+            for nxt in adj[node]:
+                if stamp[nxt] != rnd:
+                    if found_level >= 0:
+                        # dst was discovered earlier in this same
+                        # scan; see above.
+                        continue
+                    stamp[nxt] = rnd
+                    dist[nxt] = d_next
                     preds[nxt] = [node]
-                    if nxt == dst:
-                        found_level = dist[nxt]
+                    if nxt == di:
+                        found_level = d_next
                     frontier.append(nxt)
-                elif dist[nxt] == dist[node] + 1:
+                elif dist[nxt] == d_next:
                     preds[nxt].append(node)
-        if dst not in dist:
+        if stamp[di] != rnd:
             return []
         # Walk predecessor DAG back from dst, capped at max_equal_paths.
-        node_paths: List[List[str]] = []
+        node_paths: List[List[int]] = []
+        max_paths = self.max_equal_paths
 
-        def backtrack(node: str, suffix: List[str]) -> None:
-            if len(node_paths) >= self.max_equal_paths:
+        def backtrack(node: int, suffix: List[int]) -> None:
+            # Follow single-predecessor chain segments iteratively --
+            # at hyperscale most hops are unique, so this fast path
+            # turns the per-hop recursion into a tight loop.  A single
+            # chain yields exactly one path, in the same position the
+            # recursive enumeration would emit it.
+            while node != si:
+                ps = preds[node]
+                if len(ps) != 1:
+                    break
+                suffix = [node] + suffix
+                node = ps[0]
+            if len(node_paths) >= max_paths:
                 return
-            if node == src:
-                node_paths.append([src] + suffix)
+            if node == si:
+                node_paths.append([si] + suffix)
                 return
-            for pred in preds.get(node, []):
+            for pred in preds[node]:
                 backtrack(pred, [node] + suffix)
 
-        backtrack(dst, [])
+        backtrack(di, [])
+        edge_name = graph.edge_name
         link_paths = []
         for nodes in node_paths:
             link_paths.append(
-                [f"{a}->{b}" for a, b in zip(nodes, nodes[1:])]
+                [edge_name[a][b] for a, b in zip(nodes, nodes[1:])]
             )
         return link_paths

@@ -24,6 +24,7 @@ produce the same campaign report.
 
 from __future__ import annotations
 
+import dataclasses
 from random import Random
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -155,6 +156,14 @@ def sample_config(seed: int) -> StormConfig:
     if rng.random() < 0.6:
         destroy_fraction = rng.uniform(0.05, 0.35)
         destroy_delay = rng.uniform(0.01, 0.15)
+    # Sampled last so every pre-existing fuzz seed still maps to the
+    # scenario it always did (pinned regression seeds stay valid), now
+    # crossed with an incidence backend.  "auto" resolves to the array
+    # index under the vector solver, so the array path is exercised
+    # both explicitly and through the default dispatch.
+    spec = dataclasses.replace(
+        spec, incidence_backend=rng.choice(("auto", "array", "object")),
+    )
     return StormConfig(
         spec=spec,
         mode=mode,

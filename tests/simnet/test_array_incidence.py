@@ -1,0 +1,409 @@
+"""Differential suite: :class:`ArrayIncidence` vs :class:`FlowIncidence`.
+
+The array-native incidence is a performance substrate, not a new
+semantics: every observable -- per-link membership, component
+discovery order, batch CSR layout, and end-to-end fabric results --
+must match the object index exactly.  These tests pin that contract
+three ways:
+
+* randomized add/remove/reroute churn (hypothesis) with periodic
+  :meth:`FlowTable.compact` + :meth:`ArrayIncidence.remap`, comparing
+  counts, memberships, components and the full ``batch()`` CSR
+  against ``build_batch_csr`` over the object index's components;
+* deterministic edge cases for slot recycling, re-adds, adjacency
+  segment relocation and buffer compaction;
+* end-to-end fabric runs (fair and WFQ policies, link faults via
+  ``set_link_state``) where the array incidence under the object
+  solver must be *bit-identical* to the object baseline, and the two
+  marshalling paths must agree bit-for-bit under the vector solver.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.fabric import FluidFabric
+from repro.simnet.fairness import WFQScheduler
+from repro.simnet.flows import Flow, reset_flow_ids
+from repro.simnet.flowtable import FlowTable
+from repro.simnet.incidence import (
+    ArrayIncidence,
+    FlowIncidence,
+    build_batch_csr,
+)
+from repro.simnet.topology import spine_leaf
+
+_CSR_FIELDS = (
+    "comp_of_flow", "comp_of_link", "comp_flow_starts", "comp_link_starts",
+    "pair_flow", "pair_link", "link_starts", "link_counts",
+    "flow_perm", "flow_starts", "flow_counts",
+)
+
+
+def _order_key(flow):
+    return flow._seq
+
+
+def _object_csr(obj, table):
+    """Reference CSR: the object index's components, fabric-style."""
+    seeds = list(obj.links())
+    if not seeds:
+        return None
+    comps = []
+    for comp_flows, _ in obj.components(seeds, _order_key):
+        on_link = {}
+        for flow in comp_flows:
+            for lid in flow.path:
+                on_link.setdefault(lid, []).append(flow)
+        comps.append((comp_flows, on_link))
+    return build_batch_csr(comps)
+
+
+def _assert_batch_matches(obj, arr, table):
+    """Full structural parity between the two indexes."""
+    assert set(obj.links()) == set(arr.links())
+    for lid in set(obj.links()):
+        assert obj.count(lid) == arr.count(lid)
+        obj_ids = sorted(f.flow_id for f in obj.flows_on(lid))
+        arr_members = arr.flows_on(lid)
+        assert sorted(f.flow_id for f in arr_members) == obj_ids
+        # Array membership is seq-sorted (start order).
+        seqs = [f._seq for f in arr_members]
+        assert seqs == sorted(seqs)
+
+    ref = _object_csr(obj, table)
+    batch = arr.batch(None)
+    if ref is None:
+        assert batch is None
+        return
+    assert batch is not None
+    for name in _CSR_FIELDS:
+        assert np.array_equal(getattr(ref, name), getattr(batch.csr, name)), name
+    assert [f.flow_id for f in ref.flows] == [
+        table.flow_of[s].flow_id for s in batch.slots
+    ]
+    assert ref.link_ids == [
+        batch.link_id(i) for i in range(batch.csr.n_links)
+    ]
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_churn_differential(data):
+    """Random add/remove/reroute churn with compaction: the array
+    index tracks the object index exactly, including the batch CSR."""
+    table = FlowTable()
+    obj = FlowIncidence()
+    arr = ArrayIncidence(table)
+    n_links = data.draw(st.integers(min_value=2, max_value=12))
+    links = [f"L{i}" for i in range(n_links)]
+    seq = iter(range(10**9))
+    active = []
+    n_steps = data.draw(st.integers(min_value=10, max_value=80))
+    for step in range(n_steps):
+        op = data.draw(st.integers(min_value=0, max_value=9))
+        if op < 5 or not active:
+            path = data.draw(
+                st.lists(st.sampled_from(links), min_size=1, max_size=4,
+                         unique=True)
+            )
+            flow = Flow(src="a", dst="b", size=1.0)
+            flow.path = tuple(path)
+            table.bind(flow, next(seq), 0.0)
+            obj.add(flow)
+            arr.add(flow)
+            active.append(flow)
+        elif op < 8:
+            idx = data.draw(st.integers(min_value=0, max_value=len(active) - 1))
+            flow = active.pop(idx)
+            obj.remove(flow)
+            arr.remove(flow)
+            table.unbind(flow)
+        else:  # reroute: remove, change path, re-add
+            idx = data.draw(st.integers(min_value=0, max_value=len(active) - 1))
+            flow = active[idx]
+            obj.remove(flow)
+            arr.remove(flow)
+            path = data.draw(
+                st.lists(st.sampled_from(links), min_size=1, max_size=4,
+                         unique=True)
+            )
+            flow.path = tuple(path)
+            obj.add(flow)
+            arr.add(flow)
+        if step % 17 == 16:
+            arr.remap(table.compact())
+        if step % 11 == 10:
+            _assert_batch_matches(obj, arr, table)
+    arr.remap(table.compact())
+    _assert_batch_matches(obj, arr, table)
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_seeded_discovery_and_select(data):
+    """Seeded component discovery and ``select()`` sub-batches match
+    the object index's components / ``build_batch_csr``."""
+    table = FlowTable()
+    obj = FlowIncidence()
+    arr = ArrayIncidence(table)
+    n_links = data.draw(st.integers(min_value=3, max_value=15))
+    links = [f"L{i}" for i in range(n_links)]
+    n_flows = data.draw(st.integers(min_value=1, max_value=40))
+    for i in range(n_flows):
+        path = data.draw(
+            st.lists(st.sampled_from(links), min_size=1, max_size=3,
+                     unique=True)
+        )
+        flow = Flow(src="a", dst="b", size=1.0)
+        flow.path = tuple(path)
+        table.bind(flow, i, 0.0)
+        obj.add(flow)
+        arr.add(flow)
+
+    # Seeded discovery parity (dirty-link recomputes use this form).
+    seeds = data.draw(
+        st.lists(st.sampled_from(links), min_size=1, max_size=n_links,
+                 unique=True)
+    )
+    obj_comps = obj.components(seeds, _order_key)
+    arr_comps = arr.components(seeds, _order_key)
+    assert len(obj_comps) == len(arr_comps)
+    for (of, ol), (af, al) in zip(obj_comps, arr_comps):
+        assert [f.flow_id for f in of] == [f.flow_id for f in af]
+        assert set(ol) == set(al)
+
+    batch = arr.batch(None)
+    if batch is None:
+        return
+    full = obj.components(list(obj.links()), _order_key)
+    pick = data.draw(
+        st.lists(st.integers(min_value=0, max_value=batch.n_comps - 1),
+                 min_size=1, max_size=batch.n_comps, unique=True)
+    )
+    pick = sorted(pick)
+    sub = batch.select(np.asarray(pick, dtype=np.int64))
+    comps = []
+    for ci in pick:
+        comp_flows, _ = full[ci]
+        on_link = {}
+        for flow in comp_flows:
+            for lid in flow.path:
+                on_link.setdefault(lid, []).append(flow)
+        comps.append((comp_flows, on_link))
+    ref = build_batch_csr(comps)
+    for name in _CSR_FIELDS:
+        assert np.array_equal(getattr(ref, name), getattr(sub.csr, name)), name
+    assert [f.flow_id for f in ref.flows] == [
+        table.flow_of[s].flow_id for s in sub.slots
+    ]
+    assert ref.link_ids == [sub.link_id(i) for i in range(sub.csr.n_links)]
+    # comp_on_link materialization preserves first-use link order and
+    # pair member order.
+    for j, ci in enumerate(pick):
+        comp_flows, _ = full[ci]
+        on_link = {}
+        for flow in comp_flows:
+            for lid in flow.path:
+                on_link.setdefault(lid, []).append(flow)
+        got = sub.comp_on_link(j)
+        assert list(got.keys()) == list(on_link.keys())
+        for lid in got:
+            assert [f.flow_id for f in got[lid]] == [
+                f.flow_id for f in on_link[lid]
+            ]
+
+
+def _bound_flow(table, path, seq, slot_hint=None):
+    flow = Flow(src="a", dst="b", size=1.0)
+    flow.path = tuple(path)
+    table.bind(flow, seq, 0.0)
+    return flow
+
+
+class TestSlotRecycling:
+    """Deterministic edge cases around slot reuse and buffer motion."""
+
+    def test_slot_reuse_after_remove(self):
+        table = FlowTable()
+        arr = ArrayIncidence(table)
+        a = _bound_flow(table, ["L0", "L1"], 0)
+        arr.add(a)
+        slot = a._slot
+        arr.remove(a)
+        table.unbind(a)
+        b = _bound_flow(table, ["L1", "L2"], 1)
+        assert b._slot == slot  # LIFO free list recycles the slot
+        arr.add(b)
+        assert [f.flow_id for f in arr.flows_on("L1")] == [b.flow_id]
+        assert arr.count("L0") == 0
+        assert arr.count("L2") == 1
+
+    def test_readd_is_reroute(self):
+        table = FlowTable()
+        arr = ArrayIncidence(table)
+        flow = _bound_flow(table, ["L0", "L1"], 0)
+        arr.add(flow)
+        flow.path = ("L2",)
+        arr.add(flow)  # re-add replaces the stale path entries
+        assert arr.count("L0") == 0
+        assert arr.count("L1") == 0
+        assert [f.flow_id for f in arr.flows_on("L2")] == [flow.flow_id]
+
+    def test_remove_is_idempotent(self):
+        table = FlowTable()
+        arr = ArrayIncidence(table)
+        flow = _bound_flow(table, ["L0"], 0)
+        arr.add(flow)
+        arr.remove(flow)
+        arr.remove(flow)
+        assert arr.count("L0") == 0
+
+    def test_add_requires_bound_flow(self):
+        table = FlowTable()
+        arr = ArrayIncidence(table)
+        flow = Flow(src="a", dst="b", size=1.0)
+        flow.path = ("L0",)
+        with pytest.raises(ValueError):
+            arr.add(flow)
+
+    def test_segment_growth_relocation(self):
+        """One link far past its initial segment capacity, interleaved
+        with removals so the adjacency buffer compacts and relocates."""
+        table = FlowTable()
+        obj = FlowIncidence()
+        arr = ArrayIncidence(table)
+        flows = []
+        for i in range(200):
+            flow = _bound_flow(table, ["HOT", f"cold{i % 7}"], i)
+            obj.add(flow)
+            arr.add(flow)
+            flows.append(flow)
+            if i % 3 == 2:
+                victim = flows.pop(0)
+                obj.remove(victim)
+                arr.remove(victim)
+                table.unbind(victim)
+        _assert_batch_matches(obj, arr, table)
+
+    def test_compaction_remap(self):
+        """Table compaction after heavy churn: remap keeps every live
+        pair and the CSR identical to the object reference."""
+        rng = random.Random(7)
+        table = FlowTable()
+        obj = FlowIncidence()
+        arr = ArrayIncidence(table)
+        links = [f"L{i}" for i in range(6)]
+        active = []
+        for i in range(300):
+            flow = _bound_flow(
+                table, rng.sample(links, rng.randint(1, 3)), i
+            )
+            obj.add(flow)
+            arr.add(flow)
+            active.append(flow)
+            if len(active) > 20:
+                victim = active.pop(rng.randrange(len(active)))
+                obj.remove(victim)
+                arr.remove(victim)
+                table.unbind(victim)
+        remap = table.compact()
+        arr.remap(remap)
+        assert table.n_active == len(active)
+        _assert_batch_matches(obj, arr, table)
+
+
+# -- end-to-end fabric parity ------------------------------------------
+
+
+class _WFQPolicy:
+    name = "wfq-test"
+
+    def __init__(self):
+        self._sched = WFQScheduler(
+            queue_of=lambda f: (f.pl or 0) % 8,
+            weight_of=lambda q: q + 1,
+        )
+
+    def attach(self, fabric):
+        pass
+
+    def scheduler_of(self, link_id):
+        return self._sched
+
+    def on_flow_started(self, flow):
+        pass
+
+    def on_flow_finished(self, flow):
+        pass
+
+
+def _run_scenario(incidence, solver, seed, policy):
+    reset_flow_ids()
+    rng = random.Random(seed)
+    topo = spine_leaf(
+        n_spine=2, n_leaf=3, n_tor=4, servers_per_tor=4, capacity=10e9
+    )
+    fabric = FluidFabric(
+        topo, completion_quantum=0.0, solver_backend=solver,
+        incidence_backend=incidence, validate=True,
+        vector_min_flows=4, vector_min_batch=16,
+    )
+    if policy is not None:
+        fabric.set_policy(policy())
+    servers = topo.servers
+    flows = []
+    t = 0.0
+    for _ in range(90):
+        src, dst = rng.sample(servers, 2)
+        flow = Flow(
+            src=src, dst=dst, size=rng.uniform(1e6, 5e8),
+            pl=rng.randrange(8),
+            rate_cap=rng.choice([None, 2e9, 5e8]),
+            aux_rate=rng.choice([0.0, 1e6]),
+        )
+        fabric.sim.schedule_at(t, lambda fl=flow: fabric.start_flow(fl))
+        flows.append(flow)
+        t += rng.uniform(0.0, 0.01)
+    # Fault redundant leaf->spine links only (rack-local reachability
+    # survives), exercising set_link_state churn on both indexes.
+    fault_links = sorted(
+        l for l in topo.links if l.startswith("leaf") and "spine" in l
+    )[:4:2]
+    for i, lid in enumerate(fault_links):
+        fabric.sim.schedule_at(
+            0.02 + i * 0.013, lambda l=lid: fabric.set_link_state(l, False)
+        )
+        fabric.sim.schedule_at(
+            0.2 + i * 0.013, lambda l=lid: fabric.set_link_state(l, True)
+        )
+    fabric.run()
+    return {f.flow_id: f.finish_time for f in flows}
+
+
+@pytest.mark.parametrize("policy", [None, _WFQPolicy],
+                         ids=["fair", "wfq"])
+@pytest.mark.parametrize("seed", [0, 3])
+def test_fabric_array_incidence_parity(seed, policy):
+    """Array incidence is bit-identical under the object solver, within
+    1e-9 under vector/auto, and marshals bit-identically to the object
+    index under the vector solver."""
+    base = _run_scenario("object", "object", seed, policy)
+    exact = _run_scenario("array", "object", seed, policy)
+    assert exact == base
+
+    for incidence, solver in [
+        ("object", "vector"), ("array", "vector"), ("array", "auto"),
+    ]:
+        got = _run_scenario(incidence, solver, seed, policy)
+        assert got.keys() == base.keys()
+        for fid, finish in base.items():
+            rel = abs(got[fid] - finish) / max(abs(finish), 1e-12)
+            assert rel <= 1e-9, (incidence, solver, fid, rel)
+
+    # Strongest ordering-parity check: identical kernel inputs.
+    vec_obj = _run_scenario("object", "vector", seed, policy)
+    vec_arr = _run_scenario("array", "vector", seed, policy)
+    assert vec_obj == vec_arr
